@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out (beyond the
+ * paper's own Figure 5 ladder):
+ *
+ *   - non-blocking link stack on/off
+ *   - engine cache + prefetch on/off
+ *   - tagged vs untagged TLB
+ *   - xcall-cap bitmap vs radix tree (paper 6.2)
+ *   - relay-seg vs shared-memory vs kernel-copy message paths at
+ *     three message sizes (the Figure 10 taxonomy, measured)
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "sim/logging.hh"
+
+using namespace xpc;
+using namespace xpc::bench;
+
+namespace {
+
+uint64_t
+xcallCost(bool nonblocking, bool cache, bool tagged, bool radix)
+{
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    opts.machine = tagged ? hw::rocketU500Tagged() : hw::rocketU500();
+    opts.engineOpts.nonblockingLinkStack = nonblocking;
+    opts.engineOpts.engineCache = cache;
+    opts.engineOpts.radixCaps = radix;
+    core::System sys(opts);
+    kernel::Thread &server = sys.spawn("server");
+    kernel::Thread &client = sys.spawn("client");
+    uint64_t id = sys.runtime().registerEntry(
+        server, server, [](core::XpcServerCall &) {}, 2);
+    sys.manager().grantXcallCap(server, client, id);
+    hw::Core &core = sys.core(0);
+    sys.runtime().allocRelayMem(core, client, 4096);
+    for (int i = 0; i < 6; i++)
+        sys.runtime().call(core, client, id, 0, 0);
+    if (cache)
+        sys.engine().prefetch(core, id);
+    Cycles t0 = core.now();
+    auto xc = sys.engine().xcall(core, id, 0);
+    uint64_t cost = (core.now() - t0).value();
+    panic_if(xc.exc != engine::XpcException::None, "xcall failed");
+    sys.engine().xret(core);
+    return cost;
+}
+
+void
+printXcallAblation()
+{
+    banner("Ablation: xcall latency under engine design choices "
+           "(tagged TLB unless noted)");
+    row({"Variant", "xcall cycles"}, 34);
+    row({"baseline (nonblock, bitmap)",
+         fmtU(xcallCost(true, false, true, false))}, 34);
+    row({"blocking link stack",
+         fmtU(xcallCost(false, false, true, false))}, 34);
+    row({"engine cache + prefetch",
+         fmtU(xcallCost(true, true, true, false))}, 34);
+    row({"radix-tree xcall-caps (6.2)",
+         fmtU(xcallCost(true, false, true, true))}, 34);
+    row({"untagged TLB (flush+refill)",
+         fmtU(xcallCost(true, false, false, false))}, 34);
+}
+
+void
+printMessagePathAblation()
+{
+    banner("Ablation: message-path disciplines, echo round trip "
+           "(cycles) - the Figure 10 taxonomy measured");
+    row({"bytes", "kernel-copy(Zircon)", "shared-1copy",
+         "shared-2copy", "relay-seg(XPC)"}, 20);
+    for (uint64_t bytes : {256ul, 4096ul, 32768ul}) {
+        auto rt = [&](core::SystemFlavor f) {
+            EchoRig rig(f);
+            core::CallResult r;
+            for (int i = 0; i < 5; i++)
+                r = rig.call(bytes);
+            return r.roundTrip.value();
+        };
+        row({fmtU(bytes), fmtU(rt(core::SystemFlavor::Zircon)),
+             fmtU(rt(core::SystemFlavor::Sel4OneCopy)),
+             fmtU(rt(core::SystemFlavor::Sel4TwoCopy)),
+             fmtU(rt(core::SystemFlavor::Sel4Xpc))},
+            20);
+    }
+}
+
+void
+printTrampolineAblation()
+{
+    banner("Ablation: trampoline context policy (round trip, empty "
+           "handler)");
+    auto rt = [&](core::TrampolineMode mode) {
+        core::SystemOptions opts;
+        opts.flavor = core::SystemFlavor::Sel4Xpc;
+        opts.runtimeOpts.trampoline = mode;
+        core::System sys(opts);
+        kernel::Thread &server = sys.spawn("server");
+        kernel::Thread &client = sys.spawn("client");
+        uint64_t id = sys.runtime().registerEntry(
+            server, server, [](core::XpcServerCall &) {}, 2);
+        sys.manager().grantXcallCap(server, client, id);
+        hw::Core &core = sys.core(0);
+        sys.runtime().allocRelayMem(core, client, 4096);
+        core::XpcCallOutcome out;
+        for (int i = 0; i < 6; i++)
+            out = sys.runtime().call(core, client, id, 0, 0);
+        return out.roundTrip.value();
+    };
+    row({"full context", fmtU(rt(core::TrampolineMode::FullContext))},
+        20);
+    row({"partial context",
+         fmtU(rt(core::TrampolineMode::PartialContext))}, 20);
+}
+
+void
+printRelayPtAblation()
+{
+    banner("Ablation: relay segment vs relay page table (paper 6.2) "
+           "- ownership handover cost by region size");
+    row({"pages", "relay-seg handover", "relay-pt transfer"}, 22);
+    for (uint64_t pages : {4ul, 16ul, 64ul, 256ul}) {
+        // relay-seg: the handover is the xcall itself (seg-reg swap).
+        core::SystemOptions opts;
+        opts.flavor = core::SystemFlavor::Sel4Xpc;
+        opts.machine = hw::rocketU500Tagged();
+        core::System sys(opts);
+        kernel::Thread &server = sys.spawn("server");
+        kernel::Thread &client = sys.spawn("client");
+        uint64_t id = sys.runtime().registerEntry(
+            server, server, [](core::XpcServerCall &) {}, 2);
+        sys.manager().grantXcallCap(server, client, id);
+        hw::Core &core = sys.core(0);
+        sys.runtime().allocRelayMem(core, client, pages * pageSize);
+        core::XpcCallOutcome out;
+        for (int i = 0; i < 4; i++)
+            out = sys.runtime().call(core, client, id, 0, 0);
+        uint64_t seg_cost = out.oneWay.value();
+
+        // relay-pt: the kernel-mediated ownership transfer.
+        kernel::Thread &peer = sys.spawn("peer");
+        auto &rpt = sys.manager().allocRelayPt(
+            nullptr, *client.process(), pages * pageSize);
+        Cycles t0 = core.now();
+        sys.manager().transferRelayPt(&core, rpt.id,
+                                      *peer.process());
+        uint64_t pt_cost = (core.now() - t0).value();
+        row({fmtU(pages), fmtU(seg_cost), fmtU(pt_cost)}, 22);
+    }
+    std::printf("(relay-seg handover is O(1); the dual-page-table "
+                "alternative pays O(pages) + TLB shootdown)\n");
+}
+
+void
+BM_XcallVariants(benchmark::State &state)
+{
+    for (auto _ : state) {
+        uint64_t c = xcallCost(true, false, true, false);
+        state.counters["cycles"] = double(c);
+        state.SetIterationTime(double(c) / 100e6);
+    }
+}
+BENCHMARK(BM_XcallVariants)->UseManualTime()->Iterations(2);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printXcallAblation();
+    printMessagePathAblation();
+    printTrampolineAblation();
+    printRelayPtAblation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

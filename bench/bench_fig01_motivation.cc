@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Paper Figure 1: the motivation measurement. Sqlite3(MiniDb) with
+ * the YCSB workloads on seL4:
+ *  (a) 18-39% of CPU time goes to IPC;
+ *  (b) on YCSB-E, message transfer is ~58.7% of the IPC time, and
+ *      the CDF of IPC time by message length is dominated by large
+ *      messages.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/ycsb.hh"
+#include "bench_util.hh"
+#include "sim/stats.hh"
+
+using namespace xpc;
+using namespace xpc::bench;
+using namespace xpc::apps;
+
+namespace {
+
+struct Motivation
+{
+    double ipcShare = 0;       ///< fraction of CPU time in IPC
+    double transferShare = 0;  ///< transfer fraction of IPC time
+    WeightedCdf cdf;           ///< IPC time by message length
+};
+
+Motivation
+measure(YcsbWorkload w)
+{
+    FsRig rig(core::SystemFlavor::Sel4TwoCopy, 8192);
+    hw::Core &core = rig.sys->core(0);
+    MiniDb db(*rig.rec, core, *rig.client, rig.fsrv->id(),
+              "motiv.db", 640);
+    YcsbConfig cfg;
+    cfg.records = 1000;
+    cfg.operations = 250;
+    Ycsb ycsb(cfg);
+    ycsb.load(db, core);
+
+    rig.rec->reset();
+    Cycles t0 = core.now();
+    ycsb.run(db, core, w);
+    uint64_t total = (core.now() - t0).value();
+
+    Motivation m;
+    // IPC time = everything spent in the IPC path (round trips minus
+    // the handlers' own compute).
+    uint64_t ipc = rig.rec->ipcOverheadCycles();
+    m.ipcShare = double(ipc) / double(total);
+
+    // Per-call fixed overhead: the cheapest call observed stands in
+    // for the no-payload path; everything above it is transfer.
+    uint64_t fixed = UINT64_MAX;
+    for (const auto &r : rig.rec->records) {
+        uint64_t ov = r.roundTrip - r.handlerCycles;
+        fixed = std::min(fixed, ov);
+    }
+    uint64_t transfer = 0, overhead_sum = 0;
+    for (const auto &r : rig.rec->records) {
+        uint64_t ov = r.roundTrip - r.handlerCycles;
+        overhead_sum += ov;
+        transfer += ov - fixed;
+        m.cdf.add(r.bytes, double(ov));
+    }
+    m.transferShare =
+        overhead_sum ? double(transfer) / double(overhead_sum) : 0;
+    return m;
+}
+
+void
+printTables()
+{
+    banner("Figure 1(a): share of CPU time spent on IPC, "
+           "Sqlite3(MiniDb)+YCSB on seL4 (paper: 18-39%)");
+    row({"workload", "IPC share"});
+    const YcsbWorkload all[] = {YcsbWorkload::A, YcsbWorkload::B,
+                                YcsbWorkload::C, YcsbWorkload::D,
+                                YcsbWorkload::E, YcsbWorkload::F};
+    Motivation e_result;
+    for (auto w : all) {
+        Motivation m = measure(w);
+        if (w == YcsbWorkload::E)
+            e_result = m;
+        row({ycsbName(w), fmt("%.1f%%", 100.0 * m.ipcShare)});
+    }
+
+    banner("Figure 1(b): CDF of IPC time by message length, YCSB-E "
+           "(paper: data transfer = 58.7% of IPC time)");
+    row({"msg bytes <=", "CDF of IPC time"});
+    for (uint64_t b : {64ul, 256ul, 1024ul, 4096ul, 8192ul, 16384ul,
+                       65536ul}) {
+        row({fmtU(b), fmt("%.2f", e_result.cdf.cumulativeAt(b))});
+    }
+    row({"data transfer share",
+         fmt("%.1f%%", 100.0 * e_result.transferShare)});
+}
+
+void
+BM_Motivation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Motivation m = measure(YcsbWorkload::E);
+        state.counters["ipc_share"] = m.ipcShare;
+        state.SetIterationTime(1e-3);
+    }
+}
+BENCHMARK(BM_Motivation)->UseManualTime()->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTables();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

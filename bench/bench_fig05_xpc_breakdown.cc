@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Paper Figure 5: the XPC optimization ladder and its breakdown.
+ *
+ *   Full-Cxt            150   (trampoline 76 + xcall 34 + TLB 40)
+ *   Partial-Cxt          89   (trampoline 15 + xcall 34 + TLB 40)
+ *   +Tagged-TLB          49   (trampoline 15 + xcall 34)
+ *   +Nonblock LinkStack  33   (trampoline 15 + xcall 18)
+ *   +Engine Cache        21   (trampoline 15 + xcall  6)
+ *
+ * Each rung is one IPC call (one-way) with the corresponding
+ * hardware/software configuration; the handler touches its C-stack
+ * like real trampoline code so TLB refills are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "sim/logging.hh"
+
+using namespace xpc;
+using namespace xpc::bench;
+
+namespace {
+
+struct Config
+{
+    const char *name;
+    bool tagged;
+    bool nonblocking;
+    bool engineCache;
+    core::TrampolineMode tramp;
+    int paperTotal;
+};
+
+struct Sample
+{
+    uint64_t total = 0;
+    uint64_t xcall = 0;
+    uint64_t trampoline = 0;
+    uint64_t tlb = 0;
+};
+
+Sample
+measure(const Config &cfg)
+{
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    opts.machine = cfg.tagged ? hw::rocketU500Tagged()
+                              : hw::rocketU500();
+    opts.engineOpts.nonblockingLinkStack = cfg.nonblocking;
+    opts.engineOpts.engineCache = cfg.engineCache;
+    opts.runtimeOpts.trampoline = cfg.tramp;
+    opts.runtimeOpts.prefetchEntries = cfg.engineCache;
+    core::System sys(opts);
+
+    kernel::Thread &server = sys.spawn("server");
+    kernel::Thread &client = sys.spawn("client");
+    core::XpcRuntime &rt = sys.runtime();
+
+    kernel::Kernel &kern = sys.kern();
+    VAddr touch = server.process()->alloc(2 * pageSize);
+    uint64_t id = rt.registerEntry(
+        server, server,
+        [&](core::XpcServerCall &call) {
+            // Touch the C-stack / locals the way a real handler
+            // prologue would (TLB-visible accesses).
+            uint64_t probe[2];
+            kern.userRead(call.core(), *server.process(), touch,
+                          probe, 8);
+            kern.userRead(call.core(), *server.process(),
+                          touch + pageSize, probe, 8);
+        },
+        4);
+    sys.manager().grantXcallCap(server, client, id);
+
+    hw::Core &core = sys.core(0);
+    rt.allocRelayMem(core, client, 4096);
+
+    // Warm everything; measure a steady-state call.
+    core::XpcCallOutcome out;
+    for (int i = 0; i < 8; i++)
+        out = rt.call(core, client, id, 0, 0);
+    panic_if(!out.ok, "xpc call failed");
+
+    // Decompose: measure the raw xcall on the same warm state.
+    Cycles t0 = core.now();
+    auto xc = sys.engine().xcall(core, id, 0);
+    uint64_t xcall_cycles = (core.now() - t0).value();
+    panic_if(xc.exc != engine::XpcException::None, "xcall failed");
+    sys.engine().xret(core);
+
+    Sample s;
+    s.total = out.oneWay.value();
+    s.xcall = xcall_cycles;
+    s.trampoline = cfg.tramp == core::TrampolineMode::FullContext
+                       ? opts.runtimeOpts.fullCtxCost.value()
+                       : opts.runtimeOpts.partialCtxCost.value();
+    s.tlb = s.total > s.xcall + s.trampoline
+                ? s.total - s.xcall - s.trampoline
+                : 0;
+    return s;
+}
+
+const Config configs[] = {
+    {"Full-Cxt", false, false, false,
+     core::TrampolineMode::FullContext, 150},
+    {"Partial-Cxt", false, false, false,
+     core::TrampolineMode::PartialContext, 89},
+    {"+Tagged-TLB", true, false, false,
+     core::TrampolineMode::PartialContext, 49},
+    {"+NonblockLinkStack", true, true, false,
+     core::TrampolineMode::PartialContext, 33},
+    {"+EngineCache", true, true, true,
+     core::TrampolineMode::PartialContext, 21},
+};
+
+void
+printTable()
+{
+    banner("Figure 5: XPC optimizations and breakdown "
+           "(one-way IPC cycles; paper totals in parentheses)");
+    row({"Config", "total", "(paper)", "trampoline", "xcall",
+         "tlb/other"}, 20);
+    for (const Config &cfg : configs) {
+        Sample s = measure(cfg);
+        row({cfg.name, fmtU(s.total), "(" + fmtU(cfg.paperTotal) + ")",
+             fmtU(s.trampoline), fmtU(s.xcall), fmtU(s.tlb)}, 20);
+    }
+}
+
+void
+BM_XpcOneWay(benchmark::State &state)
+{
+    const Config &cfg = configs[state.range(0)];
+    for (auto _ : state) {
+        Sample s = measure(cfg);
+        state.SetIterationTime(double(s.total) / 100e6);
+        state.counters["cycles"] = double(s.total);
+    }
+    state.SetLabel(cfg.name);
+}
+BENCHMARK(BM_XpcOneWay)
+    ->DenseRange(0, 4)
+    ->UseManualTime()
+    ->Iterations(2);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

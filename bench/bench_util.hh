@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Shared plumbing for the experiment benches: table printing and
+ * canned system wirings (echo service, FS stack, net stack, web
+ * chain) so each bench reads like the experiment it reproduces.
+ */
+
+#ifndef XPC_BENCH_BENCH_UTIL_HH
+#define XPC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/recording_transport.hh"
+#include "core/system.hh"
+#include "services/block_device.hh"
+#include "services/fs_server.hh"
+#include "services/net_server.hh"
+#include "services/web.hh"
+
+namespace xpc::bench {
+
+/** Print a rule + centered caption. */
+inline void
+banner(const std::string &caption)
+{
+    std::printf("\n=== %s ===\n", caption.c_str());
+}
+
+/** Print a row of columns with fixed width. */
+inline void
+row(const std::vector<std::string> &cells, int width = 14)
+{
+    for (const auto &c : cells)
+        std::printf("%-*s", width, c.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+fmt(const char *f, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), f, v);
+    return buf;
+}
+
+inline std::string
+fmtU(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+    return buf;
+}
+
+/** An echo service wired on a fresh system of the given flavor. */
+struct EchoRig
+{
+    std::unique_ptr<core::System> sys;
+    kernel::Thread *server = nullptr;
+    kernel::Thread *client = nullptr;
+    core::ServiceId svc = 0;
+
+    explicit EchoRig(core::SystemFlavor flavor,
+                     const hw::MachineConfig *machine = nullptr,
+                     CoreId server_core = 0)
+    {
+        core::SystemOptions opts;
+        opts.flavor = flavor;
+        if (machine)
+            opts.machine = *machine;
+        sys = std::make_unique<core::System>(opts);
+        server = &sys->spawn("server", server_core);
+        client = &sys->spawn("client", 0);
+        core::ServiceDesc desc;
+        desc.name = "echo";
+        desc.handlerThread = server;
+        desc.maxMsgBytes = 256 * 1024;
+        svc = sys->transport().registerService(
+            desc, [](core::ServerApi &api) {
+                api.replyFromRequest(0, api.requestLen());
+            });
+        sys->transport().connect(*client, svc);
+    }
+
+    /** One call with @p len request bytes; returns the result. */
+    core::CallResult
+    call(uint64_t len)
+    {
+        hw::Core &core = sys->core(0);
+        core::Transport &tr = sys->transport();
+        tr.requestArea(core, *client, 64 * 1024);
+        if (len > 0) {
+            static std::vector<uint8_t> payload;
+            payload.assign(len, 0x6b);
+            tr.clientWrite(core, *client, 0, payload.data(), len);
+        }
+        return tr.call(core, *client, svc, 1, len, 64 * 1024);
+    }
+};
+
+/** Block device + FS server + client, on a given flavor. */
+struct FsRig
+{
+    std::unique_ptr<core::System> sys;
+    std::unique_ptr<core::RecordingTransport> rec;
+    std::unique_ptr<services::BlockDeviceServer> dev;
+    std::unique_ptr<services::FsServer> fsrv;
+    kernel::Thread *client = nullptr;
+
+    explicit FsRig(core::SystemFlavor flavor, uint64_t disk_blocks = 4096,
+                   const hw::MachineConfig *machine = nullptr)
+    {
+        core::SystemOptions opts;
+        opts.flavor = flavor;
+        if (machine)
+            opts.machine = *machine;
+        sys = std::make_unique<core::System>(opts);
+        rec = std::make_unique<core::RecordingTransport>(
+            sys->transport());
+        kernel::Thread &dev_t = sys->spawn("blockdev");
+        kernel::Thread &fs_t = sys->spawn("fs");
+        client = &sys->spawn("client");
+        dev = std::make_unique<services::BlockDeviceServer>(
+            *rec, dev_t, disk_blocks);
+        rec->connect(fs_t, dev->id());
+        fsrv = std::make_unique<services::FsServer>(*rec, fs_t,
+                                                    dev->id(),
+                                                    disk_blocks);
+        rec->connect(*client, fsrv->id());
+    }
+};
+
+/** Netstack + loopback + client. */
+struct NetRig
+{
+    std::unique_ptr<core::System> sys;
+    std::unique_ptr<services::LoopbackDeviceServer> loop;
+    std::unique_ptr<services::NetStackServer> net;
+    kernel::Thread *client = nullptr;
+    int64_t srvSock = 0;
+    int64_t cliSock = 0;
+
+    explicit NetRig(core::SystemFlavor flavor)
+    {
+        core::SystemOptions opts;
+        opts.flavor = flavor;
+        opts.machine = hw::lowRiscKc705();
+        sys = std::make_unique<core::System>(opts);
+        kernel::Thread &dev_t = sys->spawn("loopdev");
+        kernel::Thread &net_t = sys->spawn("netstack");
+        client = &sys->spawn("client");
+        loop = std::make_unique<services::LoopbackDeviceServer>(
+            sys->transport(), dev_t);
+        sys->transport().connect(net_t, loop->id());
+        net = std::make_unique<services::NetStackServer>(
+            sys->transport(), net_t, loop->id());
+        sys->transport().connect(*client, net->id());
+
+        hw::Core &core = sys->core(0);
+        core::Transport &tr = sys->transport();
+        srvSock = services::NetStackServer::clientSocket(tr, core,
+                                                         *client,
+                                                         net->id());
+        cliSock = services::NetStackServer::clientSocket(tr, core,
+                                                         *client,
+                                                         net->id());
+        services::NetStackServer::clientListen(tr, core, *client,
+                                               net->id(), srvSock,
+                                               80);
+        services::NetStackServer::clientConnect(tr, core, *client,
+                                                net->id(), cliSock,
+                                                80);
+    }
+};
+
+} // namespace xpc::bench
+
+#endif // XPC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Example: the three-server web chain of the paper's section 5.4 -
+ * HTTP server -> file cache -> AES crypto - demonstrating message
+ * handover: with XPC, the response body is written once by the cache
+ * server and encrypted in place by the crypto server inside the
+ * client's relay segment; the HTTP server only masks windows.
+ *
+ *   ./build/examples/web_chain
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "services/crypto/aes.hh"
+#include "services/web.hh"
+
+using namespace xpc;
+
+namespace {
+
+uint64_t
+serveOnce(core::SystemFlavor flavor, bool show)
+{
+    core::SystemOptions opts;
+    opts.flavor = flavor;
+    core::System sys(opts);
+    core::Transport &tr = sys.transport();
+
+    kernel::Thread &cache_t = sys.spawn("file-cache");
+    kernel::Thread &crypto_t = sys.spawn("aes");
+    kernel::Thread &http_t = sys.spawn("httpd");
+    kernel::Thread &client = sys.spawn("browser");
+
+    services::FileCacheServer cache(tr, cache_t);
+    const uint8_t key[16] = {0x13, 0x37, 0xc0, 0xde, 0x13, 0x37,
+                             0xc0, 0xde, 0x13, 0x37, 0xc0, 0xde,
+                             0x13, 0x37, 0xc0, 0xde};
+    services::CryptoServer crypto(tr, crypto_t, key);
+
+    std::string body = "<html><body><h1>XPC</h1>"
+                       "<p>secure and efficient cross process call"
+                       "</p></body></html>";
+    cache.preload("/index.html",
+                  std::vector<uint8_t>(body.begin(), body.end()));
+
+    services::HttpServer http(tr, http_t, cache.id(), crypto.id(),
+                              /*encrypt=*/true, 4096);
+    tr.connect(client, http.id());
+    tr.connect(http_t, cache.id());
+    tr.connect(http_t, crypto.id());
+
+    hw::Core &core = sys.core(0);
+    std::vector<uint8_t> response;
+    Cycles t0 = core.now();
+    int64_t n = services::HttpServer::clientGet(
+        tr, core, client, http.id(), "/index.html", &response, 4096);
+    uint64_t cycles = (core.now() - t0).value();
+
+    if (show && n > 0) {
+        std::string text(response.begin(), response.end());
+        size_t body_at = text.find("\r\n\r\n");
+        std::printf("response headers:\n%.*s\n",
+                    int(body_at), text.c_str());
+        // Decrypt the body locally to prove the chain worked.
+        std::vector<uint8_t> enc(response.begin() + long(body_at) + 4,
+                                 response.end());
+        services::crypto::Aes128 aes(key);
+        uint8_t iv[16] = {};
+        aes.decryptCbc(enc.data(), enc.size() & ~size_t(15), iv);
+        std::printf("decrypted body:\n%.*s\n\n", int(body.size()),
+                    reinterpret_cast<char *>(enc.data()));
+    }
+    return cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("GET /index.html through httpd -> cache -> AES\n\n");
+    uint64_t xpc = serveOnce(core::SystemFlavor::Sel4Xpc, true);
+    uint64_t sel4 = serveOnce(core::SystemFlavor::Sel4TwoCopy, false);
+    uint64_t zircon = serveOnce(core::SystemFlavor::Zircon, false);
+    std::printf("%-14s %llu cycles\n", "seL4-XPC",
+                (unsigned long long)xpc);
+    std::printf("%-14s %llu cycles (%.1fx)\n", "seL4",
+                (unsigned long long)sel4, double(sel4) / double(xpc));
+    std::printf("%-14s %llu cycles (%.1fx)\n", "Zircon",
+                (unsigned long long)zircon,
+                double(zircon) / double(xpc));
+    std::printf("\nwith XPC the body bytes were written once (by the"
+                "\ncache) and encrypted in place; the baselines copied"
+                "\nthem on every hop of the chain.\n");
+    return 0;
+}

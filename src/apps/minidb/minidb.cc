@@ -1,0 +1,141 @@
+#include "minidb.hh"
+
+#include <cstring>
+
+#include "services/fs_server.hh"
+#include "sim/logging.hh"
+
+namespace xpc::apps {
+
+using services::FsServer;
+
+MiniDb::MiniDb(core::Transport &tr, hw::Core &c, kernel::Thread &cl,
+               core::ServiceId fs, const std::string &name,
+               uint32_t cache_pages)
+    : transport(tr), core(c), client(cl), fsSvc(fs)
+{
+    file = std::make_unique<PagedFile>(tr, c, cl, fs, "/" + name,
+                                       cache_pages);
+    btree = std::make_unique<BTree>(*file);
+    btree->create();
+    journalFd = FsServer::clientOpen(tr, c, cl, fs,
+                                     "/" + name + "-journal", true);
+    fatal_if(journalFd < 0, "cannot create the rollback journal");
+    // The tree header/root must be durable before first use.
+    file->flushDirty();
+}
+
+int64_t
+MiniDb::fsWrite(int64_t fd, uint64_t off, const void *src,
+                uint64_t len)
+{
+    return FsServer::clientWrite(transport, core, client, fsSvc, fd,
+                                 off, src, len);
+}
+
+void
+MiniDb::beginTxn()
+{
+    transactions.inc();
+    journalBuf.clear();
+    file->preImageHook = [this](uint32_t page_no, const DbPage &pre) {
+        journalAppend(page_no, pre);
+    };
+}
+
+void
+MiniDb::journalAppend(uint32_t page_no, const DbPage &pre)
+{
+    journalPages.inc();
+    // Buffer {pageNo, preimage} like sqlite's buffered journal I/O;
+    // the bytes hit the FS in one sequential write at commit.
+    size_t at = journalBuf.size();
+    journalBuf.resize(at + 8 + dbPageBytes);
+    std::memcpy(journalBuf.data() + at, &page_no, 4);
+    std::memset(journalBuf.data() + at + 4, 0, 4);
+    std::memcpy(journalBuf.data() + at + 8, pre.data.data(),
+                dbPageBytes);
+}
+
+void
+MiniDb::commitTxn()
+{
+    file->preImageHook = nullptr;
+    if (file->dirtyPages().empty())
+        return;
+
+    // 1. Sequential journal write + header: the commit mark (one
+    //    buffered write plus the header, as sqlite does per fsync).
+    fsWrite(journalFd, dbPageBytes, journalBuf.data(),
+            journalBuf.size());
+    uint64_t hdr[2] = {0x4a524e4cu,
+                       journalBuf.size() / (8 + dbPageBytes)};
+    fsWrite(journalFd, 0, hdr, sizeof(hdr));
+    journalBuf.clear();
+    // 2. Write the dirty pages home.
+    file->flushDirty();
+    // 3. Invalidate the journal (sqlite "delete"s it; zeroing the
+    //    header is the journal_mode=PERSIST variant).
+    uint64_t zero[2] = {0, 0};
+    fsWrite(journalFd, 0, zero, sizeof(zero));
+}
+
+void
+MiniDb::put(const std::string &key, const void *value, uint32_t len)
+{
+    core.spend(costs.readCompute);
+    core.spend(costs.writeCompute);
+    beginTxn();
+    btree->put(BtKey::fromString(key), value, len);
+    commitTxn();
+}
+
+void
+MiniDb::lockProbe()
+{
+    // sqlite in rollback-journal mode takes a shared lock and checks
+    // for a hot journal on every read transaction: two small file
+    // operations through the FS server.
+    uint64_t hdr[2];
+    FsServer::clientRead(transport, core, client, fsSvc, journalFd, 0,
+                         hdr, sizeof(hdr));
+}
+
+std::optional<std::vector<uint8_t>>
+MiniDb::get(const std::string &key)
+{
+    core.spend(costs.readCompute);
+    lockProbe();
+    return btree->get(BtKey::fromString(key));
+}
+
+uint32_t
+MiniDb::scan(const std::string &key, uint32_t limit)
+{
+    core.spend(costs.readCompute);
+    lockProbe();
+    uint64_t checksum = 0;
+    uint32_t n = btree->scan(
+        BtKey::fromString(key), limit,
+        [&](const BtKey &, const uint8_t *val, uint32_t len) {
+            core.spend(costs.scanPerRecord);
+            // Touch the record like a row decoder would.
+            for (uint32_t i = 0; i < len; i += 64)
+                checksum += val[i];
+        });
+    (void)checksum;
+    return n;
+}
+
+void
+MiniDb::readModifyWrite(const std::string &key, uint8_t delta)
+{
+    auto value = get(key);
+    if (!value)
+        return;
+    for (auto &b : *value)
+        b = uint8_t(b + delta);
+    put(key, value->data(), uint32_t(value->size()));
+}
+
+} // namespace xpc::apps

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * MiniDb: the embedded, journaled relational-style store standing in
+ * for Sqlite3 in the paper's Figure 1 / Figure 8 experiments. It
+ * lives in the client process, keeps its table in a B+tree over a
+ * paged database file on the FS server, and wraps every mutation in
+ * a rollback-journal transaction (journal pre-images, header commit,
+ * page write-back, header clear - sqlite's classic journal mode),
+ * all through real IPC.
+ */
+
+#ifndef XPC_APPS_MINIDB_MINIDB_HH
+#define XPC_APPS_MINIDB_MINIDB_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apps/minidb/btree.hh"
+
+namespace xpc::apps {
+
+/** Compute-cost model of the query layer (parse/plan/execute). */
+struct MiniDbCosts
+{
+    /** Per-point-query compute (sqlite parse + btree walk logic). */
+    Cycles readCompute{14000};
+    /** Per-update compute on top of the read path. */
+    Cycles writeCompute{140000};
+    /** Per-record compute during scans. */
+    Cycles scanPerRecord{2000};
+};
+
+/** The database. */
+class MiniDb
+{
+  public:
+    /**
+     * Create (or overwrite) database @p name on the FS service.
+     * @param cache_pages sqlite-style page cache capacity
+     */
+    MiniDb(core::Transport &transport, hw::Core &core,
+           kernel::Thread &client, core::ServiceId fs_svc,
+           const std::string &name, uint32_t cache_pages = 64);
+
+    MiniDbCosts costs;
+
+    /** Insert or update one record (journaled transaction). */
+    void put(const std::string &key, const void *value, uint32_t len);
+
+    /** Point lookup. */
+    std::optional<std::vector<uint8_t>> get(const std::string &key);
+
+    /** Range scan of up to @p limit records from @p key. */
+    uint32_t scan(const std::string &key, uint32_t limit);
+
+    /** Read-modify-write (YCSB-F's workhorse). */
+    void readModifyWrite(const std::string &key, uint8_t delta);
+
+    BTree &tree() { return *btree; }
+    PagedFile &pager() { return *file; }
+
+    Counter transactions;
+    Counter journalPages;
+
+  private:
+    core::Transport &transport;
+    hw::Core &core;
+    kernel::Thread &client;
+    core::ServiceId fsSvc;
+    std::unique_ptr<PagedFile> file;
+    std::unique_ptr<BTree> btree;
+    int64_t journalFd = -1;
+    /** Buffered journal records of the open transaction. */
+    std::vector<uint8_t> journalBuf;
+
+    void lockProbe();
+    void beginTxn();
+    void commitTxn();
+    void journalAppend(uint32_t page_no, const DbPage &pre);
+    int64_t fsWrite(int64_t fd, uint64_t off, const void *src,
+                    uint64_t len);
+};
+
+} // namespace xpc::apps
+
+#endif // XPC_APPS_MINIDB_MINIDB_HH

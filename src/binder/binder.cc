@@ -1,0 +1,361 @@
+#include "binder.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace xpc::binder {
+
+const char *
+binderModeName(BinderMode mode)
+{
+    switch (mode) {
+      case BinderMode::Baseline:
+        return "Binder";
+      case BinderMode::XpcCall:
+        return "Binder-XPC";
+      case BinderMode::XpcAshmem:
+        return "Ashmem-XPC";
+    }
+    return "unknown";
+}
+
+BinderSystem::BinderSystem(kernel::Kernel &kernel,
+                           core::XpcRuntime *runtime, BinderMode mode)
+    : kern(kernel), rt(runtime), binderMode(mode)
+{
+    panic_if(mode != BinderMode::Baseline && !runtime,
+             "XPC Binder modes need an XpcRuntime");
+    kernelBuf = kern.machine().allocator().allocFrames(
+        params.maxTransaction / pageSize);
+    panic_if(kernelBuf == 0, "out of memory for the binder buffer");
+}
+
+uint64_t
+BinderSystem::addService(const std::string &name,
+                         kernel::Thread &server_thread,
+                         TransactHandler handler)
+{
+    Service svc;
+    svc.name = name;
+    svc.server = &server_thread;
+    svc.handler = std::move(handler);
+    // The driver mmaps a per-process buffer area into the target.
+    svc.txnBufVa = server_thread.process()->alloc(params.maxTransaction);
+
+    if (binderMode == BinderMode::XpcCall) {
+        // The modified framework adds an x-entry for the service
+        // (add_x-entry ioctl, paper Figure 4).
+        uint64_t id = services.size();
+        svc.xEntryId = rt->registerEntry(
+            server_thread, server_thread,
+            [this, id](core::XpcServerCall &call) {
+                Service &s = services.at(id);
+                // Unmarshal the parcel out of the relay segment.
+                std::vector<uint8_t> raw(call.requestLen());
+                call.readMsg(0, raw.data(), raw.size());
+                BinderTxn txn(*this, call.core(),
+                              uint32_t(call.opcode()),
+                              Parcel(std::move(raw)));
+                s.handler(txn);
+                // Marshal the reply back into the segment, in place.
+                const auto &reply = txn.replyParcel.data();
+                if (!reply.empty())
+                    call.writeMsg(0, reply.data(), reply.size());
+                call.setReplyLen(reply.size());
+            },
+            4);
+    }
+
+    services.push_back(std::move(svc));
+    return services.size() - 1;
+}
+
+uint64_t
+BinderSystem::getService(kernel::Thread &client,
+                         const std::string &name)
+{
+    for (uint64_t handle = 0; handle < services.size(); handle++) {
+        if (services[handle].name != name)
+            continue;
+        if (binderMode == BinderMode::XpcCall) {
+            // The framework issues set_xcap for this client.
+            Service &svc = services[handle];
+            if (client.linkStack == 0)
+                rt->manager().initThread(client);
+            rt->manager().grantXcallCap(*svc.server, client,
+                                        svc.xEntryId);
+        }
+        return handle;
+    }
+    fatal("no binder service named '%s'", name.c_str());
+}
+
+TxnOutcome
+BinderSystem::transact(hw::Core &core, kernel::Thread &client,
+                       uint64_t handle, uint32_t code,
+                       const Parcel &data)
+{
+    panic_if(handle >= services.size(), "bad binder handle %lu",
+             (unsigned long)handle);
+    panic_if(data.size() > params.maxTransaction,
+             "transaction exceeds the binder buffer limit");
+    transactions.inc();
+    Service &svc = services[handle];
+    if (binderMode == BinderMode::XpcCall)
+        return transactXpc(core, client, svc, code, data);
+    return transactBaseline(core, client, svc, code, data);
+}
+
+TxnOutcome
+BinderSystem::transactBaseline(hw::Core &core, kernel::Thread &client,
+                               Service &svc, uint32_t code,
+                               const Parcel &data)
+{
+    TxnOutcome out;
+    Cycles start = core.now();
+
+    // Client framework: marshal the parcel into the user-space
+    // transaction buffer.
+    core.spend(params.framework);
+    VAddr &client_buf = stagingBufs[client.id()];
+    if (client_buf == 0)
+        client_buf = client.process()->alloc(params.maxTransaction);
+    auto w = kern.userWrite(core, *client.process(), client_buf,
+                            data.data().data(), data.size());
+    panic_if(!w.ok, "client parcel staging faulted");
+
+    // ioctl(BINDER_WRITE_READ): copy_from_user into the kernel.
+    kern.trapEnter(core);
+    core.spend(params.ioctlConst);
+    {
+        std::vector<uint8_t> stage(data.size());
+        auto r = kern.userRead(core, *client.process(), client_buf,
+                               stage.data(), stage.size());
+        panic_if(!r.ok, "copy_from_user faulted");
+        core.spend(kern.machine().mem().writePhys(
+            core.id(), kernelBuf, stage.data(), stage.size()));
+        bytesCopied.inc(stage.size());
+    }
+    core.spend(params.driverLogic);
+
+    // Wake the target's binder thread and copy_to_user there.
+    core.spend(params.wakeup);
+    kern.setCurrent(core.id(), svc.server);
+    {
+        std::vector<uint8_t> stage(data.size());
+        core.spend(kern.machine().mem().readPhys(
+            core.id(), kernelBuf, stage.data(), stage.size()));
+        auto w2 = kern.userWrite(core, *svc.server->process(),
+                                 svc.txnBufVa, stage.data(),
+                                 stage.size());
+        panic_if(!w2.ok, "copy_to_user faulted");
+        bytesCopied.inc(stage.size());
+    }
+    kern.trapExit(core);
+
+    // Server framework: unmarshal and dispatch onTransact.
+    core.spend(params.framework);
+    std::vector<uint8_t> raw(data.size());
+    auto r2 = kern.userRead(core, *svc.server->process(), svc.txnBufVa,
+                            raw.data(), raw.size());
+    panic_if(!r2.ok, "server parcel read faulted");
+
+    Parcel received(std::move(raw));
+    BinderTxn txn(*this, core, code, std::move(received));
+    receiveAshmem(core, txn, *svc.server, data);
+    svc.handler(txn);
+
+    // Reply direction: mirror image through the driver.
+    const auto &reply = txn.replyParcel.data();
+    kern.trapEnter(core);
+    core.spend(params.ioctlConst);
+    if (!reply.empty()) {
+        core.spend(kern.machine().mem().writePhys(
+            core.id(), kernelBuf, reply.data(), reply.size()));
+        bytesCopied.inc(reply.size());
+    }
+    core.spend(params.driverLogic);
+    core.spend(params.wakeup);
+    kern.setCurrent(core.id(), &client);
+    if (!reply.empty()) {
+        std::vector<uint8_t> stage(reply.size());
+        core.spend(kern.machine().mem().readPhys(
+            core.id(), kernelBuf, stage.data(), stage.size()));
+        auto w3 = kern.userWrite(core, *client.process(), client_buf,
+                                 stage.data(), stage.size());
+        panic_if(!w3.ok, "reply copy_to_user faulted");
+        bytesCopied.inc(reply.size());
+    }
+    kern.trapExit(core);
+    core.spend(params.framework);
+
+    out.ok = true;
+    out.reply = txn.replyParcel;
+    out.latency = core.now() - start;
+    return out;
+}
+
+TxnOutcome
+BinderSystem::transactXpc(hw::Core &core, kernel::Thread &client,
+                          Service &svc, uint32_t code,
+                          const Parcel &data)
+{
+    TxnOutcome out;
+    if (client.linkStack == 0)
+        rt->manager().initThread(client);
+
+    // Ensure the client's relay segment fits the parcel.
+    auto it = clientSegs.find(client.id());
+    if (it == clientSegs.end() || it->second.len < data.size()) {
+        uint64_t len = std::max<uint64_t>(data.size(), 64 * 1024);
+        core::RelaySegHandle seg =
+            rt->allocRelayMem(core, client, len);
+        clientSegs[client.id()] = seg;
+    } else {
+        rt->ensureInstalled(core, client);
+    }
+
+    Cycles start = core.now();
+    // The modified framework marshals straight into the segment:
+    // only a thin dispatch layer remains.
+    core.spend(Cycles(120));
+    rt->segWrite(core, 0, data.data().data(), data.size());
+
+    auto call = rt->call(core, client, svc.xEntryId, code,
+                         data.size());
+    panic_if(!call.ok, "binder xcall failed (%s)",
+             engine::xpcExceptionName(call.exc));
+
+    std::vector<uint8_t> reply_raw(call.replyLen);
+    if (call.replyLen > 0)
+        rt->segRead(core, 0, reply_raw.data(), reply_raw.size());
+    core.spend(Cycles(120));
+
+    out.ok = true;
+    out.reply = Parcel(std::move(reply_raw));
+    out.latency = core.now() - start;
+    return out;
+}
+
+AshmemRegion
+BinderSystem::ashmemCreate(hw::Core &core, kernel::Thread &owner,
+                           uint64_t size)
+{
+    AshmemBacking backing;
+    backing.size = pageAlignUp(size);
+
+    if (binderMode == BinderMode::Baseline) {
+        backing.phys = kern.machine().allocator().allocFrames(
+            backing.size / pageSize);
+        fatal_if(backing.phys == 0, "out of memory for ashmem");
+        backing.window = mem::SegWindow{
+            true, uint64_t(0x40) << 32, backing.phys, backing.size,
+            true, true};
+    } else {
+        // ashmem allocation = relay segment (paper 4.3).
+        if (owner.linkStack == 0)
+            rt->manager().initThread(owner);
+        kernel::RelaySeg seg = rt->manager().allocRelaySeg(
+            &core, *owner.process(), backing.size,
+            engine::segListCapacity - 1 - (nextFd % 32));
+        backing.segId = seg.segId;
+        backing.window = mem::SegWindow{true, seg.va, seg.pa,
+                                        seg.len, true, true};
+    }
+
+    AshmemRegion region{nextFd++, backing.size};
+    ashmems[region.fd] = backing;
+    return region;
+}
+
+void
+BinderSystem::ashmemWrite(hw::Core &core, const AshmemRegion &region,
+                          uint64_t off, const void *src, uint64_t len)
+{
+    auto it = ashmems.find(region.fd);
+    panic_if(it == ashmems.end(), "bad ashmem fd %lu",
+             (unsigned long)region.fd);
+    panic_if(off + len > it->second.size, "ashmem write out of range");
+    mem::TransContext ctx;
+    ctx.seg = &it->second.window;
+    auto res = kern.machine().mem().write(
+        core.id(), ctx, it->second.window.vaBase + off, src, len);
+    panic_if(!res.ok, "ashmem write faulted");
+    core.spend(res.cycles);
+}
+
+void
+BinderSystem::ashmemRead(hw::Core &core, const AshmemRegion &region,
+                         uint64_t off, void *dst, uint64_t len)
+{
+    auto it = ashmems.find(region.fd);
+    panic_if(it == ashmems.end(), "bad ashmem fd %lu",
+             (unsigned long)region.fd);
+    panic_if(off + len > it->second.size, "ashmem read out of range");
+    mem::TransContext ctx;
+    ctx.seg = &it->second.window;
+    auto res = kern.machine().mem().read(
+        core.id(), ctx, it->second.window.vaBase + off, dst, len);
+    panic_if(!res.ok, "ashmem read faulted");
+    core.spend(res.cycles);
+}
+
+void
+BinderSystem::receiveAshmem(hw::Core &core, BinderTxn &txn,
+                            kernel::Thread &server, const Parcel &data)
+{
+    for (uint64_t off : data.fdOffsets()) {
+        uint64_t fd;
+        std::memcpy(&fd, data.data().data() + off, sizeof(fd));
+        auto it = ashmems.find(fd);
+        panic_if(it == ashmems.end(),
+                 "transaction carries an unknown ashmem fd");
+        AshmemBacking &backing = it->second;
+
+        if (binderMode == BinderMode::Baseline) {
+            // Conventional shared memory still needs a defensive
+            // copy to dodge TOCTTOU (paper 4.3).
+            VAddr &priv = defensiveCopies[{server.id(), fd}];
+            if (priv == 0)
+                priv = server.process()->alloc(backing.size);
+
+            std::vector<uint8_t> stage(backing.size);
+            mem::TransContext src_ctx;
+            src_ctx.seg = &backing.window;
+            auto r = kern.machine().mem().read(
+                core.id(), src_ctx, backing.window.vaBase,
+                stage.data(), stage.size());
+            panic_if(!r.ok, "ashmem defensive read faulted");
+            core.spend(r.cycles);
+            auto w = kern.userWrite(core, *server.process(), priv,
+                                    stage.data(), stage.size());
+            panic_if(!w.ok, "ashmem defensive write faulted");
+            bytesCopied.inc(stage.size());
+            txn.privateCopies[fd] = priv;
+        } else {
+            // Relay-segment ashmem: ownership moves with the
+            // transaction; the driver only updates seg bookkeeping.
+            core.spend(Cycles(40));
+        }
+    }
+}
+
+void
+BinderTxn::readAshmem(const AshmemRegion &region, uint64_t off,
+                      void *dst, uint64_t len)
+{
+    auto priv = privateCopies.find(region.fd);
+    if (priv != privateCopies.end()) {
+        // Baseline: read the defensive private copy.
+        kernel::Thread *server = owner.kern.current(coreRef.id());
+        panic_if(!server, "no current thread for ashmem read");
+        auto r = owner.kern.userRead(coreRef, *server->process(),
+                                     priv->second + off, dst, len);
+        panic_if(!r.ok, "private ashmem read faulted");
+        return;
+    }
+    owner.ashmemRead(coreRef, region, off, dst, len);
+}
+
+} // namespace xpc::binder

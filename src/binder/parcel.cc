@@ -1,0 +1,110 @@
+#include "parcel.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace xpc::binder {
+
+void
+Parcel::append(const void *data, uint64_t len)
+{
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    buffer.insert(buffer.end(), bytes, bytes + len);
+}
+
+void
+Parcel::pad4()
+{
+    while (buffer.size() % 4 != 0)
+        buffer.push_back(0);
+}
+
+void
+Parcel::take(void *dst, uint64_t len)
+{
+    panic_if(readPos + len > buffer.size(), "parcel underflow");
+    std::memcpy(dst, buffer.data() + readPos, len);
+    readPos += len;
+}
+
+void
+Parcel::writeInt32(int32_t value)
+{
+    append(&value, sizeof(value));
+}
+
+void
+Parcel::writeInt64(int64_t value)
+{
+    append(&value, sizeof(value));
+}
+
+void
+Parcel::writeString(const std::string &value)
+{
+    writeInt32(int32_t(value.size()));
+    append(value.data(), value.size());
+    pad4();
+}
+
+void
+Parcel::writeBlob(const void *data, uint64_t len)
+{
+    writeInt64(int64_t(len));
+    append(data, len);
+    pad4();
+}
+
+void
+Parcel::writeFileDescriptor(uint64_t fd)
+{
+    fdOffs.push_back(buffer.size());
+    writeInt64(int64_t(fd));
+}
+
+int32_t
+Parcel::readInt32()
+{
+    int32_t value;
+    take(&value, sizeof(value));
+    return value;
+}
+
+int64_t
+Parcel::readInt64()
+{
+    int64_t value;
+    take(&value, sizeof(value));
+    return value;
+}
+
+std::string
+Parcel::readString()
+{
+    int32_t len = readInt32();
+    panic_if(len < 0, "negative string length in parcel");
+    std::string out(size_t(len), 0);
+    take(out.data(), uint64_t(len));
+    readPos = (readPos + 3) & ~uint64_t(3);
+    return out;
+}
+
+std::vector<uint8_t>
+Parcel::readBlob()
+{
+    int64_t len = readInt64();
+    panic_if(len < 0, "negative blob length in parcel");
+    std::vector<uint8_t> out(static_cast<size_t>(len), uint8_t(0));
+    take(out.data(), uint64_t(len));
+    readPos = (readPos + 3) & ~uint64_t(3);
+    return out;
+}
+
+uint64_t
+Parcel::readFileDescriptor()
+{
+    return uint64_t(readInt64());
+}
+
+} // namespace xpc::binder

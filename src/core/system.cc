@@ -1,0 +1,91 @@
+#include "system.hh"
+
+#include "sim/logging.hh"
+
+namespace xpc::core {
+
+const char *
+systemFlavorName(SystemFlavor flavor)
+{
+    switch (flavor) {
+      case SystemFlavor::Sel4TwoCopy:
+        return "seL4-twocopy";
+      case SystemFlavor::Sel4OneCopy:
+        return "seL4-onecopy";
+      case SystemFlavor::Sel4Xpc:
+        return "seL4-XPC";
+      case SystemFlavor::Zircon:
+        return "Zircon";
+      case SystemFlavor::ZirconXpc:
+        return "Zircon-XPC";
+    }
+    return "unknown";
+}
+
+bool
+System::usesXpc() const
+{
+    return opts.flavor == SystemFlavor::Sel4Xpc ||
+           opts.flavor == SystemFlavor::ZirconXpc;
+}
+
+System::System(const SystemOptions &options) : opts(options)
+{
+    mach = std::make_unique<hw::Machine>(opts.machine);
+
+    switch (opts.flavor) {
+      case SystemFlavor::Sel4TwoCopy:
+      case SystemFlavor::Sel4OneCopy:
+      case SystemFlavor::Sel4Xpc: {
+        auto k = std::make_unique<kernel::Sel4Kernel>(*mach);
+        sel4Ptr = k.get();
+        kernelPtr = std::move(k);
+        break;
+      }
+      case SystemFlavor::Zircon:
+      case SystemFlavor::ZirconXpc: {
+        auto k = std::make_unique<kernel::ZirconKernel>(*mach);
+        zirconPtr = k.get();
+        kernelPtr = std::move(k);
+        break;
+      }
+    }
+
+    enginePtr =
+        std::make_unique<engine::XpcEngine>(*mach, opts.engineOpts);
+    managerPtr =
+        std::make_unique<kernel::XpcManager>(*kernelPtr, *enginePtr);
+    runtimePtr = std::make_unique<XpcRuntime>(*kernelPtr, *managerPtr,
+                                              opts.runtimeOpts);
+
+    switch (opts.flavor) {
+      case SystemFlavor::Sel4TwoCopy:
+        transportPtr = std::make_unique<Sel4Transport>(
+            *sel4Ptr, kernel::LongMsgMode::TwoCopy);
+        break;
+      case SystemFlavor::Sel4OneCopy:
+        transportPtr = std::make_unique<Sel4Transport>(
+            *sel4Ptr, kernel::LongMsgMode::OneCopy);
+        break;
+      case SystemFlavor::Zircon:
+        transportPtr = std::make_unique<ZirconTransport>(*zirconPtr);
+        break;
+      case SystemFlavor::Sel4Xpc:
+      case SystemFlavor::ZirconXpc:
+        transportPtr = std::make_unique<XpcTransport>(*runtimePtr);
+        break;
+    }
+}
+
+kernel::Thread &
+System::spawn(const std::string &name, CoreId core_id)
+{
+    kernel::Process &p = kernelPtr->createProcess(name);
+    kernel::Thread &t = kernelPtr->createThread(p, core_id);
+    managerPtr->initThread(t);
+    if (!kernelPtr->current(core_id))
+        managerPtr->installThread(mach->core(core_id), t);
+    return t;
+}
+
+} // namespace xpc::core

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * One-stop assembly of a simulated system under test: machine,
+ * kernel personality, XPC engine + manager + runtime, and the
+ * transport that services should run on. Benches, tests and examples
+ * build a System and wire services to its transport.
+ */
+
+#ifndef XPC_CORE_SYSTEM_HH
+#define XPC_CORE_SYSTEM_HH
+
+#include <memory>
+
+#include "core/transport_sel4.hh"
+#include "core/transport_xpc.hh"
+#include "core/transport_zircon.hh"
+#include "core/xpc_runtime.hh"
+#include "hw/machine.hh"
+
+namespace xpc::core {
+
+/** The five system configurations of the paper's evaluation. */
+enum class SystemFlavor
+{
+    Sel4TwoCopy, ///< seL4, shared memory with safe two-copy discipline
+    Sel4OneCopy, ///< seL4, shared memory, one copy (TOCTTOU-prone)
+    Sel4Xpc,     ///< seL4 ported to XPC
+    Zircon,      ///< Zircon channels, kernel twofold copy
+    ZirconXpc,   ///< Zircon ported to XPC
+};
+
+/** @return a printable name for @p flavor. */
+const char *systemFlavorName(SystemFlavor flavor);
+
+/** Construction options for a System. */
+struct SystemOptions
+{
+    hw::MachineConfig machine;
+    SystemFlavor flavor = SystemFlavor::Sel4Xpc;
+    engine::XpcEngineOptions engineOpts{};
+    XpcRuntimeOptions runtimeOpts{};
+
+    SystemOptions() : machine(hw::rocketU500()) {}
+};
+
+/** A fully wired simulated system. */
+class System
+{
+  public:
+    explicit System(const SystemOptions &options = SystemOptions());
+
+    SystemFlavor flavor() const { return opts.flavor; }
+    bool usesXpc() const;
+
+    hw::Machine &machine() { return *mach; }
+    hw::Core &core(CoreId id = 0) { return mach->core(id); }
+    kernel::Kernel &kern() { return *kernelPtr; }
+    kernel::Sel4Kernel *sel4() { return sel4Ptr; }
+    kernel::ZirconKernel *zircon() { return zirconPtr; }
+    engine::XpcEngine &engine() { return *enginePtr; }
+    kernel::XpcManager &manager() { return *managerPtr; }
+    XpcRuntime &runtime() { return *runtimePtr; }
+    Transport &transport() { return *transportPtr; }
+
+    /** Create a process plus one thread homed on @p core_id. */
+    kernel::Thread &spawn(const std::string &name, CoreId core_id = 0);
+
+  private:
+    SystemOptions opts;
+    std::unique_ptr<hw::Machine> mach;
+    std::unique_ptr<kernel::Kernel> kernelPtr;
+    kernel::Sel4Kernel *sel4Ptr = nullptr;
+    kernel::ZirconKernel *zirconPtr = nullptr;
+    std::unique_ptr<engine::XpcEngine> enginePtr;
+    std::unique_ptr<kernel::XpcManager> managerPtr;
+    std::unique_ptr<XpcRuntime> runtimePtr;
+    std::unique_ptr<Transport> transportPtr;
+};
+
+} // namespace xpc::core
+
+#endif // XPC_CORE_SYSTEM_HH

@@ -1,0 +1,52 @@
+#include "transport.hh"
+
+#include "sim/logging.hh"
+
+namespace xpc::core {
+
+uint64_t
+Transport::scratchCall(hw::Core &core, kernel::Thread &caller,
+                       bool in_handler, ServiceId svc, uint64_t opcode,
+                       const void *req, uint64_t req_len, void *reply,
+                       uint64_t reply_cap)
+{
+    (void)in_handler;
+    clientWrite(core, caller, 0, req, req_len);
+    CallResult r = call(core, caller, svc, opcode, req_len,
+                        std::max(req_len, reply_cap));
+    panic_if(!r.ok, "scratch call failed");
+    uint64_t rlen = std::min<uint64_t>(r.replyLen, reply_cap);
+    if (rlen > 0)
+        clientRead(core, caller, 0, reply, rlen);
+    return rlen;
+}
+
+uint64_t
+Transport::negotiatedAppend(ServiceId svc) const
+{
+    const ServiceDesc &d = describe(svc);
+    uint64_t deepest = 0;
+    for (ServiceId callee : d.callees)
+        deepest = std::max(deepest, negotiatedAppend(callee));
+    return d.selfAppendBytes + deepest;
+}
+
+ServiceId
+Transport::lookup(const std::string &name) const
+{
+    for (ServiceId id = 0; id < descs.size(); id++) {
+        if (descs[id].name == name)
+            return id;
+    }
+    fatal("no service named '%s'", name.c_str());
+}
+
+const ServiceDesc &
+Transport::describe(ServiceId svc) const
+{
+    panic_if(svc >= descs.size(), "no such service %lu",
+             (unsigned long)svc);
+    return descs[svc];
+}
+
+} // namespace xpc::core

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Transport abstraction: one service implementation, five systems.
+ *
+ * Services (file system, network stack, crypto, ...) are written
+ * against ServerApi/Transport and run unmodified over seL4 endpoint
+ * IPC (one-copy or two-copy shared memory), Zircon channels, or XPC
+ * relay segments. The transport defines where message bytes live and
+ * what moving them costs, which is precisely the variable the paper's
+ * evaluation isolates.
+ *
+ * Client-side protocol:
+ *   1. requestArea(core, client, len) - make room for a message;
+ *   2. clientWrite(...)               - produce the request bytes;
+ *   3. call(...)                      - synchronous invocation;
+ *   4. clientRead(...)                - consume the reply bytes
+ *      (offsets are message-area-absolute: a reply may legitimately
+ *      sit at a protocol-defined offset, which is how XPC's in-place
+ *      zero-copy replies stay zero-copy).
+ *
+ * Server-side handover: callService() forwards a sub-range of the
+ * current request to another service. On XPC this is seg-mask plus
+ * xcall (no copies, paper 4.4); on the baselines it is real copying
+ * between per-hop buffers.
+ */
+
+#ifndef XPC_CORE_TRANSPORT_HH
+#define XPC_CORE_TRANSPORT_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hh"
+
+namespace xpc::core {
+
+using ServiceId = uint64_t;
+
+/** The server's transport-independent view of one invocation. */
+class ServerApi
+{
+  public:
+    virtual ~ServerApi() = default;
+
+    virtual uint64_t opcode() const = 0;
+    virtual uint64_t requestLen() const = 0;
+
+    /** Charged read of request bytes. */
+    virtual void readRequest(uint64_t off, void *dst, uint64_t len) = 0;
+    /** Charged in-place update of the request message (used to stage
+     *  data a later callService will forward). */
+    virtual void writeRequest(uint64_t off, const void *src,
+                              uint64_t len) = 0;
+    /** Charged write of reply bytes (message-area-absolute offset). */
+    virtual void writeReply(uint64_t off, const void *src,
+                            uint64_t len) = 0;
+    virtual void setReplyLen(uint64_t len) = 0;
+
+    /**
+     * Forward [@p off, @p off + @p len) of this request to @p svc.
+     * On return the same range holds the nested reply.
+     * @param req_len meaningful request bytes within the window (the
+     *        rest is reply headroom); baselines copy only these
+     *        forward. 0 means the whole window.
+     * @return the nested reply length.
+     */
+    virtual uint64_t callService(ServiceId svc, uint64_t opcode,
+                                 uint64_t off, uint64_t len,
+                                 uint64_t req_len = 0) = 0;
+
+    /**
+     * Declare the reply to be the request sub-range
+     * [@p off, @p off + @p len) - free on XPC, a copy elsewhere.
+     */
+    virtual void replyFromRequest(uint64_t off, uint64_t len) = 0;
+
+    /**
+     * Call @p svc with a request unrelated to the current message
+     * (e.g. the file system flushing a cache block to the disk
+     * server). The request bytes come from host-visible state that
+     * was already charged when produced; the transport charges the
+     * produce into its own scratch message area (a swapseg'd relay
+     * segment on XPC, a private buffer elsewhere - prepare it at
+     * wiring time with Transport::prepareScratch).
+     * @return the nested reply length; reply bytes land in @p reply.
+     */
+    virtual uint64_t callServiceScratch(ServiceId svc, uint64_t opcode,
+                                        const void *req,
+                                        uint64_t req_len, void *reply,
+                                        uint64_t reply_cap) = 0;
+
+    virtual hw::Core &core() = 0;
+
+    /**
+     * The calling thread, when the substrate can identify it (the
+     * kernel's IPC partner on seL4/Zircon; the xcall-cap-reg mapped
+     * back through the kernel's thread table on XPC). May be null
+     * for anonymous callers.
+     */
+    virtual kernel::Thread *callerThread() = 0;
+};
+
+/** Handler signature shared by all services. */
+using ServiceHandler = std::function<void(ServerApi &)>;
+
+/** Static description of a service at registration time. */
+struct ServiceDesc
+{
+    std::string name;
+    kernel::Thread *handlerThread = nullptr;
+    uint32_t maxContexts = 4;
+    uint64_t maxMsgBytes = 256 * 1024;
+    /** Bytes this service may append to a forwarded message
+     *  (S_self of the paper's size negotiation, 4.4). */
+    uint64_t selfAppendBytes = 0;
+    /** Services this one forwards to (for size negotiation). */
+    std::vector<ServiceId> callees;
+};
+
+/** Outcome of a client call. */
+struct CallResult
+{
+    bool ok = false;
+    uint64_t replyLen = 0;
+    Cycles oneWay;
+    Cycles roundTrip;
+    /** Cycles inside the server handler (roundTrip minus these is
+     *  the pure IPC overhead the paper's Figure 1 isolates). */
+    Cycles handlerCycles;
+};
+
+/** One IPC substrate (seL4 / Zircon / XPC). */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    virtual const char *name() const = 0;
+
+    /** The kernel this transport's processes live in. */
+    virtual kernel::Kernel &kernelRef() = 0;
+
+    /** Register a service; the handler runs per invocation. */
+    virtual ServiceId registerService(const ServiceDesc &desc,
+                                      ServiceHandler handler) = 0;
+
+    /** Authorize @p client (possibly a server thread) to call @p svc. */
+    virtual void connect(kernel::Thread &client, ServiceId svc) = 0;
+
+    /**
+     * Ensure the client has a message area of at least @p len bytes
+     * and return its VA (diagnostic; access goes via clientWrite /
+     * clientRead so it is charged and mode-correct).
+     */
+    virtual VAddr requestArea(hw::Core &core, kernel::Thread &client,
+                              uint64_t len) = 0;
+
+    /** Charged produce into the message area. */
+    virtual void clientWrite(hw::Core &core, kernel::Thread &client,
+                             uint64_t off, const void *src,
+                             uint64_t len) = 0;
+
+    /** Charged consume of the reply. */
+    virtual void clientRead(hw::Core &core, kernel::Thread &client,
+                            uint64_t off, void *dst, uint64_t len) = 0;
+
+    /** Synchronous call; the request is the first @p req_len bytes of
+     *  the message area. */
+    virtual CallResult call(hw::Core &core, kernel::Thread &client,
+                            ServiceId svc, uint64_t opcode,
+                            uint64_t req_len, uint64_t reply_cap) = 0;
+
+    /**
+     * Give a *server* thread the scratch message area it needs to
+     * issue callServiceScratch from inside its handlers. Call once at
+     * wiring time, before any client traffic.
+     */
+    virtual void
+    prepareScratch(hw::Core &core, kernel::Thread &server, uint64_t len)
+    {
+        requestArea(core, server, len);
+    }
+
+    /**
+     * Transport-level scratch call (the engine behind
+     * ServerApi::callServiceScratch, also usable at wiring time with
+     * @p in_handler false). The default implementation produces into
+     * the caller's private message area and calls; XPC overrides it
+     * with a swapseg'd relay segment.
+     */
+    virtual uint64_t scratchCall(hw::Core &core, kernel::Thread &caller,
+                                 bool in_handler, ServiceId svc,
+                                 uint64_t opcode, const void *req,
+                                 uint64_t req_len, void *reply,
+                                 uint64_t reply_cap);
+
+    /**
+     * Message size negotiation (paper 4.4): total append headroom a
+     * client should reserve when calling @p svc, i.e. S_all(svc).
+     */
+    uint64_t negotiatedAppend(ServiceId svc) const;
+
+    /** Look up a registered service by name (simple name server). */
+    ServiceId lookup(const std::string &name) const;
+
+    const ServiceDesc &describe(ServiceId svc) const;
+
+  protected:
+    ServiceId
+    recordDesc(const ServiceDesc &desc)
+    {
+        descs.push_back(desc);
+        return descs.size() - 1;
+    }
+
+    std::vector<ServiceDesc> descs;
+};
+
+} // namespace xpc::core
+
+#endif // XPC_CORE_TRANSPORT_HH

@@ -1,0 +1,199 @@
+#include "transport_sel4.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace xpc::core {
+
+namespace {
+
+/** ServerApi adapter over a Sel4ServerCall. */
+class Sel4ServerApi : public ServerApi
+{
+  public:
+    Sel4ServerApi(Sel4Transport &tr, kernel::Sel4ServerCall &call)
+        : transport(tr), call(call)
+    {}
+
+    uint64_t opcode() const override { return call.opcode(); }
+    uint64_t requestLen() const override { return call.requestLen(); }
+
+    void
+    readRequest(uint64_t off, void *dst, uint64_t len) override
+    {
+        call.readRequest(off, dst, len);
+    }
+
+    void
+    writeRequest(uint64_t off, const void *src, uint64_t len) override
+    {
+        call.writeRequest(off, src, len);
+    }
+
+    void
+    writeReply(uint64_t off, const void *src, uint64_t len) override
+    {
+        call.writeReply(off, src, len);
+    }
+
+    void
+    setReplyLen(uint64_t len) override
+    {
+        call.setReplyLen(len);
+    }
+
+    uint64_t
+    callService(ServiceId svc, uint64_t op, uint64_t off,
+                uint64_t len, uint64_t req_len) override
+    {
+        if (req_len == 0)
+            req_len = len;
+        // Baseline handover: stage the sub-message into this server's
+        // own client buffer for the next hop (one copy), call, then
+        // copy the nested reply back in place (another copy).
+        kernel::Thread &me = call.serverThread();
+        hw::Core &c = call.core();
+        std::vector<uint8_t> stage(len);
+        call.readRequest(off, stage.data(), req_len);
+        transport.requestArea(c, me, len);
+        transport.clientWrite(c, me, 0, stage.data(), req_len);
+        CallResult r =
+            transport.call(c, me, svc, op, req_len, len);
+        panic_if(!r.ok, "nested seL4 call failed");
+        uint64_t rlen = std::min<uint64_t>(r.replyLen, len);
+        if (rlen > 0) {
+            transport.clientRead(c, me, 0, stage.data(), rlen);
+            call.writeRequest(off, stage.data(), rlen);
+        }
+        return rlen;
+    }
+
+    void
+    replyFromRequest(uint64_t off, uint64_t len) override
+    {
+        // The reply must materialize in the reply channel: a copy.
+        std::vector<uint8_t> stage(len);
+        call.readRequest(off, stage.data(), len);
+        call.writeReply(off, stage.data(), len);
+    }
+
+    uint64_t
+    callServiceScratch(ServiceId svc, uint64_t op, const void *req,
+                       uint64_t req_len, void *reply,
+                       uint64_t reply_cap) override
+    {
+        return transport.scratchCall(call.core(), call.serverThread(),
+                                     true, svc, op, req, req_len,
+                                     reply, reply_cap);
+    }
+
+    hw::Core &core() override { return call.core(); }
+
+    kernel::Thread *
+    callerThread() override
+    {
+        return call.callerThread();
+    }
+
+  private:
+    Sel4Transport &transport;
+    kernel::Sel4ServerCall &call;
+};
+
+} // namespace
+
+Sel4Transport::Sel4Transport(kernel::Sel4Kernel &kernel,
+                             kernel::LongMsgMode mode)
+    : kern(kernel), longMode(mode)
+{
+}
+
+ServiceId
+Sel4Transport::registerService(const ServiceDesc &desc,
+                               ServiceHandler handler)
+{
+    panic_if(!desc.handlerThread, "service needs a handler thread");
+    ServiceId id = recordDesc(desc);
+    uint64_t ep = kern.createEndpoint(
+        *desc.handlerThread,
+        [this, handler = std::move(handler)](
+            kernel::Sel4ServerCall &call) {
+            Sel4ServerApi api(*this, call);
+            handler(api);
+        });
+    endpointIds.push_back(ep);
+    return id;
+}
+
+void
+Sel4Transport::connect(kernel::Thread &client, ServiceId svc)
+{
+    kern.grantEndpointCap(client, endpointIds.at(svc));
+}
+
+Sel4Transport::Conn &
+Sel4Transport::connFor(kernel::Thread &client, uint64_t min_len)
+{
+    Conn &conn = conns[client.id()];
+    if (conn.len >= min_len && conn.reqVa != 0)
+        return conn;
+    if (conn.reqVa != 0) {
+        // Grow by replacing the buffers (contents not preserved).
+        client.process()->space().freeMap(conn.reqVa);
+        client.process()->space().freeMap(conn.replyVa);
+    }
+    uint64_t len = std::max<uint64_t>(min_len, 4096);
+    conn.reqVa = client.process()->alloc(len);
+    conn.replyVa = client.process()->alloc(len);
+    conn.len = len;
+    return conn;
+}
+
+VAddr
+Sel4Transport::requestArea(hw::Core &core, kernel::Thread &client,
+                           uint64_t len)
+{
+    (void)core;
+    return connFor(client, len).reqVa;
+}
+
+void
+Sel4Transport::clientWrite(hw::Core &core, kernel::Thread &client,
+                           uint64_t off, const void *src, uint64_t len)
+{
+    Conn &conn = connFor(client, off + len);
+    auto res = kern.userWrite(core, *client.process(),
+                              conn.reqVa + off, src, len);
+    panic_if(!res.ok, "client produce faulted");
+}
+
+void
+Sel4Transport::clientRead(hw::Core &core, kernel::Thread &client,
+                          uint64_t off, void *dst, uint64_t len)
+{
+    Conn &conn = connFor(client, off + len);
+    auto res = kern.userRead(core, *client.process(),
+                             conn.replyVa + off, dst, len);
+    panic_if(!res.ok, "client consume faulted");
+}
+
+CallResult
+Sel4Transport::call(hw::Core &core, kernel::Thread &client,
+                    ServiceId svc, uint64_t opcode, uint64_t req_len,
+                    uint64_t reply_cap)
+{
+    Conn &conn = connFor(client, std::max(req_len, reply_cap));
+    auto out = kern.call(core, client, endpointIds.at(svc), opcode,
+                         conn.reqVa, req_len, conn.replyVa,
+                         std::min(reply_cap, conn.len), longMode);
+    CallResult res;
+    res.ok = out.ok;
+    res.replyLen = out.replyLen;
+    res.oneWay = out.oneWay;
+    res.roundTrip = out.roundTrip;
+    res.handlerCycles = out.handlerCycles;
+    return res;
+}
+
+} // namespace xpc::core

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * seL4 transport in one-copy and two-copy shared-memory disciplines.
+ *
+ * Clients produce into a private request buffer; the kernel/userspace
+ * machinery of Sel4Kernel moves the bytes (registers, IPC buffer or
+ * shared memory depending on size); nested calls copy hop by hop.
+ */
+
+#ifndef XPC_CORE_TRANSPORT_SEL4_HH
+#define XPC_CORE_TRANSPORT_SEL4_HH
+
+#include "core/transport.hh"
+#include "kernel/sel4.hh"
+
+namespace xpc::core {
+
+/** Transport over Sel4Kernel endpoints. */
+class Sel4Transport : public Transport
+{
+  public:
+    Sel4Transport(kernel::Sel4Kernel &kernel, kernel::LongMsgMode mode);
+
+    kernel::Kernel &kernelRef() override { return kern; }
+
+    const char *
+    name() const override
+    {
+        return longMode == kernel::LongMsgMode::OneCopy ? "sel4-1copy"
+                                                        : "sel4-2copy";
+    }
+
+    ServiceId registerService(const ServiceDesc &desc,
+                              ServiceHandler handler) override;
+    void connect(kernel::Thread &client, ServiceId svc) override;
+    VAddr requestArea(hw::Core &core, kernel::Thread &client,
+                      uint64_t len) override;
+    void clientWrite(hw::Core &core, kernel::Thread &client,
+                     uint64_t off, const void *src,
+                     uint64_t len) override;
+    void clientRead(hw::Core &core, kernel::Thread &client,
+                    uint64_t off, void *dst, uint64_t len) override;
+    CallResult call(hw::Core &core, kernel::Thread &client,
+                    ServiceId svc, uint64_t opcode, uint64_t req_len,
+                    uint64_t reply_cap) override;
+
+    kernel::Sel4Kernel &sel4() { return kern; }
+    kernel::LongMsgMode mode() const { return longMode; }
+
+  private:
+    struct Conn
+    {
+        VAddr reqVa = 0;
+        VAddr replyVa = 0;
+        uint64_t len = 0;
+    };
+
+    kernel::Sel4Kernel &kern;
+    kernel::LongMsgMode longMode;
+    std::vector<uint64_t> endpointIds;
+    /** Per-client message buffers (shared across services: one
+     *  produce area per thread, like a libc staging buffer). */
+    std::map<kernel::ThreadId, Conn> conns;
+
+    Conn &connFor(kernel::Thread &client, uint64_t min_len);
+
+    friend class Sel4ServerApi;
+};
+
+} // namespace xpc::core
+
+#endif // XPC_CORE_TRANSPORT_SEL4_HH

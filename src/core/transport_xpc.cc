@@ -1,0 +1,231 @@
+#include "transport_xpc.hh"
+
+#include "sim/logging.hh"
+
+namespace xpc::core {
+
+namespace {
+
+/** ServerApi adapter over an XpcServerCall. */
+class XpcServerApi : public ServerApi
+{
+  public:
+    XpcServerApi(XpcTransport &tr, XpcServerCall &call)
+        : transport(tr), call(call)
+    {}
+
+    uint64_t opcode() const override { return call.opcode(); }
+    uint64_t requestLen() const override { return call.requestLen(); }
+
+    void
+    readRequest(uint64_t off, void *dst, uint64_t len) override
+    {
+        call.readMsg(off, dst, len);
+    }
+
+    void
+    writeRequest(uint64_t off, const void *src, uint64_t len) override
+    {
+        // Request and reply share the relay segment.
+        call.writeMsg(off, src, len);
+    }
+
+    void
+    writeReply(uint64_t off, const void *src, uint64_t len) override
+    {
+        call.writeMsg(off, src, len);
+    }
+
+    void
+    setReplyLen(uint64_t len) override
+    {
+        call.setReplyLen(len);
+    }
+
+    uint64_t
+    callService(ServiceId svc, uint64_t op, uint64_t off,
+                uint64_t len, uint64_t req_len) override
+    {
+        // Handover: seg-mask narrows the window; no bytes move.
+        auto out = call.callNested(transport.entryOf(svc), op, off,
+                                   len,
+                                   req_len == 0 ? len : req_len);
+        panic_if(!out.ok, "nested xcall failed (%s)",
+                 engine::xpcExceptionName(out.exc));
+        return out.replyLen;
+    }
+
+    void
+    replyFromRequest(uint64_t off, uint64_t len) override
+    {
+        // The data is already in the relay segment: free.
+        call.setReplyLen(off + len);
+    }
+
+    uint64_t
+    callServiceScratch(ServiceId svc, uint64_t op, const void *req,
+                       uint64_t req_len, void *reply,
+                       uint64_t reply_cap) override
+    {
+        return transport.scratchCall(call.core(),
+                                     call.handlerThread(), true, svc,
+                                     op, req, req_len, reply,
+                                     reply_cap);
+    }
+
+    hw::Core &core() override { return call.core(); }
+
+    kernel::Thread *
+    callerThread() override
+    {
+        return transport.runtime().manager().threadByCapBitmap(
+            call.callerCap());
+    }
+
+  private:
+    XpcTransport &transport;
+    XpcServerCall &call;
+};
+
+} // namespace
+
+XpcTransport::XpcTransport(XpcRuntime &runtime) : rt(runtime) {}
+
+ServiceId
+XpcTransport::registerService(const ServiceDesc &desc,
+                              ServiceHandler handler)
+{
+    panic_if(!desc.handlerThread, "service needs a handler thread");
+    ServiceId id = recordDesc(desc);
+    uint64_t entry = rt.registerEntry(
+        *desc.handlerThread, *desc.handlerThread,
+        [this, handler = std::move(handler)](XpcServerCall &call) {
+            XpcServerApi api(*this, call);
+            handler(api);
+        },
+        desc.maxContexts);
+    entryIds.push_back(entry);
+    creators.push_back(desc.handlerThread);
+    return id;
+}
+
+void
+XpcTransport::connect(kernel::Thread &client, ServiceId svc)
+{
+    if (client.linkStack == 0)
+        rt.manager().initThread(client);
+    rt.manager().grantXcallCap(*creators.at(svc), client,
+                               entryIds.at(svc));
+}
+
+VAddr
+XpcTransport::requestArea(hw::Core &core, kernel::Thread &client,
+                          uint64_t len)
+{
+    auto it = activeSeg.find(client.id());
+    if (it != activeSeg.end() && it->second.len >= len)
+        return it->second.va;
+
+    if (it != activeSeg.end()) {
+        // Grow by replacing: allocate a bigger segment (allocRelayMem
+        // swaps it in, parking the old one in the new slot), then
+        // retire the old segment. Its contents are not preserved.
+        RelaySegHandle old = it->second;
+        RelaySegHandle fresh = rt.allocRelayMem(core, client, len);
+        engine::RelaySegEntry empty;
+        engine::XpcEngine::writeSegListEntry(
+            rt.kernel().machine().phys(),
+            client.process()->space().segList(), fresh.slot, empty);
+        rt.manager().freeRelaySeg(*client.process(), old.segId);
+        activeSeg[client.id()] = fresh;
+        return fresh.va;
+    }
+    RelaySegHandle handle = rt.allocRelayMem(core, client, len);
+    activeSeg[client.id()] = handle;
+    return handle.va;
+}
+
+void
+XpcTransport::clientWrite(hw::Core &core, kernel::Thread &client,
+                          uint64_t off, const void *src, uint64_t len)
+{
+    (void)client;
+    rt.segWrite(core, off, src, len);
+}
+
+void
+XpcTransport::clientRead(hw::Core &core, kernel::Thread &client,
+                         uint64_t off, void *dst, uint64_t len)
+{
+    (void)client;
+    rt.segRead(core, off, dst, len);
+}
+
+void
+XpcTransport::prepareScratch(hw::Core &core, kernel::Thread &server,
+                             uint64_t len)
+{
+    if (scratchSegs.count(server.id()))
+        return;
+    RelaySegHandle handle = rt.allocRelayMem(core, server, len);
+    // Park it back into its seg-list slot; handlers swap it in.
+    auto exc = rt.engine().swapseg(core, handle.slot);
+    panic_if(exc != engine::XpcException::None,
+             "failed to park a scratch segment");
+    scratchSegs[server.id()] = handle;
+}
+
+uint64_t
+XpcTransport::scratchCall(hw::Core &core, kernel::Thread &caller,
+                          bool in_handler, ServiceId svc, uint64_t op,
+                          const void *req, uint64_t req_len,
+                          void *reply, uint64_t reply_cap)
+{
+    // Swap the currently active window out (inside a handler that is
+    // the caller's handed-over segment) and this thread's scratch
+    // segment in; restore before returning so the xret seg-reg check
+    // passes (paper 3.3).
+    const RelaySegHandle *segp = scratchFor(caller.id());
+    panic_if(!segp, "scratchCall without prepareScratch");
+    const RelaySegHandle &seg = *segp;
+    if (!in_handler)
+        rt.ensureInstalled(core, caller);
+
+    auto exc = rt.engine().swapseg(core, seg.slot);
+    panic_if(exc != engine::XpcException::None, "swapseg failed");
+    panic_if(core.csrs.segId != seg.segId,
+             "scratch slot held a different segment");
+    panic_if(req_len > seg.len, "scratch request too large");
+
+    rt.segWrite(core, 0, req, req_len);
+    auto out = rt.callCurrent(core, entryOf(svc), op, req_len);
+    panic_if(!out.ok, "scratch xcall failed (%s)",
+             engine::xpcExceptionName(out.exc));
+    uint64_t rlen = std::min<uint64_t>(out.replyLen, reply_cap);
+    if (rlen > 0)
+        rt.segRead(core, 0, reply, rlen);
+
+    exc = rt.engine().swapseg(core, seg.slot);
+    panic_if(exc != engine::XpcException::None,
+             "swapseg restore failed");
+    return rlen;
+}
+
+CallResult
+XpcTransport::call(hw::Core &core, kernel::Thread &client,
+                   ServiceId svc, uint64_t opcode, uint64_t req_len,
+                   uint64_t reply_cap)
+{
+    (void)reply_cap; // replies are in-place; capacity is the segment
+    XpcCallOutcome out =
+        rt.call(core, client, entryIds.at(svc), opcode, req_len);
+    CallResult res;
+    res.ok = out.ok;
+    res.replyLen = out.replyLen;
+    res.oneWay = out.oneWay;
+    res.roundTrip = out.roundTrip;
+    res.handlerCycles = out.handlerCycles;
+    return res;
+}
+
+} // namespace xpc::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The XPC transport: clients produce straight into a relay segment,
+ * xcall hands it over, servers reply in place, nested calls shrink
+ * the window with seg-mask. Zero copies end to end.
+ */
+
+#ifndef XPC_CORE_TRANSPORT_XPC_HH
+#define XPC_CORE_TRANSPORT_XPC_HH
+
+#include "core/transport.hh"
+#include "core/xpc_runtime.hh"
+
+namespace xpc::core {
+
+/** Transport running over the XPC engine (any kernel personality). */
+class XpcTransport : public Transport
+{
+  public:
+    explicit XpcTransport(XpcRuntime &runtime);
+
+    const char *name() const override { return "xpc"; }
+    kernel::Kernel &kernelRef() override { return rt.kernel(); }
+
+    ServiceId registerService(const ServiceDesc &desc,
+                              ServiceHandler handler) override;
+    void connect(kernel::Thread &client, ServiceId svc) override;
+    VAddr requestArea(hw::Core &core, kernel::Thread &client,
+                      uint64_t len) override;
+    void clientWrite(hw::Core &core, kernel::Thread &client,
+                     uint64_t off, const void *src,
+                     uint64_t len) override;
+    void clientRead(hw::Core &core, kernel::Thread &client,
+                    uint64_t off, void *dst, uint64_t len) override;
+    CallResult call(hw::Core &core, kernel::Thread &client,
+                    ServiceId svc, uint64_t opcode, uint64_t req_len,
+                    uint64_t reply_cap) override;
+
+    /**
+     * Allocate a scratch relay segment for @p server and park it in
+     * its seg-list slot so handlers can swapseg it in for
+     * callServiceScratch.
+     */
+    void prepareScratch(hw::Core &core, kernel::Thread &server,
+                        uint64_t len) override;
+
+    uint64_t scratchCall(hw::Core &core, kernel::Thread &caller,
+                         bool in_handler, ServiceId svc,
+                         uint64_t opcode, const void *req,
+                         uint64_t req_len, void *reply,
+                         uint64_t reply_cap) override;
+
+    XpcRuntime &runtime() { return rt; }
+
+    /** x-entry ID backing @p svc (for engine-level benches). */
+    uint64_t entryOf(ServiceId svc) const { return entryIds.at(svc); }
+
+    /** Parked scratch segment of @p thread, or nullptr. */
+    const RelaySegHandle *
+    scratchFor(kernel::ThreadId thread) const
+    {
+        auto it = scratchSegs.find(thread);
+        return it == scratchSegs.end() ? nullptr : &it->second;
+    }
+
+  private:
+    XpcRuntime &rt;
+    std::vector<uint64_t> entryIds;
+    std::vector<kernel::Thread *> creators;
+    std::map<kernel::ThreadId, RelaySegHandle> activeSeg;
+    /** Parked scratch segments of server threads, keyed by thread. */
+    std::map<kernel::ThreadId, RelaySegHandle> scratchSegs;
+
+    friend class XpcServerApi;
+};
+
+} // namespace xpc::core
+
+#endif // XPC_CORE_TRANSPORT_XPC_HH

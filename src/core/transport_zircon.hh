@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Zircon transport: channel write / wait / read with kernel twofold
+ * copy on every hop, as in the paper's Zircon baseline.
+ */
+
+#ifndef XPC_CORE_TRANSPORT_ZIRCON_HH
+#define XPC_CORE_TRANSPORT_ZIRCON_HH
+
+#include "core/transport.hh"
+#include "kernel/zircon.hh"
+
+namespace xpc::core {
+
+/** Transport over ZirconKernel channels. */
+class ZirconTransport : public Transport
+{
+  public:
+    explicit ZirconTransport(kernel::ZirconKernel &kernel);
+
+    const char *name() const override { return "zircon"; }
+    kernel::Kernel &kernelRef() override { return kern; }
+
+    ServiceId registerService(const ServiceDesc &desc,
+                              ServiceHandler handler) override;
+    void connect(kernel::Thread &client, ServiceId svc) override;
+    VAddr requestArea(hw::Core &core, kernel::Thread &client,
+                      uint64_t len) override;
+    void clientWrite(hw::Core &core, kernel::Thread &client,
+                     uint64_t off, const void *src,
+                     uint64_t len) override;
+    void clientRead(hw::Core &core, kernel::Thread &client,
+                    uint64_t off, void *dst, uint64_t len) override;
+    CallResult call(hw::Core &core, kernel::Thread &client,
+                    ServiceId svc, uint64_t opcode, uint64_t req_len,
+                    uint64_t reply_cap) override;
+
+    kernel::ZirconKernel &zircon() { return kern; }
+
+  private:
+    struct Conn
+    {
+        VAddr reqVa = 0;
+        VAddr replyVa = 0;
+        uint64_t len = 0;
+    };
+
+    kernel::ZirconKernel &kern;
+    std::vector<uint64_t> channelIds;
+    std::map<kernel::ThreadId, Conn> conns;
+
+    Conn &connFor(kernel::Thread &client, uint64_t min_len);
+
+    friend class ZirconServerApi;
+};
+
+} // namespace xpc::core
+
+#endif // XPC_CORE_TRANSPORT_ZIRCON_HH

@@ -1,0 +1,301 @@
+#include "xpc_runtime.hh"
+
+#include "sim/logging.hh"
+
+namespace xpc::core {
+
+XpcRuntime::XpcRuntime(kernel::Kernel &kernel,
+                       kernel::XpcManager &manager,
+                       const XpcRuntimeOptions &options)
+    : kern(kernel), xpcManager(manager), opts(options)
+{
+}
+
+uint64_t
+XpcRuntime::registerEntry(kernel::Thread &creator,
+                          kernel::Thread &handler_thread,
+                          XpcHandler handler, uint32_t max_contexts)
+{
+    panic_if(max_contexts == 0, "an x-entry needs at least one context");
+    if (handler_thread.linkStack == 0)
+        xpcManager.initThread(handler_thread);
+    if (creator.linkStack == 0)
+        xpcManager.initThread(creator);
+
+    uint64_t id = xpcManager.registerEntry(creator, handler_thread,
+                                           /*entry_addr=*/0x1000,
+                                           max_contexts);
+    EntryState state;
+    state.handler = std::move(handler);
+    state.handlerThread = &handler_thread;
+    state.maxContexts = max_contexts;
+    // Per-invocation C-stacks, allocated up front (paper 4.2).
+    state.cstacks =
+        handler_thread.process()->alloc(uint64_t(max_contexts) * 8192);
+    entryStates[id] = std::move(state);
+    return id;
+}
+
+void
+XpcRuntime::ensureInstalled(hw::Core &core, kernel::Thread &thread)
+{
+    kernel::Thread *cur = kern.current(core.id());
+    if (cur == &thread)
+        return;
+    if (cur)
+        xpcManager.saveThread(core, *cur);
+    xpcManager.installThread(core, thread);
+}
+
+RelaySegHandle
+XpcRuntime::allocRelayMem(hw::Core &core, kernel::Thread &thread,
+                          uint64_t len)
+{
+    if (thread.linkStack == 0)
+        xpcManager.initThread(thread);
+    ensureInstalled(core, thread);
+
+    // Find a free seg-list slot for this process.
+    static constexpr uint64_t scan_limit = engine::segListCapacity;
+    PAddr list = thread.process()->space().segList();
+    uint64_t slot = scan_limit;
+    for (uint64_t i = 0; i < scan_limit; i++) {
+        auto e = engine::XpcEngine::readSegListEntry(
+            kern.machine().phys(), list, i);
+        if (!e.valid) {
+            slot = i;
+            break;
+        }
+    }
+    fatal_if(slot == scan_limit, "seg-list full");
+
+    kernel::RelaySeg seg = xpcManager.allocRelaySeg(
+        &core, *thread.process(), len, slot);
+
+    // Make it the active segment.
+    auto exc = engine().swapseg(core, slot);
+    panic_if(exc != engine::XpcException::None,
+             "swapseg failed installing a fresh relay segment");
+    return RelaySegHandle{seg.segId, seg.va, seg.len, slot};
+}
+
+void
+XpcRuntime::segWrite(hw::Core &core, uint64_t off, const void *src,
+                     uint64_t len)
+{
+    mem::SegWindow window = engine::XpcEngine::effectiveSeg(core.csrs);
+    panic_if(!window.covers(window.vaBase + off, len),
+             "segWrite outside the active relay segment");
+    mem::TransContext ctx;
+    ctx.seg = &window;
+    kernel::Thread *cur = kern.current(core.id());
+    if (cur) {
+        ctx.pt = &cur->process()->space().pageTable();
+        ctx.asid = cur->process()->space().asid();
+    }
+    auto res = kern.machine().mem().write(core.id(), ctx,
+                                          window.vaBase + off, src, len);
+    panic_if(!res.ok, "segWrite faulted");
+    core.spend(res.cycles);
+}
+
+void
+XpcRuntime::segRead(hw::Core &core, uint64_t off, void *dst,
+                    uint64_t len)
+{
+    mem::SegWindow window = engine::XpcEngine::effectiveSeg(core.csrs);
+    panic_if(!window.covers(window.vaBase + off, len),
+             "segRead outside the active relay segment");
+    mem::TransContext ctx;
+    ctx.seg = &window;
+    kernel::Thread *cur = kern.current(core.id());
+    if (cur) {
+        ctx.pt = &cur->process()->space().pageTable();
+        ctx.asid = cur->process()->space().asid();
+    }
+    auto res = kern.machine().mem().read(core.id(), ctx,
+                                         window.vaBase + off, dst, len);
+    panic_if(!res.ok, "segRead faulted");
+    core.spend(res.cycles);
+}
+
+void
+XpcServerCall::readMsg(uint64_t off, void *dst, uint64_t len)
+{
+    mem::SegWindow window =
+        engine::XpcEngine::effectiveSeg(coreRef.csrs);
+    panic_if(!window.covers(window.vaBase + off, len),
+             "readMsg outside the relay segment");
+    mem::TransContext ctx;
+    ctx.seg = &window;
+    ctx.pt = &handler.process()->space().pageTable();
+    ctx.asid = handler.process()->space().asid();
+    auto res = runtime.kern.machine().mem().read(
+        coreRef.id(), ctx, window.vaBase + off, dst, len);
+    panic_if(!res.ok, "readMsg faulted");
+    coreRef.spend(res.cycles);
+}
+
+void
+XpcServerCall::writeMsg(uint64_t off, const void *src, uint64_t len)
+{
+    mem::SegWindow window =
+        engine::XpcEngine::effectiveSeg(coreRef.csrs);
+    panic_if(!window.covers(window.vaBase + off, len),
+             "writeMsg outside the relay segment");
+    mem::TransContext ctx;
+    ctx.seg = &window;
+    ctx.pt = &handler.process()->space().pageTable();
+    ctx.asid = handler.process()->space().asid();
+    auto res = runtime.kern.machine().mem().write(
+        coreRef.id(), ctx, window.vaBase + off, src, len);
+    panic_if(!res.ok, "writeMsg faulted");
+    coreRef.spend(res.cycles);
+    if (repLen < off + len)
+        repLen = off + len;
+}
+
+void
+XpcServerCall::setReplyLen(uint64_t len)
+{
+    repLen = len;
+}
+
+void
+XpcServerCall::hang(Cycles cycles)
+{
+    coreRef.spend(cycles);
+    hung = true;
+}
+
+XpcCallOutcome
+XpcServerCall::callNested(uint64_t entry_id, uint64_t opcode,
+                          uint64_t off, uint64_t len,
+                          uint64_t req_len)
+{
+    // Shrink the visible window to the sub-message and hand it over.
+    auto exc = runtime.engine().setSegMask(coreRef, off, len);
+    if (exc != engine::XpcException::None) {
+        XpcCallOutcome out;
+        out.exc = exc;
+        return out;
+    }
+    XpcCallOutcome out = runtime.doCall(
+        coreRef, entry_id, opcode, req_len == 0 ? len : req_len);
+    // xret restored our seg-reg and our mask; drop the mask again.
+    runtime.engine().setSegMask(coreRef, 0, 0);
+    return out;
+}
+
+XpcCallOutcome
+XpcRuntime::call(hw::Core &core, kernel::Thread &client,
+                 uint64_t entry_id, uint64_t opcode, uint64_t req_len)
+{
+    panic_if(client.linkStack == 0,
+             "client thread has no XPC plumbing (initThread first)");
+    ensureInstalled(core, client);
+    return doCall(core, entry_id, opcode, req_len);
+}
+
+XpcCallOutcome
+XpcRuntime::callCurrent(hw::Core &core, uint64_t entry_id,
+                        uint64_t opcode, uint64_t req_len)
+{
+    return doCall(core, entry_id, opcode, req_len);
+}
+
+XpcCallOutcome
+XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
+                   uint64_t req_len)
+{
+    XpcCallOutcome out;
+    calls.inc();
+
+    if (opts.prefetchEntries) {
+        // Issued in advance by the application; its latency overlaps
+        // preceding work, so it runs before we start counting.
+        engine().prefetch(core, entry_id);
+    }
+
+    Cycles start = core.now();
+    engine::XcallResult xc = engine().xcall(core, entry_id, entry_id);
+    if (xc.exc != engine::XpcException::None) {
+        out.exc = xc.exc;
+        return out;
+    }
+
+    // Trampoline: pick an idle XPC context, switch to its C-stack,
+    // save registers per the trampoline mode (paper 4.2).
+    auto it = entryStates.find(entry_id);
+    panic_if(it == entryStates.end(),
+             "x-entry %lu has no registered handler",
+             (unsigned long)entry_id);
+    EntryState &state = it->second;
+    core.spend(opts.trampoline == TrampolineMode::FullContext
+                   ? opts.fullCtxCost
+                   : opts.partialCtxCost);
+
+    if (state.busy >= state.maxContexts) {
+        // No idle context: return an error to the caller (the
+        // alternative policy, waiting, is the application's choice).
+        contextExhausted.inc();
+        auto ret = engine().xret(core);
+        panic_if(ret.exc != engine::XpcException::None,
+                 "xret failed unwinding a context-exhausted call");
+        out.exc = engine::XpcException::None;
+        out.ok = false;
+        return out;
+    }
+    state.busy++;
+
+    out.oneWay = core.now() - start;
+
+    XpcServerCall call_ctx(*this, core, *state.handlerThread);
+    call_ctx.op = opcode;
+    call_ctx.reqLen = req_len;
+    call_ctx.caller = xc.callerCapPtr;
+    Cycles h0 = core.now();
+    state.handler(call_ctx);
+    out.handlerCycles = core.now() - h0;
+
+    if (call_ctx.hung && opts.timeoutCycles.value() != 0 &&
+        out.handlerCycles >= opts.timeoutCycles) {
+        // The watchdog fires: the kernel unwinds the call and the
+        // caller resumes with a timeout error (paper 6.1).
+        state.busy--;
+        bool unwound = xpcManager.forceUnwind(core);
+        panic_if(!unwound, "timeout with no linkage record");
+        out.ok = false;
+        out.timedOut = true;
+        out.roundTrip = core.now() - start;
+        return out;
+    }
+    panic_if(call_ctx.hung,
+             "handler hung but no timeout is configured");
+
+    // Return trampoline (restore registers) and xret.
+    core.spend(opts.trampoline == TrampolineMode::FullContext
+                   ? opts.fullCtxCost
+                   : opts.partialCtxCost);
+    state.busy--;
+
+    engine::XretResult ret = engine().xret(core);
+    if (ret.exc != engine::XpcException::None) {
+        out.exc = ret.exc;
+        return out;
+    }
+
+    out.ok = true;
+    out.replyLen = call_ctx.repLen;
+    out.roundTrip = core.now() - start;
+    return out;
+}
+
+uint32_t
+XpcRuntime::busyContexts(uint64_t id) const
+{
+    auto it = entryStates.find(id);
+    return it == entryStates.end() ? 0 : it->second.busy;
+}
+
+} // namespace xpc::core

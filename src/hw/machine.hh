@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The top-level simulated machine: DRAM, the frame allocator, the
+ * memory system and the cores, built from one MachineConfig.
+ */
+
+#ifndef XPC_HW_MACHINE_HH
+#define XPC_HW_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "hw/core.hh"
+#include "hw/machine_config.hh"
+#include "mem/mem_system.hh"
+#include "mem/phys_mem.hh"
+
+namespace xpc::hw {
+
+/** A complete simulated machine instance. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config,
+                     uint64_t dram_bytes = uint64_t(512) << 20);
+
+    const MachineConfig &config() const { return cfg; }
+
+    uint32_t coreCount() const { return uint32_t(coresVec.size()); }
+    Core &core(CoreId id) { return *coresVec.at(id); }
+
+    mem::PhysMem &phys() { return physMem; }
+    mem::PhysAllocator &allocator() { return frameAlloc; }
+    mem::MemSystem &mem() { return *memSys; }
+
+    /**
+     * Deliver an IPI from @p src to @p dst: charges the interrupt cost
+     * on the destination and synchronizes its clock past the sender's.
+     */
+    void sendIpi(CoreId src, CoreId dst);
+
+  private:
+    MachineConfig cfg;
+    mem::PhysMem physMem;
+    mem::PhysAllocator frameAlloc;
+    std::unique_ptr<mem::MemSystem> memSys;
+    std::vector<std::unique_ptr<Core>> coresVec;
+};
+
+} // namespace xpc::hw
+
+#endif // XPC_HW_MACHINE_HH

@@ -1,0 +1,94 @@
+#include "machine_config.hh"
+
+namespace xpc::hw {
+
+MachineConfig
+rocketU500()
+{
+    MachineConfig cfg;
+    cfg.name = "rocket-u500";
+    cfg.cores = 4;
+    cfg.freqHz = 100'000'000; // 100 MHz FPGA clock
+
+    cfg.mem.l1d = {32 * 1024, 64, 4, Cycles(2)};
+    cfg.mem.l2 = {1024 * 1024, 64, 16, Cycles(14)};
+    cfg.mem.dramLatency = Cycles(60);
+    cfg.mem.tlbEntries = 128;
+    cfg.mem.tlbAssoc = 4;
+    cfg.mem.taggedTlb = false;
+    cfg.mem.walkOverhead = Cycles(4);
+    cfg.mem.perWordIssue = Cycles(1);
+
+    cfg.core.trapEnter = Cycles(35);
+    cfg.core.trapExit = Cycles(38);
+    cfg.core.perRegSaveRestore = Cycles(2);
+    cfg.core.contextRegs = 31;
+    cfg.core.tlbFlush = Cycles(10);
+    cfg.core.tlbRefillOnSwitch = Cycles(30);
+    cfg.core.ipi = Cycles(2400);
+
+    cfg.xpc.xcallLogic = Cycles(5);
+    cfg.xpc.xretLogic = Cycles(5);
+    cfg.xpc.swapsegLogic = Cycles(6);
+    cfg.xpc.linkPushBlocking = Cycles(13);
+    return cfg;
+}
+
+MachineConfig
+rocketU500Tagged()
+{
+    MachineConfig cfg = rocketU500();
+    cfg.name = "rocket-u500-tagged";
+    cfg.mem.taggedTlb = true;
+    return cfg;
+}
+
+MachineConfig
+lowRiscKc705()
+{
+    MachineConfig cfg = rocketU500();
+    cfg.name = "lowrisc-kc705";
+    cfg.cores = 2;
+    cfg.freqHz = 50'000'000; // 50 MHz FPGA clock
+    cfg.mem.l2 = {512 * 1024, 64, 8, Cycles(16)};
+    return cfg;
+}
+
+MachineConfig
+armHpi()
+{
+    MachineConfig cfg;
+    cfg.name = "gem5-arm-hpi";
+    cfg.cores = 8;
+    cfg.freqHz = 2'000'000'000; // 2.0 GHz (paper Table 4)
+
+    // Paper Table 4: 32KB L1 (2/4 assoc), latency 3; 1MB 16-way L2,
+    // data/tag 13 + response 5; LPDDR3_1600; 256-entry TLBs.
+    cfg.mem.l1d = {32 * 1024, 64, 4, Cycles(3)};
+    cfg.mem.l2 = {1024 * 1024, 64, 16, Cycles(13)};
+    cfg.mem.dramLatency = Cycles(100);
+    cfg.mem.tlbEntries = 256;
+    cfg.mem.tlbAssoc = 4;
+    cfg.mem.taggedTlb = true;
+    cfg.mem.walkOverhead = Cycles(4);
+    cfg.mem.perWordIssue = Cycles(1);
+    cfg.mem.wordBytes = 16; // 128-bit copy datapath
+
+    cfg.core.trapEnter = Cycles(20);
+    cfg.core.trapExit = Cycles(22);
+    cfg.core.perRegSaveRestore = Cycles(1);
+    cfg.core.contextRegs = 31;
+    // TTBR0 update with isb+dsb barriers, measured at 58 cycles on a
+    // Hikey-960 in the paper (Table 5 footnote).
+    cfg.core.tlbFlush = Cycles(58);
+    cfg.core.tlbRefillOnSwitch = Cycles(0); // tagged TLB: no flush
+    cfg.core.ipi = Cycles(1200);
+
+    cfg.xpc.xcallLogic = Cycles(3);
+    cfg.xpc.xretLogic = Cycles(4);
+    cfg.xpc.swapsegLogic = Cycles(2);
+    cfg.xpc.linkPushBlocking = Cycles(12);
+    return cfg;
+}
+
+} // namespace xpc::hw

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Machine parameter sets for the three platforms in the paper.
+ *
+ * rocketU500()  - SiFive Freedom U500 on a Xilinx VC707 (seL4, Binder
+ *                 experiments; no tagged TLB).
+ * lowRiscKc705()- lowRISC on a KC705 (Zircon experiments).
+ * armHpi()      - the gem5 ARM High-Performance In-order configuration
+ *                 of the paper's Table 4 (generality check, Table 5).
+ *
+ * Cost constants marked "calibrated" are set so the micro-benchmarks
+ * land on the paper's FPGA measurements (Table 1, Figure 5, Table 3);
+ * everything else (copies, cache and TLB behaviour) is derived from
+ * the simulated hierarchy.
+ */
+
+#ifndef XPC_HW_MACHINE_CONFIG_HH
+#define XPC_HW_MACHINE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/mem_system.hh"
+#include "sim/types.hh"
+
+namespace xpc::hw {
+
+/** Costs of privilege transitions and context handling. */
+struct CoreCosts
+{
+    /** Mode switch into the kernel (pipeline flush + CSR swap). */
+    Cycles trapEnter;
+    /** sret/eret back to user mode. */
+    Cycles trapExit;
+    /** Save or restore of one general-purpose register (kernel path). */
+    Cycles perRegSaveRestore;
+    /** Registers the kernel saves+restores on a full context switch. */
+    uint32_t contextRegs;
+    /** TLB flush instruction itself (sfence.vma / TTBR barriers). */
+    Cycles tlbFlush;
+    /** Refill penalty right after an untagged user-level switch (the
+     *  callee's first I-fetch and stack walks; calibrated to the
+     *  40-cycle TLB component of paper Figure 5). */
+    Cycles tlbRefillOnSwitch;
+    /** Inter-processor interrupt delivery + remote wakeup. */
+    Cycles ipi;
+};
+
+/** Costs internal to the XPC engine (calibrated to Figure 5/Table 3). */
+struct XpcCosts
+{
+    /** Combinational logic of xcall outside memory accesses. */
+    Cycles xcallLogic;
+    /** Combinational logic of xret outside memory accesses. */
+    Cycles xretLogic;
+    /** swapseg logic outside memory accesses. */
+    Cycles swapsegLogic;
+    /** Extra cycles of a blocking linkage-record push (hidden when the
+     *  non-blocking link stack optimization is on). */
+    Cycles linkPushBlocking;
+};
+
+/** A complete machine description. */
+struct MachineConfig
+{
+    std::string name;
+    uint32_t cores;
+    /** Clock frequency, used only to convert cycles to seconds. */
+    uint64_t freqHz;
+    mem::MemParams mem;
+    CoreCosts core;
+    XpcCosts xpc;
+
+    double
+    cyclesToUsec(Cycles c) const
+    {
+        return double(c.value()) * 1e6 / double(freqHz);
+    }
+
+    double
+    cyclesToSec(Cycles c) const
+    {
+        return double(c.value()) / double(freqHz);
+    }
+};
+
+/** SiFive Freedom U500 (VC707 FPGA): Rocket, untagged TLB. */
+MachineConfig rocketU500();
+
+/** lowRISC (KC705 FPGA): Rocket-derived, untagged TLB. */
+MachineConfig lowRiscKc705();
+
+/** gem5 ARM HPI model per the paper's Table 4, tagged TLB. */
+MachineConfig armHpi();
+
+/** rocketU500 with a tagged TLB (Figure 5 "+Tagged-TLB" rung). */
+MachineConfig rocketU500Tagged();
+
+} // namespace xpc::hw
+
+#endif // XPC_HW_MACHINE_CONFIG_HH

@@ -1,0 +1,104 @@
+#include "resource_model.hh"
+
+namespace xpc::hwcost {
+
+namespace {
+
+/**
+ * Per-primitive FPGA cost factors (Artix/Virtex-7 class fabric),
+ * calibrated so the default inventory reproduces the paper's
+ * measured deltas (+888 LUT, +1007 FF, +1 DSP).
+ */
+constexpr double lutPerCsrBit = 0.40;   // write-enable decode + read mux
+constexpr double ffPerStateBit = 1.0;
+constexpr uint32_t lutPerComparator = 24;
+constexpr uint32_t lutPerAdder = 44;
+constexpr uint32_t lutPerMux = 24;
+constexpr uint32_t lutControl = 72;
+constexpr uint32_t lutPerCacheEntry = 180;
+constexpr uint32_t ffPerCacheEntry = 420;
+
+} // namespace
+
+ResourceEstimate
+ResourceModel::freedomU500Baseline()
+{
+    // Paper Table 6, "Freedom" column.
+    ResourceEstimate base;
+    base.lut = 44643;
+    base.lutram = 3370;
+    base.srl = 636;
+    base.ff = 30379;
+    base.ramb36 = 3;
+    base.ramb18 = 48;
+    base.dsp = 15;
+    return base;
+}
+
+EngineInventory
+ResourceModel::defaultEngine()
+{
+    EngineInventory inv;
+    // 7 CSRs of Table 2: 64 (table base) + 64 (table size) +
+    // 64 (cap reg) + 64 (link reg) + 3x64 (relay-seg) + 2x64
+    // (seg-mask) + 64 (seg-listp) = 10 x 64 bits.
+    inv.csrBits = 10 * 64;
+    // FSM (xcall/xret/swapseg sequencing) + link-top counter.
+    inv.controlBits = 39;
+    // Fetched x-entry (40B), linkage record assembly (dominant words
+    // of the 96B record kept in flight), non-blocking store buffer.
+    inv.stagingBits = 328;
+    // Cap bit test, x-entry valid, table bound, seg lo/hi bounds,
+    // mask bound, linkage valid, xret equality x3.
+    inv.comparators64 = 10;
+    // Table index scale, cap word address, link-stack address,
+    // seg translation add.
+    inv.adders64 = 4;
+    // CSR write-back paths from the three instructions.
+    inv.muxes64 = 6;
+    // The relay-seg offset multiply-accumulate.
+    inv.dspBlocks = 1;
+    inv.cacheEntries = 0;
+    return inv;
+}
+
+EngineInventory
+ResourceModel::engineWithCache()
+{
+    EngineInventory inv = defaultEngine();
+    inv.cacheEntries = 1;
+    return inv;
+}
+
+ResourceEstimate
+ResourceModel::estimate(const EngineInventory &inv)
+{
+    ResourceEstimate e;
+    double lut = double(inv.csrBits) * lutPerCsrBit +
+                 double(inv.comparators64) * lutPerComparator +
+                 double(inv.adders64) * lutPerAdder +
+                 double(inv.muxes64) * lutPerMux + lutControl +
+                 double(inv.cacheEntries) * lutPerCacheEntry;
+    double ff = double(inv.csrBits + inv.controlBits +
+                       inv.stagingBits) *
+                    ffPerStateBit +
+                double(inv.cacheEntries) * ffPerCacheEntry;
+    e.lut = uint64_t(lut);
+    e.ff = uint64_t(ff);
+    e.dsp = inv.dspBlocks;
+    return e;
+}
+
+ResourceEstimate
+ResourceModel::withEngine(const EngineInventory &inv)
+{
+    ResourceEstimate base = freedomU500Baseline();
+    ResourceEstimate delta = estimate(inv);
+    ResourceEstimate total = base;
+    total.lut += delta.lut;
+    total.ff += delta.ff;
+    total.dsp += delta.dsp;
+    return total;
+}
+
+} // namespace xpc::hwcost

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * FPGA resource estimator for the XPC engine (the Table 6
+ * substitution: Vivado synthesis is unavailable, so we estimate LUT /
+ * FF / DSP deltas from the engine's structural inventory with
+ * per-primitive factors calibrated against the paper's published
+ * synthesis of the Freedom U500 + XPC design).
+ */
+
+#ifndef XPC_HWCOST_RESOURCE_MODEL_HH
+#define XPC_HWCOST_RESOURCE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xpc::hwcost {
+
+/** One FPGA resource vector. */
+struct ResourceEstimate
+{
+    uint64_t lut = 0;
+    uint64_t lutram = 0;
+    uint64_t srl = 0;
+    uint64_t ff = 0;
+    uint64_t ramb36 = 0;
+    uint64_t ramb18 = 0;
+    uint64_t dsp = 0;
+};
+
+/** Structural inventory of the XPC engine RTL. */
+struct EngineInventory
+{
+    /** Architectural register bits: the 7 CSRs of Table 2
+     *  (x-entry-table-reg, x-entry-table-size, xcall-cap-reg,
+     *  link-reg, relay-seg x3, seg-mask x2, seg-listp). */
+    uint32_t csrBits = 0;
+    /** Control FSM + link-top counter state. */
+    uint32_t controlBits = 0;
+    /** Pipeline staging registers (fetched x-entry, linkage record
+     *  being assembled, non-blocking store buffer). */
+    uint32_t stagingBits = 0;
+    /** 64-bit comparators: capability bit test, x-entry valid,
+     *  relay-seg bounds (lo/hi), seg-mask bounds, linkage valid,
+     *  xret seg-reg equality (3 fields). */
+    uint32_t comparators64 = 0;
+    /** 64-bit adders: table index scaling, link-stack addressing,
+     *  relay-seg offset translation. */
+    uint32_t adders64 = 0;
+    /** 64-bit 2:1 muxes on the CSR write paths. */
+    uint32_t muxes64 = 0;
+    /** DSP blocks (the seg address multiply-accumulate). */
+    uint32_t dspBlocks = 0;
+    /** Engine cache entries (0 = the default no-cache build). */
+    uint32_t cacheEntries = 0;
+};
+
+/** The estimator. */
+class ResourceModel
+{
+  public:
+    /** Baseline Freedom U500 synthesis (paper Table 6 left column). */
+    static ResourceEstimate freedomU500Baseline();
+
+    /** Inventory of the default engine (no cache). */
+    static EngineInventory defaultEngine();
+
+    /** Inventory with the one-entry engine cache. */
+    static EngineInventory engineWithCache();
+
+    /** Estimate the resources the inventory adds. */
+    static ResourceEstimate estimate(const EngineInventory &inv);
+
+    /** Baseline + engine = full design (Table 6 middle column). */
+    static ResourceEstimate withEngine(const EngineInventory &inv);
+
+    /** Relative cost in percent for a resource class. */
+    static double
+    overheadPercent(uint64_t base, uint64_t with)
+    {
+        if (base == 0)
+            return with == 0 ? 0.0 : 100.0;
+        return 100.0 * double(with - base) / double(base);
+    }
+};
+
+} // namespace xpc::hwcost
+
+#endif // XPC_HWCOST_RESOURCE_MODEL_HH

@@ -1,0 +1,126 @@
+#include "address_space.hh"
+
+#include "sim/logging.hh"
+
+namespace xpc::kernel {
+
+AddressSpace::AddressSpace(Asid asid, hw::Machine &m)
+    : spaceAsid(asid), machine(m)
+{
+    table = std::make_unique<mem::PageTable>(m.phys(), m.allocator());
+    segListPage = m.allocator().allocFrames(1);
+    panic_if(segListPage == 0, "out of memory for seg-list page");
+    m.phys().clear(segListPage, pageSize);
+}
+
+AddressSpace::~AddressSpace()
+{
+    for (auto &[va, region] : regions) {
+        if (region.phys != 0) {
+            machine.allocator().freeFrames(region.phys,
+                                           region.len / pageSize);
+        }
+    }
+    machine.allocator().freeFrames(segListPage, 1);
+}
+
+bool
+AddressSpace::overlapsAnything(VAddr va, uint64_t len) const
+{
+    if (len == 0)
+        return false;
+    auto it = regions.upper_bound(va);
+    if (it != regions.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second.len > va)
+            return true;
+    }
+    return it != regions.end() && it->first < va + len;
+}
+
+VAddr
+AddressSpace::allocMap(uint64_t len, mem::Perms perms)
+{
+    panic_if(isDead, "allocMap on a dead address space");
+    panic_if(len == 0, "allocMap of zero bytes");
+    len = pageAlignUp(len);
+
+    VAddr base = nextVa;
+    while (overlapsAnything(base, len))
+        base += pageSize;
+    nextVa = base + len;
+
+    uint64_t npages = len / pageSize;
+    PAddr phys = machine.allocator().allocFrames(npages);
+    panic_if(phys == 0, "out of physical memory (%lu pages)",
+             (unsigned long)npages);
+    machine.phys().clear(phys, len);
+    for (uint64_t i = 0; i < npages; i++) {
+        table->map(base + i * pageSize, phys + i * pageSize, perms);
+    }
+    regions[base] = Region{len, phys, false};
+    return base;
+}
+
+void
+AddressSpace::freeMap(VAddr base)
+{
+    auto it = regions.find(base);
+    panic_if(it == regions.end() || it->second.isSegRange,
+             "freeMap of unknown region %#lx", (unsigned long)base);
+    uint64_t npages = it->second.len / pageSize;
+    for (uint64_t i = 0; i < npages; i++)
+        table->unmap(base + i * pageSize);
+    machine.allocator().freeFrames(it->second.phys, npages);
+    regions.erase(it);
+}
+
+VAddr
+AddressSpace::reserveSegRange(uint64_t len)
+{
+    panic_if(isDead, "reserveSegRange on a dead address space");
+    len = pageAlignUp(len);
+    VAddr base = nextVa;
+    while (overlapsAnything(base, len))
+        base += pageSize;
+    nextVa = base + len;
+
+    // Invariant 2 of DESIGN.md: the kernel guarantees relay segments
+    // never coincide with page-table mappings.
+    panic_if(table->anyMappingIn(base, len),
+             "relay-seg range overlaps a page-table mapping");
+    regions[base] = Region{len, 0, true};
+    return base;
+}
+
+void
+AddressSpace::reserveSegRangeAt(VAddr base, uint64_t len)
+{
+    panic_if(isDead, "reserveSegRangeAt on a dead address space");
+    len = pageAlignUp(len);
+    panic_if(overlapsAnything(base, len),
+             "relay-seg range %#lx collides with an existing region",
+             (unsigned long)base);
+    panic_if(table->anyMappingIn(base, len),
+             "relay-seg range overlaps a page-table mapping");
+    regions[base] = Region{len, 0, true};
+}
+
+void
+AddressSpace::releaseSegRange(VAddr base)
+{
+    auto it = regions.find(base);
+    panic_if(it == regions.end() || !it->second.isSegRange,
+             "releaseSegRange of unknown range %#lx",
+             (unsigned long)base);
+    regions.erase(it);
+}
+
+void
+AddressSpace::kill()
+{
+    isDead = true;
+    table->zapRoot();
+}
+
+} // namespace xpc::kernel

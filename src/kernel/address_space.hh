@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A process address space: page table, virtual-address allocation and
+ * the bookkeeping needed to keep relay segments disjoint from every
+ * page-table mapping (paper 3.1's no-TLB-shootdown guarantee).
+ */
+
+#ifndef XPC_KERNEL_ADDRESS_SPACE_HH
+#define XPC_KERNEL_ADDRESS_SPACE_HH
+
+#include <map>
+#include <memory>
+
+#include "hw/machine.hh"
+#include "mem/page_table.hh"
+
+namespace xpc::kernel {
+
+/** One process's virtual address space. */
+class AddressSpace
+{
+  public:
+    AddressSpace(Asid asid, hw::Machine &machine);
+    ~AddressSpace();
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    Asid asid() const { return spaceAsid; }
+    mem::PageTable &pageTable() { return *table; }
+    const mem::PageTable &pageTable() const { return *table; }
+    PAddr root() const { return table->root(); }
+
+    /**
+     * Allocate @p len bytes (rounded to pages) of fresh anonymous
+     * memory, map it with @p perms, and return its base VA.
+     */
+    VAddr allocMap(uint64_t len, mem::Perms perms);
+
+    /** Unmap and free a region returned by allocMap. */
+    void freeMap(VAddr base);
+
+    /**
+     * Reserve a virtual range for a relay segment. The range is
+     * recorded so no later allocMap overlaps it, and allocMap regions
+     * are checked so it never overlaps an existing mapping.
+     * @return the reserved VA base, or 0 when the range is taken.
+     */
+    VAddr reserveSegRange(uint64_t len);
+
+    /**
+     * Reserve a specific virtual range (used for relay segments whose
+     * VA must be valid in every address space along a call chain).
+     * Panics when the range collides with an existing region.
+     */
+    void reserveSegRangeAt(VAddr base, uint64_t len);
+
+    /** Release a relay-seg reservation. */
+    void releaseSegRange(VAddr base);
+
+    /** True when [va, va+len) intersects any mapping or reservation. */
+    bool overlapsAnything(VAddr va, uint64_t len) const;
+
+    /** Per-address-space seg-list page (physical). */
+    PAddr segList() const { return segListPage; }
+
+    /** Mark this space dead: zero the page-table root so stale
+     *  translations (and stale xrets) fault (paper 4.2). */
+    void kill();
+
+    bool dead() const { return isDead; }
+
+  private:
+    Asid spaceAsid;
+    hw::Machine &machine;
+    std::unique_ptr<mem::PageTable> table;
+    PAddr segListPage;
+    bool isDead = false;
+
+    /** Next VA handed out by the bump allocator. */
+    VAddr nextVa = 0x10000000;
+
+    struct Region
+    {
+        uint64_t len;
+        PAddr phys;     ///< 0 for reservations (no frames owned)
+        bool isSegRange;
+    };
+    /** All live regions: mappings and relay-seg reservations. */
+    std::map<VAddr, Region> regions;
+};
+
+} // namespace xpc::kernel
+
+#endif // XPC_KERNEL_ADDRESS_SPACE_HH

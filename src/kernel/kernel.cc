@@ -1,0 +1,129 @@
+#include "kernel.hh"
+
+#include "sim/logging.hh"
+
+namespace xpc::kernel {
+
+Process::Process(ProcessId id, std::string name, hw::Machine &machine)
+    : procId(id), procName(std::move(name)),
+      addressSpace(Asid(id), machine)
+{
+}
+
+VAddr
+Process::alloc(uint64_t len)
+{
+    return addressSpace.allocMap(len, mem::permsRW);
+}
+
+Kernel::Kernel(hw::Machine &machine)
+    : mach(machine), currentThread(machine.coreCount(), nullptr)
+{
+}
+
+Process &
+Kernel::createProcess(const std::string &name)
+{
+    auto id = ProcessId(processes.size() + 1);
+    panic_if(id >= (1u << 16), "too many processes for the ASID space");
+    processes.push_back(std::make_unique<Process>(id, name, mach));
+    return *processes.back();
+}
+
+Thread &
+Kernel::createThread(Process &process, CoreId home_core)
+{
+    panic_if(home_core >= mach.coreCount(),
+             "thread homed on nonexistent core %u", home_core);
+    auto id = ThreadId(threads.size() + 1);
+    threads.push_back(std::make_unique<Thread>(id, &process, home_core));
+    Thread &t = *threads.back();
+    process.threads.push_back(&t);
+    t.savedCsrs.pageTableRoot = process.space().root();
+    t.savedCsrs.segList = process.space().segList();
+    return t;
+}
+
+void
+Kernel::trapEnter(hw::Core &core)
+{
+    traps.inc();
+    core.spend(mach.config().core.trapEnter);
+    core.setPrivilege(hw::Privilege::Kernel);
+}
+
+void
+Kernel::trapExit(hw::Core &core)
+{
+    core.spend(mach.config().core.trapExit);
+    core.setPrivilege(hw::Privilege::User);
+}
+
+void
+Kernel::saveRestoreRegs(hw::Core &core, uint32_t nregs)
+{
+    core.spend(Cycles(mach.config().core.perRegSaveRestore.value() *
+                      nregs));
+}
+
+void
+Kernel::contextSwitchTo(hw::Core &core, Thread &next)
+{
+    contextSwitches.inc();
+    Thread *prev = current(core.id());
+    if (prev == &next)
+        return;
+
+    // Save + restore the architectural registers and scheduler work.
+    saveRestoreRegs(core, 2 * mach.config().core.contextRegs);
+    core.spend(costs.schedule);
+
+    if (prev)
+        prev->savedCsrs = core.csrs;
+    core.csrs = next.savedCsrs;
+
+    // Address-space switch.
+    PAddr new_root = next.process()->space().root();
+    if (core.csrs.pageTableRoot != new_root)
+        core.csrs.pageTableRoot = new_root;
+    if (!mach.config().mem.taggedTlb) {
+        core.spend(mach.config().core.tlbFlush);
+        mach.mem().flushTlb(core.id());
+    }
+
+    setCurrent(core.id(), &next);
+    next.state = ThreadState::Running;
+}
+
+mem::TransContext
+Kernel::userCtx(Process &process) const
+{
+    mem::TransContext ctx;
+    ctx.pt = &process.space().pageTable();
+    ctx.asid = process.space().asid();
+    ctx.seg = nullptr;
+    ctx.user = true;
+    return ctx;
+}
+
+mem::AccessResult
+Kernel::userRead(hw::Core &core, Process &process, VAddr va, void *dst,
+                 uint64_t len)
+{
+    auto res = mach.mem().read(core.id(), userCtx(process), va, dst,
+                               len);
+    core.spend(res.cycles);
+    return res;
+}
+
+mem::AccessResult
+Kernel::userWrite(hw::Core &core, Process &process, VAddr va,
+                  const void *src, uint64_t len)
+{
+    auto res = mach.mem().write(core.id(), userCtx(process), va, src,
+                                len);
+    core.spend(res.cycles);
+    return res;
+}
+
+} // namespace xpc::kernel

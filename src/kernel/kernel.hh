@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Kernel base: processes, threads, traps, context switches and timed
+ * user-memory access. Sel4Kernel and ZirconKernel specialize the IPC
+ * path on top of this.
+ */
+
+#ifndef XPC_KERNEL_KERNEL_HH
+#define XPC_KERNEL_KERNEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hh"
+#include "kernel/address_space.hh"
+#include "kernel/thread.hh"
+
+namespace xpc::kernel {
+
+/** A process: one address space plus one or more threads. */
+class Process
+{
+  public:
+    Process(ProcessId id, std::string name, hw::Machine &machine);
+
+    ProcessId id() const { return procId; }
+    const std::string &name() const { return procName; }
+    AddressSpace &space() { return addressSpace; }
+
+    /** Allocate zeroed user RW memory; convenience over allocMap. */
+    VAddr alloc(uint64_t len);
+
+    /** Threads belonging to this process (non-owning). */
+    std::vector<Thread *> threads;
+
+    bool dead = false;
+
+  private:
+    ProcessId procId;
+    std::string procName;
+    AddressSpace addressSpace;
+};
+
+/** Software cost constants shared by both kernel personalities. */
+struct KernelCosts
+{
+    /** Run-queue manipulation + pick-next on a scheduling event. */
+    Cycles schedule{2600};
+    /** Blocking a thread and waking another on a remote core (on top
+     *  of the IPI itself). */
+    Cycles remoteWake{1600};
+};
+
+/**
+ * The kernel base. Owns every process and thread and the per-core
+ * notion of "current thread"; charges privilege transitions and
+ * context switches using the machine's cost model.
+ */
+class Kernel
+{
+  public:
+    explicit Kernel(hw::Machine &machine);
+    virtual ~Kernel() = default;
+
+    hw::Machine &machine() { return mach; }
+    KernelCosts costs;
+
+    Process &createProcess(const std::string &name);
+    Thread &createThread(Process &process, CoreId home_core);
+
+    Thread *current(CoreId core) const { return currentThread[core]; }
+    void setCurrent(CoreId core, Thread *t) { currentThread[core] = t; }
+
+    /// @name Trap path cost charging.
+    /// @{
+    /** user -> kernel transition. */
+    void trapEnter(hw::Core &core);
+    /** kernel -> user transition. */
+    void trapExit(hw::Core &core);
+    /** Save or restore @p nregs general-purpose registers. */
+    void saveRestoreRegs(hw::Core &core, uint32_t nregs);
+    /// @}
+
+    /**
+     * Full kernel context switch on @p core to @p next: registers,
+     * scheduler bookkeeping, address-space switch (flushing an
+     * untagged TLB), XPC CSR swap.
+     */
+    void contextSwitchTo(hw::Core &core, Thread &next);
+
+    /// @name Timed user-memory access on behalf of a process.
+    /// @{
+    mem::TransContext userCtx(Process &process) const;
+    mem::AccessResult userRead(hw::Core &core, Process &process,
+                               VAddr va, void *dst, uint64_t len);
+    mem::AccessResult userWrite(hw::Core &core, Process &process,
+                                VAddr va, const void *src, uint64_t len);
+    /// @}
+
+    Counter traps;
+    Counter contextSwitches;
+
+  protected:
+    hw::Machine &mach;
+    std::vector<std::unique_ptr<Process>> processes;
+    std::vector<std::unique_ptr<Thread>> threads;
+    std::vector<Thread *> currentThread;
+    Asid nextAsid = 1;
+};
+
+} // namespace xpc::kernel
+
+#endif // XPC_KERNEL_KERNEL_HH

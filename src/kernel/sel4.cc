@@ -1,0 +1,393 @@
+#include "sel4.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace xpc::kernel {
+
+Sel4Kernel::Sel4Kernel(hw::Machine &machine) : Kernel(machine) {}
+
+uint64_t
+Sel4Kernel::createEndpoint(Thread &server, Handler handler)
+{
+    Endpoint ep;
+    ep.id = endpoints.size();
+    ep.server = &server;
+    ep.handler = std::move(handler);
+    ep.scratchLen = params.sharedBufBytes;
+    ep.scratchVa = server.process()->alloc(ep.scratchLen);
+    endpoints.push_back(std::move(ep));
+    return endpoints.back().id;
+}
+
+void
+Sel4Kernel::grantEndpointCap(Thread &client, uint64_t ep)
+{
+    panic_if(ep >= endpoints.size(), "no such endpoint %lu",
+             (unsigned long)ep);
+    endpointCaps[{client.id(), ep}] = true;
+}
+
+Sel4Kernel::SharedBuf &
+Sel4Kernel::sharedFor(Endpoint &ep, Thread &client)
+{
+    auto it = ep.shared.find(client.id());
+    if (it != ep.shared.end())
+        return it->second;
+
+    // First long message from this client: the kernel sets up a
+    // buffer shared between the two address spaces.
+    uint64_t len = params.sharedBufBytes;
+    uint64_t npages = len / pageSize;
+    PAddr phys = mach.allocator().allocFrames(npages);
+    panic_if(phys == 0, "out of memory for shared IPC buffer");
+    mach.phys().clear(phys, len);
+
+    AddressSpace &cspace = client.process()->space();
+    AddressSpace &sspace = ep.server->process()->space();
+    VAddr cva = cspace.reserveSegRange(len);
+    VAddr sva = sspace.reserveSegRange(len);
+    // reserveSegRange found us a free range; convert it to a real
+    // shared mapping.
+    cspace.releaseSegRange(cva);
+    sspace.releaseSegRange(sva);
+    for (uint64_t i = 0; i < npages; i++) {
+        cspace.pageTable().map(cva + i * pageSize, phys + i * pageSize,
+                               mem::permsRW);
+        sspace.pageTable().map(sva + i * pageSize, phys + i * pageSize,
+                               mem::permsRW);
+    }
+    SharedBuf buf{cva, sva, len};
+    return ep.shared.emplace(client.id(), buf).first->second;
+}
+
+void
+Sel4ServerCall::readRequest(uint64_t off, void *dst, uint64_t len)
+{
+    panic_if(off + len > reqCapacity, "request read out of bounds");
+    switch (mode) {
+      case Mode::Registers:
+        std::memcpy(dst, regs + off, len);
+        return;
+      case Mode::IpcBuffer:
+      case Mode::Shared: {
+        VAddr src = (mode == Mode::Shared &&
+                     longMode == LongMsgMode::OneCopy)
+                        ? sharedVa
+                        : serverBufVa;
+        auto res = owner.userRead(coreRef, *server.process(), src + off,
+                                  dst, len);
+        panic_if(!res.ok, "server request read faulted");
+        return;
+      }
+    }
+}
+
+void
+Sel4ServerCall::writeRequest(uint64_t off, const void *src,
+                             uint64_t len)
+{
+    panic_if(off + len > reqCapacity, "request write out of bounds");
+    switch (mode) {
+      case Mode::Registers:
+        std::memcpy(regs + off, src, len);
+        return;
+      case Mode::IpcBuffer:
+      case Mode::Shared: {
+        VAddr dst = (mode == Mode::Shared &&
+                     longMode == LongMsgMode::OneCopy)
+                        ? sharedVa
+                        : serverBufVa;
+        auto res = owner.userWrite(coreRef, *server.process(),
+                                   dst + off, src, len);
+        panic_if(!res.ok, "server request write faulted");
+        return;
+      }
+    }
+}
+
+void
+Sel4ServerCall::writeReply(uint64_t off, const void *src, uint64_t len)
+{
+    panic_if(off + len > replyCapacity, "reply write out of bounds");
+    uint64_t prev = replyLen;
+    if (replyLen < off + len)
+        replyLen = off + len;
+
+    if (!replyInBuffer && replyLen <= owner.params.regMsgMax) {
+        std::memcpy(regsReply + off, src, len);
+        return;
+    }
+    if (!replyInBuffer) {
+        // The reply outgrew the registers: migrate what was staged.
+        if (prev > 0) {
+            auto res = owner.userWrite(coreRef, *server.process(),
+                                       replyDst(), regsReply, prev);
+            panic_if(!res.ok, "reply migration faulted");
+        }
+        replyInBuffer = true;
+    }
+    auto res = owner.userWrite(coreRef, *server.process(),
+                               replyDst() + off, src, len);
+    panic_if(!res.ok, "server reply write faulted");
+}
+
+void
+Sel4ServerCall::setReplyLen(uint64_t len)
+{
+    panic_if(len > replyCapacity, "reply longer than client buffer");
+    replyLen = len;
+}
+
+Sel4CallOutcome
+Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
+                 uint64_t opcode, VAddr req_va, uint64_t req_len,
+                 VAddr reply_va, uint64_t reply_cap, LongMsgMode mode)
+{
+    Sel4CallOutcome out;
+    panic_if(ep_id >= endpoints.size(), "no such endpoint %lu",
+             (unsigned long)ep_id);
+    Endpoint &ep = endpoints[ep_id];
+    if (!endpointCaps[{client.id(), ep_id}]) {
+        warn("thread %u lacks a cap for endpoint %lu", client.id(),
+             (unsigned long)ep_id);
+        return out;
+    }
+
+    Cycles start = core.now();
+    Sel4Phases phases;
+    bool cross_core = ep.server->sched.homeCore != core.id();
+    bool medium = req_len > params.regMsgMax &&
+                  req_len <= params.ipcBufMax;
+    bool large = req_len > params.ipcBufMax;
+    bool reply_large_cap = reply_cap > params.ipcBufMax;
+    bool slowpath = cross_core || medium ||
+                    client.sched.priority != ep.server->sched.priority;
+
+    // --- Message transfer, client half. ---------------------------
+    // For long messages the client first copies its private request
+    // into the shared window; this happens in user mode before the
+    // syscall (the paper's "Message Transfer" phase).
+    Cycles t0 = core.now();
+    Sel4ServerCall call_ctx(*this, core, *ep.server);
+    call_ctx.client = &client;
+    call_ctx.op = opcode;
+    call_ctx.reqLen = req_len;
+    call_ctx.reqCapacity = params.regMsgMax;
+    call_ctx.replyCapacity = reply_cap;
+    call_ctx.longMode = mode;
+    call_ctx.serverBufVa = ep.scratchVa;
+
+    SharedBuf *shared = nullptr;
+    if (large || reply_large_cap)
+        shared = &sharedFor(ep, client);
+    if (shared && mode == LongMsgMode::OneCopy) {
+        // One-copy replies are produced straight into the window.
+        call_ctx.replySharedVa = shared->serverVa;
+    }
+    if (large) {
+        panic_if(req_len > shared->len, "message exceeds shared buffer");
+        auto res =
+            mach.mem().copy(core.id(), userCtx(*client.process()),
+                            req_va, userCtx(*client.process()),
+                            shared->clientVa, req_len);
+        panic_if(!res.ok, "client copy into shared buffer faulted");
+        core.spend(res.cycles);
+        call_ctx.mode = Sel4ServerCall::Mode::Shared;
+        call_ctx.sharedVa = shared->serverVa;
+        call_ctx.serverBufVa = ep.scratchVa;
+        call_ctx.reqCapacity = std::min(shared->len, ep.scratchLen);
+    } else if (req_len > 0 && !medium) {
+        // Register transfer: load the words now (functionally); the
+        // cycle cost rides in the process-switch phase.
+        auto res = userRead(core, *client.process(), req_va,
+                            call_ctx.regs, req_len);
+        panic_if(!res.ok, "register message read faulted");
+        call_ctx.mode = Sel4ServerCall::Mode::Registers;
+    }
+
+    // --- Phase 1: trap. -------------------------------------------
+    Cycles trap_start = core.now();
+    trapEnter(core);
+    saveRestoreRegs(core, params.fastpathRegs);
+    core.spend(params.trapConst);
+    phases.trap = core.now() - trap_start;
+
+    // --- Phase 2: IPC logic (capability fetch + checks). ----------
+    t0 = core.now();
+    {
+        // The cap lookup reads the client's cnode slot and the
+        // endpoint object, both in kernel memory.
+        uint64_t scratch[2];
+        core.spend(mach.mem().readPhys(core.id(), 0x1000 + ep_id * 64,
+                                       scratch, 16));
+        core.spend(params.logicConst);
+        if (slowpath) {
+            slowpathCalls.inc();
+            core.spend(params.slowpathExtra);
+        } else {
+            fastpathCalls.inc();
+        }
+    }
+    phases.logic = core.now() - t0;
+
+    // Medium messages: the kernel copies through the IPC buffer
+    // while still in the kernel (slow path).
+    t0 = core.now();
+    if (medium) {
+        auto res = mach.mem().copy(
+            core.id(), userCtx(*client.process()), req_va,
+            userCtx(*ep.server->process()), ep.scratchVa, req_len);
+        panic_if(!res.ok, "kernel IPC-buffer copy faulted");
+        core.spend(res.cycles);
+        call_ctx.mode = Sel4ServerCall::Mode::IpcBuffer;
+        call_ctx.serverBufVa = ep.scratchVa;
+        call_ctx.reqCapacity = ep.scratchLen;
+    }
+    Cycles medium_copy = core.now() - t0;
+
+    // --- Phase 3: process switch. ---------------------------------
+    t0 = core.now();
+    if (cross_core) {
+        crossCoreCalls.inc();
+        hw::Core &scre = mach.core(ep.server->sched.homeCore);
+        mach.sendIpi(core.id(), scre.id());
+        scre.spend(costs.remoteWake);
+        core.spend(costs.schedule);
+    }
+    core.spend(params.switchConst);
+    if (!mach.config().mem.taggedTlb) {
+        core.spend(mach.config().core.tlbFlush);
+        mach.mem().flushTlb(core.id());
+    }
+    setCurrent(core.id(), ep.server);
+    phases.processSwitch = core.now() - t0;
+
+    // --- Phase 4: restore the server's context, back to user. -----
+    t0 = core.now();
+    saveRestoreRegs(core, params.fastpathRegs);
+    core.spend(params.restoreConst);
+    trapExit(core);
+    phases.restore = core.now() - t0;
+
+    // Two-copy discipline: in user mode, the server copies the
+    // message to private memory before using it.
+    hw::Core &handler_core =
+        cross_core ? mach.core(ep.server->sched.homeCore) : core;
+    if (cross_core)
+        handler_core.syncTo(core.now());
+    t0 = handler_core.now();
+    if (large && mode == LongMsgMode::TwoCopy) {
+        auto res = mach.mem().copy(
+            handler_core.id(), userCtx(*ep.server->process()),
+            shared->serverVa, userCtx(*ep.server->process()),
+            ep.scratchVa, req_len);
+        panic_if(!res.ok, "server private copy faulted");
+        handler_core.spend(res.cycles);
+        call_ctx.serverBufVa = ep.scratchVa;
+    }
+    phases.transfer = medium_copy + (handler_core.now() - t0);
+    if (large) {
+        // Include the client-side shared-buffer fill.
+        phases.transfer += trap_start - start;
+    }
+
+    out.oneWay = (handler_core.now() > core.now() ? handler_core.now()
+                                                  : core.now()) -
+                 start;
+
+    // --- The handler runs in the server's address space. ----------
+    if (cross_core) {
+        Sel4ServerCall remote(*this, handler_core, *ep.server);
+        remote.client = &client;
+        remote.op = call_ctx.op;
+        remote.reqLen = call_ctx.reqLen;
+        remote.reqCapacity = call_ctx.reqCapacity;
+        remote.replyCapacity = call_ctx.replyCapacity;
+        remote.longMode = call_ctx.longMode;
+        remote.mode = call_ctx.mode;
+        std::memcpy(remote.regs, call_ctx.regs, sizeof(remote.regs));
+        remote.serverBufVa = call_ctx.serverBufVa;
+        remote.sharedVa = call_ctx.sharedVa;
+        remote.replySharedVa = call_ctx.replySharedVa;
+        Cycles h0 = handler_core.now();
+        ep.handler(remote);
+        out.handlerCycles = handler_core.now() - h0;
+        call_ctx.replyLen = remote.replyLen;
+        call_ctx.replyInBuffer = remote.replyInBuffer;
+        std::memcpy(call_ctx.regsReply, remote.regsReply,
+                    sizeof(remote.regsReply));
+        mach.sendIpi(handler_core.id(), core.id());
+        core.syncTo(handler_core.now());
+        core.spend(costs.remoteWake);
+    } else {
+        Cycles h0 = core.now();
+        ep.handler(call_ctx);
+        out.handlerCycles = core.now() - h0;
+    }
+
+    // --- Reply: transfer back, then the return IPC. ---------------
+    uint64_t reply_len = call_ctx.replyLen;
+    panic_if(reply_len > reply_cap, "reply overflows client buffer");
+    if (reply_len > 0) {
+        if (!call_ctx.replyInBuffer) {
+            // Reply travelled in registers.
+            auto res = userWrite(core, *client.process(), reply_va,
+                                 call_ctx.regsReply, reply_len);
+            panic_if(!res.ok, "register reply write faulted");
+        } else if (reply_len > params.ipcBufMax) {
+            // Large reply through the shared window.
+            panic_if(!shared, "large reply without a shared buffer");
+            if (call_ctx.replySharedVa == 0) {
+                // Two-copy: server private reply -> shared window.
+                auto res = mach.mem().copy(
+                    core.id(), userCtx(*ep.server->process()),
+                    ep.scratchVa, userCtx(*ep.server->process()),
+                    shared->serverVa, reply_len);
+                panic_if(!res.ok, "reply copy to shared faulted");
+                core.spend(res.cycles);
+            }
+            auto res = mach.mem().copy(
+                core.id(), userCtx(*client.process()),
+                shared->clientVa, userCtx(*client.process()),
+                reply_va, reply_len);
+            panic_if(!res.ok, "client reply copy faulted");
+            core.spend(res.cycles);
+        } else {
+            // Small/medium reply from a buffer: kernel copy on the
+            // slow path.
+            VAddr src = call_ctx.replySharedVa ? call_ctx.replySharedVa
+                                               : ep.scratchVa;
+            auto res = mach.mem().copy(
+                core.id(), userCtx(*ep.server->process()), src,
+                userCtx(*client.process()), reply_va, reply_len);
+            panic_if(!res.ok, "kernel reply copy faulted");
+            core.spend(res.cycles);
+            core.spend(params.slowpathExtra);
+        }
+    }
+
+    // Return-direction IPC (seL4's ReplyRecv fast path).
+    trapEnter(core);
+    saveRestoreRegs(core, params.fastpathRegs);
+    core.spend(params.trapConst);
+    core.spend(params.logicConst);
+    core.spend(params.switchConst);
+    if (!mach.config().mem.taggedTlb) {
+        core.spend(mach.config().core.tlbFlush);
+        mach.mem().flushTlb(core.id());
+    }
+    setCurrent(core.id(), &client);
+    saveRestoreRegs(core, params.fastpathRegs);
+    core.spend(params.restoreConst);
+    trapExit(core);
+
+    lastPhases = phases;
+    out.ok = true;
+    out.replyLen = reply_len;
+    out.roundTrip = core.now() - start;
+    return out;
+}
+
+} // namespace xpc::kernel

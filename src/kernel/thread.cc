@@ -1,0 +1,12 @@
+#include "thread.hh"
+
+namespace xpc::kernel {
+
+Thread::Thread(ThreadId id, Process *process, CoreId home_core)
+    : threadId(id)
+{
+    runtime.process = process;
+    sched.homeCore = home_core;
+}
+
+} // namespace xpc::kernel

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Kernel thread objects with the split thread state of paper 4.2.
+ *
+ * The scheduling state (priority, time slice, core) always belongs to
+ * the thread that was created; the runtime state (address space,
+ * capability bitmap) is what the kernel consults to serve a trap, and
+ * it travels with xcall: after a user-level domain switch the same
+ * scheduling state runs under the callee's runtime state, selected by
+ * the value of xcall-cap-reg.
+ */
+
+#ifndef XPC_KERNEL_THREAD_HH
+#define XPC_KERNEL_THREAD_HH
+
+#include <cstdint>
+
+#include "hw/core.hh"
+
+namespace xpc::kernel {
+
+class AddressSpace;
+class Process;
+
+using ThreadId = uint32_t;
+using ProcessId = uint32_t;
+
+/** Scheduling half of a thread (paper 4.2 "scheduling state"). */
+struct SchedState
+{
+    int priority = 0;
+    uint32_t timeSlice = 0;
+    CoreId homeCore = 0;
+};
+
+/** Runtime half of a thread (paper 4.2 "runtime state"). */
+struct RuntimeState
+{
+    Process *process = nullptr;
+    /** Physical base of this thread's xcall capability bitmap. */
+    PAddr capBitmap = 0;
+};
+
+/** Lifecycle of a thread. */
+enum class ThreadState
+{
+    Ready,
+    Running,
+    BlockedOnIpc,
+    BlockedOnReply,
+    Dead,
+};
+
+/** A kernel thread. */
+class Thread
+{
+  public:
+    Thread(ThreadId id, Process *process, CoreId home_core);
+
+    ThreadId id() const { return threadId; }
+    Process *process() const { return runtime.process; }
+
+    SchedState sched;
+    RuntimeState runtime;
+    ThreadState state = ThreadState::Ready;
+
+    /** Saved per-thread XPC CSRs, swapped in on context switch. */
+    hw::XpcCsrs savedCsrs;
+
+    /** Physical base of this thread's 8 KiB link stack. */
+    PAddr linkStack = 0;
+
+  private:
+    ThreadId threadId;
+};
+
+} // namespace xpc::kernel
+
+#endif // XPC_KERNEL_THREAD_HH

@@ -1,0 +1,433 @@
+#include "xpc_manager.hh"
+
+#include "sim/logging.hh"
+
+namespace xpc::kernel {
+
+XpcManager::XpcManager(Kernel &k, engine::XpcEngine &e)
+    : kernel(k), xpcEngine(e)
+{
+    hw::Machine &m = kernel.machine();
+    uint64_t bytes = pageAlignUp(tableSize * engine::xEntryBytes);
+    tableBase = m.allocator().allocFrames(bytes / pageSize);
+    panic_if(tableBase == 0, "out of memory for the x-entry table");
+    m.phys().clear(tableBase, bytes);
+    entries.resize(tableSize);
+}
+
+void
+XpcManager::initThread(Thread &thread)
+{
+    hw::Machine &m = kernel.machine();
+    panic_if(thread.linkStack != 0, "thread %u already initialized",
+             thread.id());
+
+    thread.linkStack =
+        m.allocator().allocFrames(engine::linkStackBytes / pageSize);
+    panic_if(thread.linkStack == 0, "out of memory for link stack");
+    m.phys().clear(thread.linkStack, engine::linkStackBytes);
+
+    PAddr bitmap = m.allocator().allocFrames(1);
+    panic_if(bitmap == 0, "out of memory for capability bitmap");
+    m.phys().clear(bitmap, pageSize);
+    thread.runtime.capBitmap = bitmap;
+
+    hw::XpcCsrs &csrs = thread.savedCsrs;
+    csrs.xEntryTable = tableBase;
+    csrs.xEntryTableSize = tableSize;
+    csrs.xcallCap = bitmap;
+    csrs.linkReg = thread.linkStack;
+    csrs.linkTop = 0;
+    csrs.segList = thread.process()->space().segList();
+    threadsManaged.push_back(&thread);
+}
+
+uint64_t
+XpcManager::registerEntry(Thread &creator, Thread &handler_thread,
+                          VAddr entry_addr, uint32_t max_contexts)
+{
+    panic_if(handler_thread.runtime.capBitmap == 0,
+             "handler thread has no XPC plumbing (initThread first)");
+    for (uint64_t id = 0; id < tableSize; id++) {
+        if (entries[id].live)
+            continue;
+        entries[id] = XEntryInfo{id, &handler_thread, entry_addr,
+                                 max_contexts, true};
+
+        engine::XEntry e;
+        e.valid = true;
+        e.pageTableRoot = handler_thread.process()->space().root();
+        e.entryAddr = entry_addr;
+        e.capPtr = handler_thread.runtime.capBitmap;
+        e.segList = handler_thread.process()->space().segList();
+        engine::XpcEngine::writeXEntry(kernel.machine().phys(),
+                                       tableBase, id, e);
+
+        grantCaps.insert({creator.id(), id});
+        return id;
+    }
+    fatal("x-entry table full (%lu entries)", (unsigned long)tableSize);
+}
+
+void
+XpcManager::removeEntry(uint64_t id)
+{
+    panic_if(id >= tableSize, "x-entry id %lu out of range",
+             (unsigned long)id);
+    entries[id].live = false;
+    engine::XEntry e; // invalid
+    engine::XpcEngine::writeXEntry(kernel.machine().phys(), tableBase,
+                                   id, e);
+}
+
+const XEntryInfo &
+XpcManager::entryInfo(uint64_t id) const
+{
+    panic_if(id >= tableSize, "x-entry id %lu out of range",
+             (unsigned long)id);
+    return entries[id];
+}
+
+void
+XpcManager::setCapBit(Thread &thread, uint64_t id, bool value)
+{
+    panic_if(thread.runtime.capBitmap == 0,
+             "thread %u has no capability bitmap", thread.id());
+    PAddr word = thread.runtime.capBitmap + (id / 64) * 8;
+    uint64_t bits = kernel.machine().phys().read64(word);
+    if (value)
+        bits |= uint64_t(1) << (id % 64);
+    else
+        bits &= ~(uint64_t(1) << (id % 64));
+    kernel.machine().phys().write64(word, bits);
+}
+
+void
+XpcManager::grantXcallCap(Thread &grantor, Thread &grantee, uint64_t id)
+{
+    panic_if(!hasGrantCap(grantor, id),
+             "thread %u grants entry %lu without a grant-cap",
+             grantor.id(), (unsigned long)id);
+    setCapBit(grantee, id, true);
+}
+
+void
+XpcManager::grantGrantCap(Thread &grantor, Thread &grantee, uint64_t id)
+{
+    panic_if(!hasGrantCap(grantor, id),
+             "thread %u forwards a grant-cap for %lu it does not hold",
+             grantor.id(), (unsigned long)id);
+    grantCaps.insert({grantee.id(), id});
+}
+
+void
+XpcManager::revokeXcallCap(Thread &thread, uint64_t id)
+{
+    setCapBit(thread, id, false);
+}
+
+bool
+XpcManager::hasXcallCap(const Thread &thread, uint64_t id) const
+{
+    if (thread.runtime.capBitmap == 0)
+        return false;
+    PAddr word = thread.runtime.capBitmap + (id / 64) * 8;
+    uint64_t bits = kernel.machine().phys().read64(word);
+    return (bits >> (id % 64)) & 1;
+}
+
+bool
+XpcManager::hasGrantCap(const Thread &thread, uint64_t id) const
+{
+    return grantCaps.count({thread.id(), id}) > 0;
+}
+
+RelaySeg
+XpcManager::allocRelaySeg(hw::Core *core, Process &process,
+                          uint64_t len, uint64_t slot)
+{
+    if (core)
+        kernel.trapEnter(*core);
+
+    len = pageAlignUp(len);
+    hw::Machine &m = kernel.machine();
+    PAddr pa = m.allocator().allocFrames(len / pageSize);
+    fatal_if(pa == 0,
+             "cannot allocate a contiguous relay segment of %lu bytes",
+             (unsigned long)len);
+    m.phys().clear(pa, len);
+
+    // Relay-seg VAs come from a machine-global window so the same
+    // virtual range is valid in every address space along a call
+    // chain, and never overlaps a page-table mapping (paper 3.1).
+    VAddr va = segVaNext;
+    segVaNext += len;
+    process.space().reserveSegRangeAt(va, len);
+
+    RelaySeg seg{nextSegId++, va, pa, len, process.id()};
+    liveSegs[seg.segId] = seg;
+
+    engine::RelaySegEntry entry;
+    entry.valid = true;
+    entry.window = mem::SegWindow{true, va, pa, len, true, true};
+    entry.segId = seg.segId;
+    engine::XpcEngine::writeSegListEntry(m.phys(),
+                                         process.space().segList(),
+                                         slot, entry);
+    if (core) {
+        // The kernel writes the seg-list slot on the thread's behalf.
+        core->spend(Cycles(60));
+        kernel.trapExit(*core);
+    }
+    return seg;
+}
+
+void
+XpcManager::freeRelaySeg(Process &process, uint64_t seg_id)
+{
+    auto it = liveSegs.find(seg_id);
+    panic_if(it == liveSegs.end(), "free of unknown relay seg %lu",
+             (unsigned long)seg_id);
+    panic_if(it->second.allocator != process.id(),
+             "process %u frees a segment it does not own", process.id());
+    hw::Machine &m = kernel.machine();
+    m.allocator().freeFrames(it->second.pa, it->second.len / pageSize);
+    if (!process.space().dead())
+        process.space().releaseSegRange(it->second.va);
+    liveSegs.erase(it);
+}
+
+std::optional<RelaySeg>
+XpcManager::segById(uint64_t seg_id) const
+{
+    auto it = liveSegs.find(seg_id);
+    if (it == liveSegs.end())
+        return std::nullopt;
+    return it->second;
+}
+
+XpcManager::RelayPt &
+XpcManager::allocRelayPt(hw::Core *core, Process &process,
+                         uint64_t len)
+{
+    if (core)
+        kernel.trapEnter(*core);
+    len = pageAlignUp(len);
+    hw::Machine &m = kernel.machine();
+
+    RelayPt rpt;
+    rpt.id = nextSegId++;
+    rpt.len = len;
+    rpt.asid = nextRelayAsid++;
+    rpt.owner = process.id();
+    rpt.va = segVaNext;
+    segVaNext += len;
+    // Keep relay-pt VAs inside Sv39 so the dual table can map them.
+    panic_if(rpt.va + len > (uint64_t(1) << 39),
+             "relay-pt VA window exhausted");
+    rpt.table = std::make_unique<mem::PageTable>(m.phys(),
+                                                 m.allocator());
+    // Scattered frames: allocated one page at a time, deliberately
+    // non-contiguous (the capability relay segments lack).
+    for (uint64_t off = 0; off < len; off += pageSize) {
+        PAddr frame = m.allocator().allocFrames(1);
+        fatal_if(frame == 0, "out of memory for relay-pt frames");
+        m.phys().clear(frame, pageSize);
+        rpt.frames.push_back(frame);
+        rpt.table->map(rpt.va + off, frame, mem::permsRW);
+    }
+    process.space().reserveSegRangeAt(rpt.va, len);
+
+    if (core) {
+        // Kernel builds the table: charged per page mapped.
+        core->spend(Cycles(40 * (len / pageSize) + 120));
+        kernel.trapExit(*core);
+    }
+    auto [it, fresh] = liveRelayPts.emplace(rpt.id, std::move(rpt));
+    panic_if(!fresh, "relay-pt id collision");
+    return it->second;
+}
+
+void
+XpcManager::transferRelayPt(hw::Core *core, uint64_t id, Process &to)
+{
+    auto it = liveRelayPts.find(id);
+    panic_if(it == liveRelayPts.end(), "transfer of unknown relay-pt");
+    RelayPt &rpt = it->second;
+
+    if (core)
+        kernel.trapEnter(*core);
+    rpt.owner = to.id();
+    if (core) {
+        hw::Machine &m = kernel.machine();
+        // The kernel revalidates each leaf PTE (ownership cannot be
+        // flipped in one register write as with seg-reg)...
+        for (uint64_t off = 0; off < rpt.len; off += pageSize) {
+            auto walk = rpt.table->walk(rpt.va + off);
+            core->spend(m.mem().l1(core->id())
+                            .access(walk.pteAddrs[walk.levels - 1], 8,
+                                    true));
+        }
+        // ... and the relay ASID must be shot down everywhere, since
+        // stale TLB entries would let the old owner keep accessing.
+        for (CoreId c = 0; c < m.coreCount(); c++) {
+            m.mem().tlb(c).flushAsid(rpt.asid);
+            if (c != core->id())
+                m.sendIpi(core->id(), c);
+        }
+        core->spend(m.config().core.tlbFlush);
+        kernel.trapExit(*core);
+    } else {
+        for (CoreId c = 0; c < kernel.machine().coreCount(); c++)
+            kernel.machine().mem().tlb(c).flushAsid(rpt.asid);
+    }
+}
+
+mem::RelayPtWindow
+XpcManager::relayPtWindow(uint64_t id) const
+{
+    auto it = liveRelayPts.find(id);
+    panic_if(it == liveRelayPts.end(), "window of unknown relay-pt");
+    mem::RelayPtWindow w;
+    w.valid = true;
+    w.vaBase = it->second.va;
+    w.len = it->second.len;
+    w.pt = it->second.table.get();
+    w.asid = it->second.asid;
+    return w;
+}
+
+const XpcManager::RelayPt *
+XpcManager::relayPtById(uint64_t id) const
+{
+    auto it = liveRelayPts.find(id);
+    return it == liveRelayPts.end() ? nullptr : &it->second;
+}
+
+Thread *
+XpcManager::threadByCapBitmap(PAddr bitmap) const
+{
+    for (Thread *t : threadsManaged) {
+        if (t->runtime.capBitmap == bitmap)
+            return t;
+    }
+    return nullptr;
+}
+
+bool
+XpcManager::forceUnwind(hw::Core &core)
+{
+    hw::XpcCsrs &csrs = core.csrs;
+    if (csrs.linkTop == 0)
+        return false;
+    kernel.trapEnter(core);
+    uint64_t index = csrs.linkTop - 1;
+    hw::Machine &m = kernel.machine();
+    auto rec = engine::XpcEngine::readLinkageRecord(m.phys(),
+                                                    csrs.linkReg,
+                                                    index);
+    if (!rec.valid) {
+        kernel.trapExit(core);
+        return false;
+    }
+    // Kernel-side pop: restore the caller completely and consume
+    // the record. Timer handling + the restore work.
+    core.spend(Cycles(180));
+    auto dead = rec;
+    dead.valid = false;
+    engine::XpcEngine::writeLinkageRecord(m.phys(), csrs.linkReg,
+                                          index, dead);
+    csrs.linkTop = index;
+    csrs.xcallCap = rec.callerCapPtr;
+    csrs.segList = rec.callerSegList;
+    csrs.segReg = rec.callerSeg;
+    csrs.segId = rec.callerSegId;
+    csrs.segMaskOffset = rec.callerMaskOffset;
+    csrs.segMaskLen = rec.callerMaskLen;
+    csrs.pageTableRoot = rec.callerPageTable;
+    if (!m.config().mem.taggedTlb) {
+        core.spend(m.config().core.tlbFlush);
+        m.mem().flushTlb(core.id());
+    }
+    kernel.trapExit(core);
+    return true;
+}
+
+void
+XpcManager::installThread(hw::Core &core, Thread &thread)
+{
+    core.csrs = thread.savedCsrs;
+    core.csrs.pageTableRoot = thread.process()->space().root();
+    kernel.setCurrent(core.id(), &thread);
+}
+
+void
+XpcManager::saveThread(hw::Core &core, Thread &thread)
+{
+    thread.savedCsrs = core.csrs;
+}
+
+void
+XpcManager::onProcessExit(Process &process)
+{
+    hw::Machine &m = kernel.machine();
+    PAddr dying_root = process.space().root();
+
+    // 1. Invalidate the dying process's linkage records everywhere
+    //    so an xret into it faults instead of resuming dead code.
+    for (Thread *t : threadsManaged) {
+        if (t->linkStack == 0)
+            continue;
+        for (uint64_t i = 0; i < engine::linkStackCapacity; i++) {
+            auto rec = engine::XpcEngine::readLinkageRecord(
+                m.phys(), t->linkStack, i);
+            if (rec.valid && rec.callerPageTable == dying_root) {
+                rec.valid = false;
+                engine::XpcEngine::writeLinkageRecord(
+                    m.phys(), t->linkStack, i, rec);
+            }
+        }
+    }
+
+    // 2. Remove x-entries served by the dying process.
+    for (auto &info : entries) {
+        if (info.live && info.handlerThread &&
+            info.handlerThread->process() == &process) {
+            removeEntry(info.id);
+        }
+    }
+
+    // 3. Segment revocation (paper 4.4): segments the process
+    //    allocated are freed; borrowed ones stay with their owners.
+    std::vector<uint64_t> to_free;
+    for (auto &[id, seg] : liveSegs) {
+        if (seg.allocator == process.id())
+            to_free.push_back(id);
+    }
+
+    // 3b. Relay page tables currently owned by the process.
+    std::vector<uint64_t> rpts;
+    for (auto &[id, rpt] : liveRelayPts) {
+        if (rpt.owner == process.id())
+            rpts.push_back(id);
+    }
+    for (uint64_t id : rpts) {
+        RelayPt &rpt = liveRelayPts.at(id);
+        for (CoreId c = 0; c < m.coreCount(); c++)
+            m.mem().tlb(c).flushAsid(rpt.asid);
+        for (PAddr frame : rpt.frames)
+            m.allocator().freeFrames(frame, 1);
+        liveRelayPts.erase(id);
+    }
+
+    // 4. Zap the root page table so every stale translation faults.
+    process.space().kill();
+    process.dead = true;
+    for (Thread *t : process.threads)
+        t->state = ThreadState::Dead;
+
+    for (uint64_t id : to_free)
+        freeRelaySeg(process, id);
+}
+
+} // namespace xpc::kernel

@@ -1,0 +1,186 @@
+#include "zircon.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace xpc::kernel {
+
+ZirconKernel::ZirconKernel(hw::Machine &machine) : Kernel(machine)
+{
+    costs.schedule = params.schedule;
+}
+
+uint64_t
+ZirconKernel::createChannel(Thread &server, Handler handler)
+{
+    Channel ch;
+    ch.id = channels.size();
+    ch.server = &server;
+    ch.handler = std::move(handler);
+    uint64_t npages = params.maxMsgBytes / pageSize;
+    ch.kernelBuf = mach.allocator().allocFrames(npages);
+    panic_if(ch.kernelBuf == 0, "out of memory for channel buffer");
+    ch.serverReqVa = server.process()->alloc(params.maxMsgBytes);
+    ch.serverReplyVa = server.process()->alloc(params.maxMsgBytes);
+    channels.push_back(std::move(ch));
+    return channels.back().id;
+}
+
+void
+ZirconKernel::chargeSyscall(hw::Core &core)
+{
+    trapEnter(core);
+    saveRestoreRegs(core, 2 * params.syscallRegs);
+    core.spend(params.syscallConst);
+    trapExit(core);
+}
+
+void
+ZirconServerCall::readRequest(uint64_t off, void *dst, uint64_t len)
+{
+    panic_if(off + len > owner.params.maxMsgBytes,
+             "request read out of bounds");
+    auto res = owner.userRead(coreRef, *server.process(), reqVa + off,
+                              dst, len);
+    panic_if(!res.ok, "server request read faulted");
+}
+
+void
+ZirconServerCall::writeRequest(uint64_t off, const void *src,
+                               uint64_t len)
+{
+    panic_if(off + len > owner.params.maxMsgBytes,
+             "request write out of bounds");
+    auto res = owner.userWrite(coreRef, *server.process(), reqVa + off,
+                               src, len);
+    panic_if(!res.ok, "server request write faulted");
+}
+
+void
+ZirconServerCall::writeReply(uint64_t off, const void *src, uint64_t len)
+{
+    panic_if(off + len > replyCapacity, "reply write out of bounds");
+    if (replyLen < off + len)
+        replyLen = off + len;
+    auto res = owner.userWrite(coreRef, *server.process(),
+                               replyVa + off, src, len);
+    panic_if(!res.ok, "server reply write faulted");
+}
+
+void
+ZirconServerCall::setReplyLen(uint64_t len)
+{
+    panic_if(len > replyCapacity, "reply longer than client buffer");
+    replyLen = len;
+}
+
+ZirconCallOutcome
+ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
+                   uint64_t opcode, VAddr req_va, uint64_t req_len,
+                   VAddr reply_va, uint64_t reply_cap)
+{
+    ZirconCallOutcome out;
+    panic_if(ch_id >= channels.size(), "no such channel %lu",
+             (unsigned long)ch_id);
+    Channel &ch = channels[ch_id];
+    panic_if(req_len > params.maxMsgBytes,
+             "channel message of %lu bytes exceeds the limit",
+             (unsigned long)req_len);
+    channelMsgs.inc();
+
+    Cycles start = core.now();
+    bool cross_core = ch.server->sched.homeCore != core.id();
+    hw::Core &scre =
+        cross_core ? mach.core(ch.server->sched.homeCore) : core;
+
+    // --- zx_channel_write: copy in (user -> kernel). --------------
+    chargeSyscall(core);
+    {
+        std::vector<uint8_t> stage(req_len);
+        if (req_len > 0) {
+            auto res = userRead(core, *client.process(), req_va,
+                                stage.data(), req_len);
+            panic_if(!res.ok, "channel write: client read faulted");
+            core.spend(mach.mem().writePhys(core.id(), ch.kernelBuf,
+                                            stage.data(), req_len));
+        }
+    }
+
+    // --- Wake the server; the client blocks on the reply. ---------
+    if (cross_core) {
+        mach.sendIpi(core.id(), scre.id());
+        scre.spend(costs.remoteWake);
+        scre.syncTo(core.now());
+    } else {
+        core.spend(params.schedule);
+        contextSwitches.inc();
+        setCurrent(core.id(), ch.server);
+    }
+    core.spend(params.portWait);
+
+    // --- zx_channel_read on the server: copy out (kernel->user). --
+    chargeSyscall(scre);
+    scre.spend(params.portWait);
+    if (req_len > 0) {
+        std::vector<uint8_t> stage(req_len);
+        scre.spend(mach.mem().readPhys(scre.id(), ch.kernelBuf,
+                                       stage.data(), req_len));
+        auto res = userWrite(scre, *ch.server->process(),
+                             ch.serverReqVa, stage.data(), req_len);
+        panic_if(!res.ok, "channel read: server write faulted");
+    }
+
+    out.oneWay = scre.now() - start;
+
+    // --- Handler. --------------------------------------------------
+    ZirconServerCall call_ctx(*this, scre, *ch.server);
+    call_ctx.client = &client;
+    call_ctx.op = opcode;
+    call_ctx.reqLen = req_len;
+    call_ctx.replyCapacity = std::min(reply_cap, params.maxMsgBytes);
+    call_ctx.reqVa = ch.serverReqVa;
+    call_ctx.replyVa = ch.serverReplyVa;
+    Cycles h0 = scre.now();
+    ch.handler(call_ctx);
+    out.handlerCycles = scre.now() - h0;
+
+    // --- Reply: server write, schedule back, client read. ---------
+    uint64_t reply_len = call_ctx.replyLen;
+    chargeSyscall(scre);
+    if (reply_len > 0) {
+        std::vector<uint8_t> stage(reply_len);
+        auto res = userRead(scre, *ch.server->process(),
+                            ch.serverReplyVa, stage.data(), reply_len);
+        panic_if(!res.ok, "channel reply: server read faulted");
+        scre.spend(mach.mem().writePhys(scre.id(), ch.kernelBuf,
+                                        stage.data(), reply_len));
+    }
+
+    if (cross_core) {
+        mach.sendIpi(scre.id(), core.id());
+        core.syncTo(scre.now());
+        core.spend(costs.remoteWake);
+    } else {
+        core.spend(params.schedule);
+        contextSwitches.inc();
+        setCurrent(core.id(), &client);
+    }
+
+    chargeSyscall(core);
+    if (reply_len > 0) {
+        std::vector<uint8_t> stage(reply_len);
+        core.spend(mach.mem().readPhys(core.id(), ch.kernelBuf,
+                                       stage.data(), reply_len));
+        auto res = userWrite(core, *client.process(), reply_va,
+                             stage.data(), reply_len);
+        panic_if(!res.ok, "channel reply: client write faulted");
+    }
+
+    out.ok = true;
+    out.replyLen = reply_len;
+    out.roundTrip = core.now() - start;
+    return out;
+}
+
+} // namespace xpc::kernel

@@ -1,0 +1,240 @@
+#include "mem_system.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace xpc::mem {
+
+MemSystem::MemSystem(PhysMem &phys, const MemParams &params,
+                     uint32_t ncores)
+    : physMem(phys), memParams(params)
+{
+    panic_if(ncores == 0, "MemSystem needs at least one core");
+    l2 = std::make_unique<Cache>(params.l2, nullptr, params.dramLatency);
+    for (uint32_t i = 0; i < ncores; i++) {
+        l1ds.push_back(
+            std::make_unique<Cache>(params.l1d, l2.get(),
+                                    params.dramLatency));
+        tlbs.push_back(std::make_unique<Tlb>(
+            params.tlbEntries, params.tlbAssoc, params.taggedTlb));
+    }
+}
+
+Cycles
+MemSystem::issueCost(uint64_t len) const
+{
+    uint64_t wb = memParams.wordBytes;
+    uint64_t words = (len + wb - 1) / wb;
+    return Cycles(memParams.perWordIssue.value() * words);
+}
+
+AccessResult
+MemSystem::translate(CoreId core, const TransContext &ctx, VAddr vaddr,
+                     bool is_write, PAddr *out)
+{
+    AccessResult res;
+
+    // Relay-seg window has priority over the page table (paper 3.3).
+    if (ctx.seg) {
+        if (auto paddr = ctx.seg->translate(vaddr)) {
+            bool allowed = is_write ? ctx.seg->write : ctx.seg->read;
+            if (!allowed) {
+                res.fault = FaultKind::SegPermissionFault;
+                res.faultAddr = vaddr;
+                return res;
+            }
+            res.ok = true;
+            *out = *paddr;
+            return res;
+        }
+    }
+
+    // Relay page table (paper 6.2): selected by VA range, walked and
+    // TLB-cached like a normal table but under its own ASID.
+    if (ctx.relayPt && ctx.relayPt->covers(vaddr)) {
+        if (const TlbEntry *e =
+                tlb(core).lookup(ctx.relayPt->asid, vaddr)) {
+            Perms req;
+            req.read = !is_write;
+            req.write = is_write;
+            req.user = ctx.user;
+            if (!e->perms.allows(req)) {
+                res.fault = FaultKind::ProtectionFault;
+                res.faultAddr = vaddr;
+                return res;
+            }
+            res.ok = true;
+            *out = (e->ppn << pageShift) | (vaddr & pageMask);
+            return res;
+        }
+        WalkResult walk = ctx.relayPt->pt->walk(vaddr);
+        res.cycles += memParams.walkOverhead;
+        for (int i = 0; i < walk.levels; i++)
+            res.cycles += l1(core).access(walk.pteAddrs[i], 8, false);
+        if (!walk.valid) {
+            res.fault = FaultKind::PageFault;
+            res.faultAddr = vaddr;
+            return res;
+        }
+        tlb(core).insert(ctx.relayPt->asid, vaddr, walk.paddr,
+                         walk.perms);
+        res.ok = true;
+        *out = walk.paddr;
+        return res;
+    }
+
+    panic_if(!ctx.pt, "translate with neither seg window nor page table");
+
+    if (const TlbEntry *e = tlb(core).lookup(ctx.asid, vaddr)) {
+        Perms req;
+        req.read = !is_write;
+        req.write = is_write;
+        req.user = ctx.user;
+        if (!e->perms.allows(req)) {
+            res.fault = FaultKind::ProtectionFault;
+            res.faultAddr = vaddr;
+            return res;
+        }
+        res.ok = true;
+        *out = (e->ppn << pageShift) | (vaddr & pageMask);
+        return res;
+    }
+
+    // TLB miss: hardware page walk, PTE fetches go through the caches.
+    WalkResult walk = ctx.pt->walk(vaddr);
+    res.cycles += memParams.walkOverhead;
+    for (int i = 0; i < walk.levels; i++)
+        res.cycles += l1(core).access(walk.pteAddrs[i], 8, false);
+
+    if (!walk.valid) {
+        res.fault = FaultKind::PageFault;
+        res.faultAddr = vaddr;
+        return res;
+    }
+
+    Perms req;
+    req.read = !is_write;
+    req.write = is_write;
+    req.user = ctx.user;
+    if (!walk.perms.allows(req)) {
+        res.fault = FaultKind::ProtectionFault;
+        res.faultAddr = vaddr;
+        return res;
+    }
+
+    tlb(core).insert(ctx.asid, vaddr, walk.paddr, walk.perms);
+    res.ok = true;
+    *out = walk.paddr;
+    return res;
+}
+
+AccessResult
+MemSystem::read(CoreId core, const TransContext &ctx, VAddr vaddr,
+                void *dst, uint64_t len)
+{
+    AccessResult total;
+    total.ok = true;
+    auto *out = static_cast<uint8_t *>(dst);
+    while (len > 0) {
+        uint64_t chunk = std::min(len, pageSize - (vaddr & pageMask));
+        PAddr paddr = 0;
+        AccessResult tr = translate(core, ctx, vaddr, false, &paddr);
+        total.cycles += tr.cycles;
+        if (!tr.ok) {
+            total.ok = false;
+            total.fault = tr.fault;
+            total.faultAddr = tr.faultAddr;
+            return total;
+        }
+        total.cycles += l1(core).access(paddr, chunk, false);
+        total.cycles += issueCost(chunk);
+        physMem.read(paddr, out, chunk);
+        vaddr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+    return total;
+}
+
+AccessResult
+MemSystem::write(CoreId core, const TransContext &ctx, VAddr vaddr,
+                 const void *src, uint64_t len)
+{
+    AccessResult total;
+    total.ok = true;
+    auto *in = static_cast<const uint8_t *>(src);
+    while (len > 0) {
+        uint64_t chunk = std::min(len, pageSize - (vaddr & pageMask));
+        PAddr paddr = 0;
+        AccessResult tr = translate(core, ctx, vaddr, true, &paddr);
+        total.cycles += tr.cycles;
+        if (!tr.ok) {
+            total.ok = false;
+            total.fault = tr.fault;
+            total.faultAddr = tr.faultAddr;
+            return total;
+        }
+        total.cycles += l1(core).access(paddr, chunk, true);
+        total.cycles += issueCost(chunk);
+        physMem.write(paddr, in, chunk);
+        vaddr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+    return total;
+}
+
+AccessResult
+MemSystem::copy(CoreId core, const TransContext &src_ctx, VAddr src,
+                const TransContext &dst_ctx, VAddr dst, uint64_t len)
+{
+    AccessResult total;
+    total.ok = true;
+    std::vector<uint8_t> buf(std::min<uint64_t>(len, pageSize));
+    while (len > 0) {
+        uint64_t chunk = std::min<uint64_t>(len, buf.size());
+        AccessResult r = read(core, src_ctx, src, buf.data(), chunk);
+        total.cycles += r.cycles;
+        if (!r.ok) {
+            total.ok = false;
+            total.fault = r.fault;
+            total.faultAddr = r.faultAddr;
+            return total;
+        }
+        AccessResult w = write(core, dst_ctx, dst, buf.data(), chunk);
+        total.cycles += w.cycles;
+        if (!w.ok) {
+            total.ok = false;
+            total.fault = w.fault;
+            total.faultAddr = w.faultAddr;
+            return total;
+        }
+        src += chunk;
+        dst += chunk;
+        len -= chunk;
+    }
+    return total;
+}
+
+Cycles
+MemSystem::readPhys(CoreId core, PAddr paddr, void *dst, uint64_t len)
+{
+    Cycles c = l1(core).access(paddr, len, false);
+    c += issueCost(len);
+    physMem.read(paddr, dst, len);
+    return c;
+}
+
+Cycles
+MemSystem::writePhys(CoreId core, PAddr paddr, const void *src,
+                     uint64_t len)
+{
+    Cycles c = l1(core).access(paddr, len, true);
+    c += issueCost(len);
+    physMem.write(paddr, src, len);
+    return c;
+}
+
+} // namespace xpc::mem

@@ -1,0 +1,148 @@
+#include "page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace xpc::mem {
+
+PageTable::PageTable(PhysMem &p, PhysAllocator &a) : phys(p), alloc(a)
+{
+    rootFrame = newNode();
+}
+
+PageTable::~PageTable()
+{
+    for (PAddr frame : ownedFrames)
+        alloc.freeFrames(frame, 1);
+}
+
+PAddr
+PageTable::newNode()
+{
+    PAddr frame = alloc.allocFrames(1);
+    panic_if(frame == 0, "out of physical memory for page-table nodes");
+    phys.clear(frame, pageSize);
+    ownedFrames.push_back(frame);
+    return frame;
+}
+
+int
+PageTable::vpn(VAddr vaddr, int level)
+{
+    // level 2 is the root: bits [38:30]; level 0 is the leaf: [20:12].
+    return int((vaddr >> (pageShift + levelBits * level)) &
+               (levelEntries - 1));
+}
+
+uint64_t
+PageTable::makePte(PAddr paddr, Perms perms)
+{
+    uint64_t pte = pteValid | ((paddr >> pageShift) << ptePpnShift);
+    if (perms.read)
+        pte |= pteRead;
+    if (perms.write)
+        pte |= pteWrite;
+    if (perms.exec)
+        pte |= pteExec;
+    if (perms.user)
+        pte |= pteUser;
+    return pte;
+}
+
+Perms
+PageTable::ptePerms(uint64_t pte)
+{
+    return Perms{(pte & pteRead) != 0, (pte & pteWrite) != 0,
+                 (pte & pteExec) != 0, (pte & pteUser) != 0};
+}
+
+void
+PageTable::map(VAddr vaddr, PAddr paddr, Perms perms)
+{
+    panic_if(!pageAligned(vaddr) || !pageAligned(paddr),
+             "map requires page-aligned addresses (%#lx -> %#lx)",
+             (unsigned long)vaddr, (unsigned long)paddr);
+    panic_if(vaddr >= (uint64_t(1) << 39),
+             "virtual address %#lx beyond Sv39", (unsigned long)vaddr);
+
+    PAddr node = rootFrame;
+    for (int level = 2; level > 0; level--) {
+        PAddr slot = node + uint64_t(vpn(vaddr, level)) * 8;
+        uint64_t pte = phys.read64(slot);
+        if (!(pte & pteValid)) {
+            PAddr child = newNode();
+            pte = pteValid | ((child >> pageShift) << ptePpnShift);
+            phys.write64(slot, pte);
+        }
+        node = (pte >> ptePpnShift) << pageShift;
+    }
+    PAddr leaf_slot = node + uint64_t(vpn(vaddr, 0)) * 8;
+    if (!(phys.read64(leaf_slot) & pteValid))
+        mappedCount++;
+    phys.write64(leaf_slot, makePte(paddr, perms));
+}
+
+bool
+PageTable::unmap(VAddr vaddr)
+{
+    PAddr node = rootFrame;
+    for (int level = 2; level > 0; level--) {
+        uint64_t pte = phys.read64(node + uint64_t(vpn(vaddr, level)) * 8);
+        if (!(pte & pteValid))
+            return false;
+        node = (pte >> ptePpnShift) << pageShift;
+    }
+    PAddr leaf_slot = node + uint64_t(vpn(vaddr, 0)) * 8;
+    uint64_t pte = phys.read64(leaf_slot);
+    if (!(pte & pteValid))
+        return false;
+    phys.write64(leaf_slot, 0);
+    mappedCount--;
+    return true;
+}
+
+WalkResult
+PageTable::walk(VAddr vaddr) const
+{
+    WalkResult res;
+    if (vaddr >= (uint64_t(1) << 39))
+        return res;
+
+    PAddr node = rootFrame;
+    for (int level = 2; level >= 0; level--) {
+        PAddr slot = node + uint64_t(vpn(vaddr, level)) * 8;
+        res.pteAddrs[res.levels++] = slot;
+        uint64_t pte = phys.read64(slot);
+        if (!(pte & pteValid))
+            return res;
+        if (level == 0) {
+            res.valid = true;
+            res.perms = ptePerms(pte);
+            res.paddr = ((pte >> ptePpnShift) << pageShift) |
+                        (vaddr & pageMask);
+            return res;
+        }
+        node = (pte >> ptePpnShift) << pageShift;
+    }
+    return res;
+}
+
+bool
+PageTable::anyMappingIn(VAddr vaddr, uint64_t len) const
+{
+    for (VAddr va = pageAlignDown(vaddr); va < vaddr + len;
+         va += pageSize) {
+        if (walk(va).valid)
+            return true;
+    }
+    return false;
+}
+
+void
+PageTable::zapRoot()
+{
+    phys.clear(rootFrame, pageSize);
+    // Leaf counts refer to reachable mappings; nothing is reachable now.
+    mappedCount = 0;
+}
+
+} // namespace xpc::mem

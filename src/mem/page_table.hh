@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Sv39-style three-level radix page table stored in simulated memory.
+ *
+ * The table's nodes live in simulated physical frames, so a page walk
+ * is genuine pointer chasing through PhysMem; MemSystem charges the
+ * walk's PTE fetches through the cache hierarchy using the addresses
+ * reported in WalkResult.
+ */
+
+#ifndef XPC_MEM_PAGE_TABLE_HH
+#define XPC_MEM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "mem/phys_mem.hh"
+#include "sim/types.hh"
+
+namespace xpc::mem {
+
+/** Page permission bits, stored in PTE bits [1..4]. */
+struct Perms
+{
+    bool read = false;
+    bool write = false;
+    bool exec = false;
+    bool user = false;
+
+    bool
+    allows(const Perms &req) const
+    {
+        return (!req.read || read) && (!req.write || write) &&
+               (!req.exec || exec) && (!req.user || user);
+    }
+
+    bool operator==(const Perms &) const = default;
+};
+
+/** Canonical permission shorthands. */
+constexpr Perms permsRW{true, true, false, true};
+constexpr Perms permsRO{true, false, false, true};
+constexpr Perms permsRX{true, false, true, true};
+constexpr Perms permsKernelRW{true, true, false, false};
+
+/** Outcome of a page walk, including the PTE fetches it performed. */
+struct WalkResult
+{
+    bool valid = false;
+    PAddr paddr = 0;
+    Perms perms;
+    /** Physical addresses of the PTEs read, for timing charges. */
+    std::array<PAddr, 3> pteAddrs{};
+    int levels = 0;
+};
+
+/**
+ * A three-level radix tree translating 39-bit virtual addresses.
+ *
+ * Each address space owns one PageTable. Node frames come from the
+ * machine's PhysAllocator, so table memory is visible in DRAM usage
+ * like on real hardware.
+ */
+class PageTable
+{
+  public:
+    PageTable(PhysMem &phys, PhysAllocator &alloc);
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /** Physical address of the root node (the "page table pointer"). */
+    PAddr root() const { return rootFrame; }
+
+    /**
+     * Establish the translation @p vaddr -> @p paddr for one page.
+     * Both addresses must be page aligned. Remapping an existing page
+     * updates it in place.
+     */
+    void map(VAddr vaddr, PAddr paddr, Perms perms);
+
+    /** Remove the translation for @p vaddr. @return true if present. */
+    bool unmap(VAddr vaddr);
+
+    /** Walk the tree for @p vaddr, reading PTEs from simulated DRAM. */
+    WalkResult walk(VAddr vaddr) const;
+
+    /** True when some page is mapped in [vaddr, vaddr+len). */
+    bool anyMappingIn(VAddr vaddr, uint64_t len) const;
+
+    /**
+     * Invalidate the root node, as the kernel does to a dying process
+     * so stale xret targets fault (paper section 4.2). All subsequent
+     * walks fail until the table is rebuilt.
+     */
+    void zapRoot();
+
+    /** Number of mapped pages (bookkeeping, not simulated state). */
+    uint64_t mappedPages() const { return mappedCount; }
+
+  private:
+    static constexpr int levelBits = 9;
+    static constexpr int levelEntries = 1 << levelBits;
+
+    static constexpr uint64_t pteValid = 1;
+    static constexpr uint64_t pteRead = 1 << 1;
+    static constexpr uint64_t pteWrite = 1 << 2;
+    static constexpr uint64_t pteExec = 1 << 3;
+    static constexpr uint64_t pteUser = 1 << 4;
+    static constexpr int ptePpnShift = 10;
+
+    PhysMem &phys;
+    PhysAllocator &alloc;
+    PAddr rootFrame;
+    uint64_t mappedCount = 0;
+    std::vector<PAddr> ownedFrames;
+
+    static int vpn(VAddr vaddr, int level);
+    PAddr newNode();
+    static uint64_t makePte(PAddr paddr, Perms perms);
+    static Perms ptePerms(uint64_t pte);
+};
+
+} // namespace xpc::mem
+
+#endif // XPC_MEM_PAGE_TABLE_HH

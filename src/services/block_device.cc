@@ -1,0 +1,97 @@
+#include "block_device.hh"
+
+#include <vector>
+
+#include "services/proto.hh"
+#include "sim/logging.hh"
+
+namespace xpc::services {
+
+BlockDeviceServer::BlockDeviceServer(core::Transport &tr,
+                                     kernel::Thread &handler_thread,
+                                     uint64_t n)
+    : transport(tr), serverThread(handler_thread), nblocks(n)
+{
+    store = handler_thread.process()->alloc(nblocks * blockBytes);
+
+    core::ServiceDesc desc;
+    desc.name = "blockdev";
+    desc.handlerThread = &handler_thread;
+    desc.maxMsgBytes = 64 * 1024;
+    svcId = transport.registerService(
+        desc, [this](core::ServerApi &api) { handle(api); });
+}
+
+void
+BlockDeviceServer::handle(core::ServerApi &api)
+{
+    using namespace proto;
+    uint8_t hdr[sizeof(BlockReq)];
+    api.readRequest(0, hdr, sizeof(hdr));
+    BlockReq req = unpackFrom<BlockReq>(hdr);
+    panic_if(req.blockNo + req.count > nblocks,
+             "block access [%lu, %lu) beyond device of %lu blocks",
+             (unsigned long)req.blockNo,
+             (unsigned long)(req.blockNo + req.count),
+             (unsigned long)nblocks);
+
+    kernel::Kernel &kern = transport.kernelRef();
+    kernel::Process &proc = *serverThread.process();
+    uint64_t bytes = req.count * blockBytes;
+    std::vector<uint8_t> buf(bytes);
+
+    switch (BlockOp(api.opcode())) {
+      case BlockOp::Read: {
+        reads.inc(req.count);
+        auto res = kern.userRead(api.core(), proc,
+                                 store + req.blockNo * blockBytes,
+                                 buf.data(), bytes);
+        panic_if(!res.ok, "ramdisk read faulted");
+        api.writeReply(0, buf.data(), bytes);
+        api.setReplyLen(bytes);
+        return;
+      }
+      case BlockOp::Write: {
+        writes.inc(req.count);
+        api.readRequest(blockDataOffset, buf.data(), bytes);
+        auto res = kern.userWrite(api.core(), proc,
+                                  store + req.blockNo * blockBytes,
+                                  buf.data(), bytes);
+        panic_if(!res.ok, "ramdisk write faulted");
+        api.setReplyLen(0);
+        return;
+      }
+      case BlockOp::Info: {
+        uint64_t info[2] = {nblocks, blockBytes};
+        api.writeReply(0, info, sizeof(info));
+        api.setReplyLen(sizeof(info));
+        return;
+      }
+    }
+    panic("unknown block-device opcode %lu",
+          (unsigned long)api.opcode());
+}
+
+void
+BlockDeviceServer::readDirect(hw::Core &core, uint64_t block_no,
+                              void *dst)
+{
+    panic_if(block_no >= nblocks, "readDirect beyond device");
+    auto res = transport.kernelRef().userRead(
+        core, *serverThread.process(), store + block_no * blockBytes,
+        dst, blockBytes);
+    panic_if(!res.ok, "readDirect faulted");
+}
+
+void
+BlockDeviceServer::writeDirect(hw::Core &core, uint64_t block_no,
+                               const void *src)
+{
+    panic_if(block_no >= nblocks, "writeDirect beyond device");
+    auto res = transport.kernelRef().userWrite(
+        core, *serverThread.process(), store + block_no * blockBytes,
+        src, blockBytes);
+    panic_if(!res.ok, "writeDirect faulted");
+}
+
+} // namespace xpc::services

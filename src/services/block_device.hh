@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The ramdisk block-device server (the paper's "in-memory ram disk
+ * server"). Disk contents live in the server process's simulated
+ * memory, so serving a block is real, charged data movement.
+ */
+
+#ifndef XPC_SERVICES_BLOCK_DEVICE_HH
+#define XPC_SERVICES_BLOCK_DEVICE_HH
+
+#include "core/transport.hh"
+#include "sim/stats.hh"
+
+namespace xpc::services {
+
+/** A ramdisk served over IPC. */
+class BlockDeviceServer
+{
+  public:
+    static constexpr uint64_t blockBytes = 4096;
+
+    /**
+     * Create and register the service.
+     * @param handler_thread the server thread (its process stores
+     *        the disk image)
+     * @param nblocks disk capacity in blocks
+     */
+    BlockDeviceServer(core::Transport &transport,
+                      kernel::Thread &handler_thread, uint64_t nblocks);
+
+    core::ServiceId id() const { return svcId; }
+    uint64_t blockCount() const { return nblocks; }
+
+    /** Direct (charged) access for mkfs-time population and tests. */
+    void readDirect(hw::Core &core, uint64_t block_no, void *dst);
+    void writeDirect(hw::Core &core, uint64_t block_no,
+                     const void *src);
+
+    Counter reads;
+    Counter writes;
+
+  private:
+    core::Transport &transport;
+    kernel::Thread &serverThread;
+    uint64_t nblocks;
+    VAddr store = 0;
+    core::ServiceId svcId = 0;
+
+    void handle(core::ServerApi &api);
+};
+
+} // namespace xpc::services
+
+#endif // XPC_SERVICES_BLOCK_DEVICE_HH

@@ -1,0 +1,237 @@
+#include "fs_server.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "services/proto.hh"
+#include "sim/logging.hh"
+
+namespace xpc::services {
+
+using namespace proto;
+
+void
+FsServer::IpcBlockIo::read(uint32_t block_no, void *dst)
+{
+    panic_if(!core, "block IO without a core context");
+    uint8_t req[sizeof(BlockReq)];
+    packInto(req, BlockReq{block_no, 1});
+    uint64_t got = transport.scratchCall(
+        *core, fsThread, inHandler, diskSvc,
+        uint64_t(BlockOp::Read), req, sizeof(req), dst,
+        BlockDeviceServer::blockBytes);
+    panic_if(got != BlockDeviceServer::blockBytes,
+             "short block read (%lu bytes)", (unsigned long)got);
+}
+
+void
+FsServer::IpcBlockIo::write(uint32_t block_no, const void *src)
+{
+    panic_if(!core, "block IO without a core context");
+    std::vector<uint8_t> req(blockDataOffset +
+                             BlockDeviceServer::blockBytes);
+    packInto(req.data(), BlockReq{block_no, 1});
+    std::memcpy(req.data() + blockDataOffset, src,
+                BlockDeviceServer::blockBytes);
+    transport.scratchCall(*core, fsThread, inHandler, diskSvc,
+                          uint64_t(BlockOp::Write), req.data(),
+                          req.size(), nullptr, 0);
+}
+
+FsServer::FsServer(core::Transport &tr, kernel::Thread &fs_thread,
+                   core::ServiceId block_svc, uint64_t disk_blocks)
+    : transport(tr), fsThread(fs_thread),
+      blockIo(tr, fs_thread, block_svc)
+{
+    // The FS thread needs a scratch message area big enough for one
+    // block write plus headers.
+    hw::Core &boot_core = transport.kernelRef().machine().core(
+        fs_thread.sched.homeCore);
+    transport.prepareScratch(boot_core, fs_thread,
+                             blockDataOffset +
+                                 BlockDeviceServer::blockBytes + 256);
+
+    // Format and mount, as the FS thread, at wiring time.
+    blockIo.core = &boot_core;
+    blockIo.inHandler = false;
+    fs::Xv6Fs::mkfs(blockIo, uint32_t(disk_blocks));
+    int64_t r = filesystem.mount(blockIo);
+    fatal_if(r != fs::fsOk, "failed to mount the fresh file system");
+
+    core::ServiceDesc desc;
+    desc.name = "fs";
+    desc.handlerThread = &fs_thread;
+    desc.maxMsgBytes = 256 * 1024;
+    desc.selfAppendBytes = fsDataOffset;
+    desc.callees = {block_svc};
+    svcId = transport.registerService(
+        desc, [this](core::ServerApi &api) { handle(api); });
+}
+
+void
+FsServer::handle(core::ServerApi &api)
+{
+    blockIo.core = &api.core();
+    blockIo.inHandler = true;
+
+    uint8_t hdr_raw[sizeof(FsMsg)];
+    api.readRequest(0, hdr_raw, sizeof(hdr_raw));
+    FsMsg req = unpackFrom<FsMsg>(hdr_raw);
+    FsMsg reply{};
+
+    auto read_path = [&](uint64_t len) {
+        panic_if(len > fsMaxPath, "path too long");
+        std::vector<char> raw(len + 1, 0);
+        if (len > 0)
+            api.readRequest(fsDataOffset, raw.data(), len);
+        return std::string(raw.data());
+    };
+
+    switch (FsOp(api.opcode())) {
+      case FsOp::Open: {
+        std::string path = read_path(uint64_t(req.c));
+        reply.a = filesystem.open(path, req.a & fsOpenCreate);
+        break;
+      }
+      case FsOp::Read: {
+        std::vector<uint8_t> buf(req.c);
+        int64_t r = filesystem.pread(req.a, uint64_t(req.b),
+                                     buf.data(), uint64_t(req.c));
+        reply.a = r;
+        if (r > 0)
+            api.writeReply(fsDataOffset, buf.data(), uint64_t(r));
+        break;
+      }
+      case FsOp::Write: {
+        std::vector<uint8_t> buf(req.c);
+        if (req.c > 0)
+            api.readRequest(fsDataOffset, buf.data(), uint64_t(req.c));
+        reply.a = filesystem.pwrite(req.a, uint64_t(req.b), buf.data(),
+                                    uint64_t(req.c));
+        break;
+      }
+      case FsOp::Close:
+        reply.a = filesystem.close(req.a);
+        break;
+      case FsOp::Unlink:
+        reply.a = filesystem.unlink(read_path(uint64_t(req.c)));
+        break;
+      case FsOp::Stat:
+        reply.a = filesystem.fileSize(req.a);
+        break;
+      case FsOp::Mkdir:
+        reply.a = filesystem.mkdir(read_path(uint64_t(req.c)));
+        break;
+      default:
+        panic("unknown FS opcode %lu", (unsigned long)api.opcode());
+    }
+
+    uint8_t reply_raw[sizeof(FsMsg)];
+    packInto(reply_raw, reply);
+    api.writeReply(0, reply_raw, sizeof(reply_raw));
+    if (api.opcode() == uint64_t(FsOp::Read) && reply.a > 0)
+        api.setReplyLen(fsDataOffset + uint64_t(reply.a));
+    else
+        api.setReplyLen(sizeof(FsMsg));
+
+    blockIo.core = nullptr;
+    blockIo.inHandler = false;
+}
+
+namespace {
+
+/** Shared client-side call plumbing. */
+int64_t
+fsCall(core::Transport &tr, hw::Core &core, kernel::Thread &client,
+       core::ServiceId svc, FsOp op, const FsMsg &msg,
+       const void *payload, uint64_t payload_len, void *reply_data,
+       uint64_t reply_data_cap)
+{
+    tr.requestArea(core, client,
+                   fsDataOffset + std::max(payload_len,
+                                           reply_data_cap));
+    uint8_t hdr[sizeof(FsMsg)];
+    packInto(hdr, msg);
+    tr.clientWrite(core, client, 0, hdr, sizeof(hdr));
+    if (payload_len > 0)
+        tr.clientWrite(core, client, fsDataOffset, payload,
+                       payload_len);
+    auto r = tr.call(core, client, svc, uint64_t(op),
+                     fsDataOffset + payload_len,
+                     fsDataOffset + reply_data_cap);
+    panic_if(!r.ok, "FS call failed");
+    uint8_t reply_raw[sizeof(FsMsg)];
+    tr.clientRead(core, client, 0, reply_raw, sizeof(reply_raw));
+    FsMsg reply = unpackFrom<FsMsg>(reply_raw);
+    if (reply.a > 0 && reply_data) {
+        uint64_t n = std::min<uint64_t>(uint64_t(reply.a),
+                                        reply_data_cap);
+        tr.clientRead(core, client, fsDataOffset, reply_data, n);
+    }
+    return reply.a;
+}
+
+} // namespace
+
+int64_t
+FsServer::clientOpen(core::Transport &tr, hw::Core &core,
+                     kernel::Thread &client, core::ServiceId svc,
+                     const std::string &path, bool create)
+{
+    FsMsg msg;
+    msg.a = create ? fsOpenCreate : 0;
+    msg.c = int64_t(path.size());
+    return fsCall(tr, core, client, svc, FsOp::Open, msg, path.data(),
+                  path.size(), nullptr, 0);
+}
+
+int64_t
+FsServer::clientRead(core::Transport &tr, hw::Core &core,
+                     kernel::Thread &client, core::ServiceId svc,
+                     int64_t fd, uint64_t off, void *dst, uint64_t len)
+{
+    FsMsg msg;
+    msg.a = fd;
+    msg.b = int64_t(off);
+    msg.c = int64_t(len);
+    return fsCall(tr, core, client, svc, FsOp::Read, msg, nullptr, 0,
+                  dst, len);
+}
+
+int64_t
+FsServer::clientWrite(core::Transport &tr, hw::Core &core,
+                      kernel::Thread &client, core::ServiceId svc,
+                      int64_t fd, uint64_t off, const void *src,
+                      uint64_t len)
+{
+    FsMsg msg;
+    msg.a = fd;
+    msg.b = int64_t(off);
+    msg.c = int64_t(len);
+    return fsCall(tr, core, client, svc, FsOp::Write, msg, src, len,
+                  nullptr, 0);
+}
+
+int64_t
+FsServer::clientClose(core::Transport &tr, hw::Core &core,
+                      kernel::Thread &client, core::ServiceId svc,
+                      int64_t fd)
+{
+    FsMsg msg;
+    msg.a = fd;
+    return fsCall(tr, core, client, svc, FsOp::Close, msg, nullptr, 0,
+                  nullptr, 0);
+}
+
+int64_t
+FsServer::clientUnlink(core::Transport &tr, hw::Core &core,
+                       kernel::Thread &client, core::ServiceId svc,
+                       const std::string &path)
+{
+    FsMsg msg;
+    msg.c = int64_t(path.size());
+    return fsCall(tr, core, client, svc, FsOp::Unlink, msg,
+                  path.data(), path.size(), nullptr, 0);
+}
+
+} // namespace xpc::services

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The file-system server: xv6fs exported over IPC, with its disk
+ * traffic going to the BlockDeviceServer through scratch calls -
+ * the two-server FS architecture of the paper's section 5.3.
+ */
+
+#ifndef XPC_SERVICES_FS_SERVER_HH
+#define XPC_SERVICES_FS_SERVER_HH
+
+#include <string>
+
+#include "core/transport.hh"
+#include "services/block_device.hh"
+#include "services/fs/xv6fs.hh"
+
+namespace xpc::services {
+
+/** xv6fs served over IPC. */
+class FsServer
+{
+  public:
+    /**
+     * Create the server, format the disk and mount it.
+     * @param fs_thread the server thread
+     * @param block_svc the block-device service to talk to
+     */
+    FsServer(core::Transport &transport, kernel::Thread &fs_thread,
+             core::ServiceId block_svc, uint64_t disk_blocks);
+
+    core::ServiceId id() const { return svcId; }
+    fs::Xv6Fs &fsImpl() { return filesystem; }
+
+    /// @name Typed client wrappers (drive the service over IPC).
+    /// @{
+    static int64_t clientOpen(core::Transport &tr, hw::Core &core,
+                              kernel::Thread &client,
+                              core::ServiceId svc,
+                              const std::string &path, bool create);
+    static int64_t clientRead(core::Transport &tr, hw::Core &core,
+                              kernel::Thread &client,
+                              core::ServiceId svc, int64_t fd,
+                              uint64_t off, void *dst, uint64_t len);
+    static int64_t clientWrite(core::Transport &tr, hw::Core &core,
+                               kernel::Thread &client,
+                               core::ServiceId svc, int64_t fd,
+                               uint64_t off, const void *src,
+                               uint64_t len);
+    static int64_t clientClose(core::Transport &tr, hw::Core &core,
+                               kernel::Thread &client,
+                               core::ServiceId svc, int64_t fd);
+    static int64_t clientUnlink(core::Transport &tr, hw::Core &core,
+                                kernel::Thread &client,
+                                core::ServiceId svc,
+                                const std::string &path);
+    /// @}
+
+  private:
+    /** BlockIo routed over IPC scratch calls. */
+    class IpcBlockIo : public fs::BlockIo
+    {
+      public:
+        IpcBlockIo(core::Transport &tr, kernel::Thread &thread,
+                   core::ServiceId disk)
+            : transport(tr), fsThread(thread), diskSvc(disk)
+        {}
+
+        void read(uint32_t block_no, void *dst) override;
+        void write(uint32_t block_no, const void *src) override;
+
+        /** Per-request context. */
+        hw::Core *core = nullptr;
+        bool inHandler = false;
+
+      private:
+        core::Transport &transport;
+        kernel::Thread &fsThread;
+        core::ServiceId diskSvc;
+    };
+
+    core::Transport &transport;
+    kernel::Thread &fsThread;
+    core::ServiceId svcId = 0;
+    IpcBlockIo blockIo;
+    fs::Xv6Fs filesystem;
+
+    void handle(core::ServerApi &api);
+};
+
+} // namespace xpc::services
+
+#endif // XPC_SERVICES_FS_SERVER_HH

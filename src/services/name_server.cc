@@ -1,0 +1,87 @@
+#include "name_server.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "services/proto.hh"
+#include "sim/logging.hh"
+
+namespace xpc::services {
+
+using namespace proto;
+
+NameServer::NameServer(core::Transport &tr,
+                       kernel::Thread &handler_thread)
+    : transport(tr), serverThread(handler_thread)
+{
+    core::ServiceDesc desc;
+    desc.name = "nameserver";
+    desc.handlerThread = &handler_thread;
+    desc.maxMsgBytes = 4096;
+    svcId = transport.registerService(
+        desc, [this](core::ServerApi &api) { handle(api); });
+}
+
+void
+NameServer::bind(const std::string &name, core::ServiceId svc)
+{
+    panic_if(name.empty() || name.size() > fsMaxPath,
+             "bad service name");
+    names[name] = svc;
+}
+
+void
+NameServer::publish(const std::string &name, core::ServiceId svc,
+                    kernel::Thread &owner)
+{
+    bind(name, svc);
+    // Give the name server the right to authorize clients: the
+    // owner (who holds the grant-cap) lets it act on its behalf.
+    // connect() below is where the actual grant happens per client.
+    (void)owner;
+}
+
+void
+NameServer::handle(core::ServerApi &api)
+{
+    lookups.inc();
+    // Request: a NUL-terminated service name.
+    char raw[fsMaxPath + 1] = {};
+    uint64_t probe = std::min<uint64_t>(fsMaxPath, api.requestLen());
+    api.readRequest(0, raw, probe);
+    raw[fsMaxPath] = 0;
+    std::string name(raw);
+
+    int64_t result = -1;
+    auto it = names.find(name);
+    if (it == names.end()) {
+        misses.inc();
+    } else {
+        result = int64_t(it->second);
+        // Authorize the caller: on capability transports this sets
+        // the client's xcall-cap bit (set_xcap, paper Figure 4); on
+        // Zircon it would hand over a channel handle.
+        kernel::Thread *caller = api.callerThread();
+        if (caller)
+            transport.connect(*caller, it->second);
+    }
+    api.writeReply(0, &result, sizeof(result));
+    api.setReplyLen(sizeof(result));
+}
+
+int64_t
+NameServer::resolve(core::Transport &tr, hw::Core &core,
+                    kernel::Thread &client, core::ServiceId ns,
+                    const std::string &name)
+{
+    tr.requestArea(core, client, 4096);
+    std::string keyed = name + std::string(1, '\0');
+    tr.clientWrite(core, client, 0, keyed.data(), keyed.size());
+    auto r = tr.call(core, client, ns, 0, keyed.size(), 4096);
+    panic_if(!r.ok, "name-server call failed");
+    int64_t result = -1;
+    tr.clientRead(core, client, 0, &result, sizeof(result));
+    return result;
+}
+
+} // namespace xpc::services

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The name server: how clients acquire x-entry IDs and capabilities
+ * at run time (paper 3.1: "The client gets the server's ID as well
+ * as the IPC capability, typically from its parent process or a name
+ * server", and 6.1's L4-style name-server authentication).
+ *
+ * Servers register (name -> service) with the name server, handing
+ * it the grant capability; clients then resolve names over IPC and
+ * the name server grants them the xcall capability before replying
+ * with the ID. Resolution is itself an IPC call, so the bootstrap
+ * path costs what the paper says it costs.
+ */
+
+#ifndef XPC_SERVICES_NAME_SERVER_HH
+#define XPC_SERVICES_NAME_SERVER_HH
+
+#include <map>
+#include <string>
+
+#include "core/transport.hh"
+
+namespace xpc::services {
+
+/** The name-server service. */
+class NameServer
+{
+  public:
+    NameServer(core::Transport &transport,
+               kernel::Thread &handler_thread);
+
+    core::ServiceId id() const { return svcId; }
+
+    /**
+     * Wiring-time registration: bind @p name to @p svc. For XPC
+     * transports the registering server must also pass the
+     * grant-cap for the backing x-entry to the name server's thread
+     * (use publish() below, which does both).
+     */
+    void bind(const std::string &name, core::ServiceId svc);
+
+    /**
+     * Server-side convenience: bind @p name and forward the
+     * grant-cap to the name server so it can authorize clients.
+     */
+    void publish(const std::string &name, core::ServiceId svc,
+                 kernel::Thread &owner);
+
+    /**
+     * Client-side resolution over IPC: returns the ServiceId and, on
+     * capability transports, leaves the client authorized to call it.
+     * @return the service id, or -1 when the name is unknown.
+     */
+    static int64_t resolve(core::Transport &tr, hw::Core &core,
+                           kernel::Thread &client, core::ServiceId ns,
+                           const std::string &name);
+
+    Counter lookups;
+    Counter misses;
+
+  private:
+    core::Transport &transport;
+    kernel::Thread &serverThread;
+    core::ServiceId svcId = 0;
+    std::map<std::string, core::ServiceId> names;
+
+    void handle(core::ServerApi &api);
+};
+
+} // namespace xpc::services
+
+#endif // XPC_SERVICES_NAME_SERVER_HH

@@ -1,0 +1,73 @@
+#include "logging.hh"
+
+#include <cstdarg>
+
+namespace xpc {
+
+namespace {
+bool quietFlag = false;
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+logQuiet()
+{
+    return quietFlag;
+}
+
+namespace detail {
+
+std::string
+logFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (len > 0) {
+        out.resize(size_t(len) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args);
+        out.resize(size_t(len));
+    }
+    va_end(args);
+    return out;
+}
+
+void
+logPanic(const char *file, int line, std::string msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+logFatal(const char *file, int line, std::string msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+logWarn(std::string msg)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+logInform(std::string msg)
+{
+    if (!quietFlag)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace xpc

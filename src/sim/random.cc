@@ -1,0 +1,104 @@
+#include "random.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace xpc {
+
+namespace {
+
+/** splitmix64 step used to expand a single seed into generator state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state)
+        word = splitmix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(state[1] * 5, 7) * 9;
+    uint64_t t = state[1] << 17;
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    panic_if(bound == 0, "nextBounded requires bound > 0");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Zipfian::zeta(uint64_t n, double theta)
+{
+    double sum = 0;
+    for (uint64_t i = 0; i < n; i++)
+        sum += 1.0 / std::pow(double(i + 1), theta);
+    return sum;
+}
+
+Zipfian::Zipfian(uint64_t n, double t, uint64_t seed)
+    : items(n), theta(t), rng(seed)
+{
+    panic_if(n == 0, "Zipfian requires a non-empty item set");
+    zetan = zeta(n, theta);
+    double zeta2 = zeta(2, theta);
+    alpha = 1.0 / (1.0 - theta);
+    eta = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+          (1.0 - zeta2 / zetan);
+}
+
+uint64_t
+Zipfian::next()
+{
+    // Gray et al.'s quick Zipf sampler, as used by YCSB's generator.
+    double u = rng.nextDouble();
+    double uz = u * zetan;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta))
+        return 1;
+    return uint64_t(double(items) *
+                    std::pow(eta * u - eta + 1.0, alpha));
+}
+
+} // namespace xpc

@@ -1,0 +1,107 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace xpc {
+
+void
+Distribution::add(double sample)
+{
+    samples.push_back(sample);
+    runningSum += sample;
+    sorted = false;
+}
+
+void
+Distribution::reset()
+{
+    samples.clear();
+    runningSum = 0;
+    sorted = true;
+}
+
+void
+Distribution::ensureSorted() const
+{
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+}
+
+double
+Distribution::min() const
+{
+    panic_if(samples.empty(), "min() of an empty distribution");
+    ensureSorted();
+    return samples.front();
+}
+
+double
+Distribution::max() const
+{
+    panic_if(samples.empty(), "max() of an empty distribution");
+    ensureSorted();
+    return samples.back();
+}
+
+double
+Distribution::mean() const
+{
+    panic_if(samples.empty(), "mean() of an empty distribution");
+    return runningSum / double(samples.size());
+}
+
+double
+Distribution::quantile(double q) const
+{
+    panic_if(samples.empty(), "quantile() of an empty distribution");
+    panic_if(q < 0 || q > 1, "quantile %f out of [0,1]", q);
+    ensureSorted();
+    double pos = q * double(samples.size() - 1);
+    size_t lo = size_t(std::floor(pos));
+    size_t hi = size_t(std::ceil(pos));
+    double frac = pos - double(lo);
+    return samples[lo] * (1 - frac) + samples[hi] * frac;
+}
+
+void
+WeightedCdf::add(uint64_t key, double weight)
+{
+    buckets[key] += weight;
+}
+
+double
+WeightedCdf::totalWeight() const
+{
+    double total = 0;
+    for (const auto &[key, w] : buckets)
+        total += w;
+    return total;
+}
+
+double
+WeightedCdf::cumulativeAt(uint64_t key) const
+{
+    double total = totalWeight();
+    if (total == 0)
+        return 0;
+    double below = 0;
+    for (const auto &[k, w] : buckets) {
+        if (k > key)
+            break;
+        below += w;
+    }
+    return below / total;
+}
+
+std::vector<std::pair<uint64_t, double>>
+WeightedCdf::points() const
+{
+    return {buckets.begin(), buckets.end()};
+}
+
+} // namespace xpc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Lightweight statistics: scalar counters, distributions and CDFs.
+ *
+ * Every architectural component owns its stats; benches read them to
+ * regenerate the paper's tables and figures. The design mirrors gem5's
+ * Stats package at a much smaller scale: stats are named, registerable
+ * into a StatGroup, and resettable between experiment phases.
+ */
+
+#ifndef XPC_SIM_STATS_HH
+#define XPC_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xpc {
+
+/** Monotonic scalar event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(uint64_t n = 1) { total += n; }
+    void reset() { total = 0; }
+    uint64_t value() const { return total; }
+
+  private:
+    uint64_t total = 0;
+};
+
+/**
+ * Sample distribution with mean/min/max and quantile queries.
+ *
+ * Keeps all samples; experiments are short enough that exactness is
+ * cheaper than bucketing bugs.
+ */
+class Distribution
+{
+  public:
+    void add(double sample);
+    void reset();
+
+    size_t count() const { return samples.size(); }
+    double min() const;
+    double max() const;
+    double mean() const;
+    double sum() const { return runningSum; }
+
+    /** @return the q-quantile for q in [0, 1]. */
+    double quantile(double q) const;
+
+  private:
+    mutable std::vector<double> samples;
+    mutable bool sorted = false;
+    double runningSum = 0;
+
+    void ensureSorted() const;
+};
+
+/**
+ * Weighted CDF over a small set of discrete categories, e.g. "IPC time
+ * by message length" in the paper's Figure 1(b).
+ */
+class WeightedCdf
+{
+  public:
+    /** Accumulate @p weight into the bucket keyed by @p key. */
+    void add(uint64_t key, double weight);
+
+    /** @return cumulative weight fraction at or below @p key. */
+    double cumulativeAt(uint64_t key) const;
+
+    /** @return total accumulated weight. */
+    double totalWeight() const;
+
+    /** @return the sorted (key, weight) pairs. */
+    std::vector<std::pair<uint64_t, double>> points() const;
+
+    void reset() { buckets.clear(); }
+
+  private:
+    std::map<uint64_t, double> buckets;
+};
+
+} // namespace xpc
+
+#endif // XPC_SIM_STATS_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fundamental strong types shared by every simulator component.
+ *
+ * Cycle counts, virtual addresses and physical addresses are all 64-bit
+ * integers at heart; keeping them as distinct types prevents the classic
+ * unit-confusion bugs (charging an address as a latency, translating a
+ * physical address twice, ...).
+ */
+
+#ifndef XPC_SIM_TYPES_HH
+#define XPC_SIM_TYPES_HH
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+
+namespace xpc {
+
+/** Simulated clock cycles. Additive; never implicitly an address. */
+class Cycles
+{
+  public:
+    constexpr Cycles() : count(0) {}
+    constexpr explicit Cycles(uint64_t c) : count(c) {}
+
+    constexpr uint64_t value() const { return count; }
+
+    constexpr Cycles
+    operator+(Cycles other) const
+    {
+        return Cycles(count + other.count);
+    }
+
+    constexpr Cycles
+    operator-(Cycles other) const
+    {
+        return Cycles(count - other.count);
+    }
+
+    Cycles &
+    operator+=(Cycles other)
+    {
+        count += other.count;
+        return *this;
+    }
+
+    constexpr Cycles
+    operator*(uint64_t n) const
+    {
+        return Cycles(count * n);
+    }
+
+    constexpr auto operator<=>(const Cycles &) const = default;
+
+  private:
+    uint64_t count;
+};
+
+/** Virtual address in a simulated address space. */
+using VAddr = uint64_t;
+
+/** Physical address in simulated DRAM. */
+using PAddr = uint64_t;
+
+/** Address-space identifier (one per simulated process). */
+using Asid = uint16_t;
+
+/** Simulated hardware thread / core index. */
+using CoreId = uint32_t;
+
+/** Page geometry shared by the whole machine (4 KiB pages). */
+constexpr uint64_t pageShift = 12;
+constexpr uint64_t pageSize = uint64_t(1) << pageShift;
+constexpr uint64_t pageMask = pageSize - 1;
+
+/** Round @p addr down to the containing page boundary. */
+constexpr uint64_t
+pageAlignDown(uint64_t addr)
+{
+    return addr & ~pageMask;
+}
+
+/** Round @p addr up to the next page boundary. */
+constexpr uint64_t
+pageAlignUp(uint64_t addr)
+{
+    return (addr + pageMask) & ~pageMask;
+}
+
+/** True when @p addr is page aligned. */
+constexpr bool
+pageAligned(uint64_t addr)
+{
+    return (addr & pageMask) == 0;
+}
+
+} // namespace xpc
+
+#endif // XPC_SIM_TYPES_HH

@@ -1,0 +1,435 @@
+#include "engine.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace xpc::engine {
+
+namespace {
+
+/** Flag bits packed into word 0 of the serialized structures. */
+constexpr uint64_t flagValid = 1;
+constexpr uint64_t flagSegValid = 1 << 1;
+constexpr uint64_t flagSegRead = 1 << 2;
+constexpr uint64_t flagSegWrite = 1 << 3;
+
+uint64_t
+packSegFlags(const mem::SegWindow &w)
+{
+    uint64_t f = 0;
+    if (w.valid)
+        f |= flagSegValid;
+    if (w.read)
+        f |= flagSegRead;
+    if (w.write)
+        f |= flagSegWrite;
+    return f;
+}
+
+void
+unpackSegFlags(uint64_t f, mem::SegWindow &w)
+{
+    w.valid = (f & flagSegValid) != 0;
+    w.read = (f & flagSegRead) != 0;
+    w.write = (f & flagSegWrite) != 0;
+}
+
+} // namespace
+
+XpcEngine::XpcEngine(hw::Machine &m, const XpcEngineOptions &options)
+    : machine(m), opts(options), cache(m.coreCount())
+{
+}
+
+mem::SegWindow
+XpcEngine::effectiveSeg(const hw::XpcCsrs &csrs)
+{
+    const mem::SegWindow &seg = csrs.segReg;
+    if (!seg.valid)
+        return {};
+    if (csrs.segMaskLen == 0)
+        return seg; // unmasked
+    mem::SegWindow out = seg;
+    out.vaBase = seg.vaBase + csrs.segMaskOffset;
+    out.paBase = seg.paBase + csrs.segMaskOffset;
+    out.len = csrs.segMaskLen;
+    return out;
+}
+
+void
+XpcEngine::writeXEntry(mem::PhysMem &phys, PAddr table_base, uint64_t id,
+                       const XEntry &entry)
+{
+    PAddr base = table_base + id * xEntryBytes;
+    phys.write64(base + 0, entry.valid ? flagValid : 0);
+    phys.write64(base + 8, entry.pageTableRoot);
+    phys.write64(base + 16, entry.entryAddr);
+    phys.write64(base + 24, entry.capPtr);
+    phys.write64(base + 32, entry.segList);
+}
+
+XEntry
+XpcEngine::readXEntry(mem::PhysMem &phys, PAddr table_base, uint64_t id)
+{
+    PAddr base = table_base + id * xEntryBytes;
+    XEntry e;
+    e.valid = (phys.read64(base + 0) & flagValid) != 0;
+    e.pageTableRoot = phys.read64(base + 8);
+    e.entryAddr = phys.read64(base + 16);
+    e.capPtr = phys.read64(base + 24);
+    e.segList = phys.read64(base + 32);
+    return e;
+}
+
+void
+XpcEngine::writeSegListEntry(mem::PhysMem &phys, PAddr list_base,
+                             uint64_t index, const RelaySegEntry &entry)
+{
+    panic_if(index >= segListCapacity, "seg-list index %lu out of range",
+             (unsigned long)index);
+    PAddr base = list_base + index * segListEntryBytes;
+    phys.write64(base + 0, (entry.valid ? flagValid : 0) |
+                               packSegFlags(entry.window));
+    phys.write64(base + 8, entry.window.vaBase);
+    phys.write64(base + 16,
+                 entry.window.paBase | (entry.segId << 40));
+    phys.write64(base + 24, entry.window.len);
+}
+
+RelaySegEntry
+XpcEngine::readSegListEntry(mem::PhysMem &phys, PAddr list_base,
+                            uint64_t index)
+{
+    panic_if(index >= segListCapacity, "seg-list index %lu out of range",
+             (unsigned long)index);
+    PAddr base = list_base + index * segListEntryBytes;
+    RelaySegEntry e;
+    uint64_t flags = phys.read64(base + 0);
+    e.valid = (flags & flagValid) != 0;
+    unpackSegFlags(flags, e.window);
+    e.window.vaBase = phys.read64(base + 8);
+    uint64_t word2 = phys.read64(base + 16);
+    e.window.paBase = word2 & ((uint64_t(1) << 40) - 1);
+    e.segId = word2 >> 40;
+    e.window.len = phys.read64(base + 24);
+    return e;
+}
+
+void
+XpcEngine::writeLinkageRecord(mem::PhysMem &phys, PAddr stack_base,
+                              uint64_t index, const LinkageRecord &r)
+{
+    panic_if(index >= linkStackCapacity,
+             "link stack index %lu out of range", (unsigned long)index);
+    PAddr base = stack_base + index * linkageRecordBytes;
+    phys.write64(base + 0, (r.valid ? flagValid : 0) |
+                               packSegFlags(r.callerSeg));
+    phys.write64(base + 8, r.callerPageTable);
+    phys.write64(base + 16, r.callerCapPtr);
+    phys.write64(base + 24, r.callerSegList);
+    phys.write64(base + 32, r.callerSeg.vaBase);
+    phys.write64(base + 40, r.callerSeg.paBase);
+    phys.write64(base + 48, r.callerSeg.len);
+    phys.write64(base + 56, r.callerSegId);
+    phys.write64(base + 64, r.callerMaskOffset);
+    phys.write64(base + 72, r.callerMaskLen);
+    phys.write64(base + 80, r.returnToken);
+}
+
+LinkageRecord
+XpcEngine::readLinkageRecord(mem::PhysMem &phys, PAddr stack_base,
+                             uint64_t index)
+{
+    panic_if(index >= linkStackCapacity,
+             "link stack index %lu out of range", (unsigned long)index);
+    PAddr base = stack_base + index * linkageRecordBytes;
+    LinkageRecord r;
+    uint64_t flags = phys.read64(base + 0);
+    r.valid = (flags & flagValid) != 0;
+    unpackSegFlags(flags, r.callerSeg);
+    r.callerPageTable = phys.read64(base + 8);
+    r.callerCapPtr = phys.read64(base + 16);
+    r.callerSegList = phys.read64(base + 24);
+    r.callerSeg.vaBase = phys.read64(base + 32);
+    r.callerSeg.paBase = phys.read64(base + 40);
+    r.callerSeg.len = phys.read64(base + 48);
+    r.callerSegId = phys.read64(base + 56);
+    r.callerMaskOffset = phys.read64(base + 64);
+    r.callerMaskLen = phys.read64(base + 72);
+    r.returnToken = phys.read64(base + 80);
+    return r;
+}
+
+bool
+XpcEngine::readCapBit(hw::Core &core, uint64_t entry_id)
+{
+    if (opts.radixCaps) {
+        // Radix-tree lookup (paper 6.2): two dependent interior-node
+        // fetches before the leaf word. Same functional result, read
+        // from the same bitmap; the extra traffic models the chase.
+        uint64_t scratch;
+        core.spend(core.mem().readPhys(
+            core.id(), core.csrs.xcallCap + pageSize - 64, &scratch,
+            8));
+        core.spend(core.mem().readPhys(
+            core.id(),
+            core.csrs.xcallCap + pageSize - 128 - (entry_id / 512) * 8,
+            &scratch, 8));
+    }
+    PAddr word_addr = core.csrs.xcallCap + (entry_id / 64) * 8;
+    uint64_t word = 0;
+    core.spend(core.mem().readPhys(core.id(), word_addr, &word, 8));
+    return (word >> (entry_id % 64)) & 1;
+}
+
+XEntry
+XpcEngine::loadXEntry(hw::Core &core, uint64_t entry_id)
+{
+    PAddr base = core.csrs.xEntryTable + entry_id * xEntryBytes;
+    uint8_t raw[xEntryBytes];
+    core.spend(core.mem().readPhys(core.id(), base, raw, xEntryBytes));
+    return readXEntry(core.mem().phys(), core.csrs.xEntryTable,
+                      entry_id);
+}
+
+void
+XpcEngine::switchPageTable(hw::Core &core, PAddr new_root)
+{
+    if (core.csrs.pageTableRoot == new_root)
+        return;
+    core.csrs.pageTableRoot = new_root;
+    if (!core.mem().params().taggedTlb) {
+        core.spend(machine.config().core.tlbFlush);
+        core.spend(machine.config().core.tlbRefillOnSwitch);
+        core.mem().flushTlb(core.id());
+    }
+}
+
+XcallResult
+XpcEngine::xcall(hw::Core &core, uint64_t entry_id,
+                 uint64_t return_token)
+{
+    XcallResult res;
+    xcalls.inc();
+    hw::XpcCsrs &csrs = core.csrs;
+    core.spend(machine.config().xpc.xcallLogic);
+
+    // 1-2: capability check and x-entry load, possibly short-circuited
+    // by the engine cache.
+    bool cap_ok;
+    XEntry entry;
+    EngineCacheEntry &cached = cache[core.id()];
+    bool cache_hit = opts.engineCache && cached.valid &&
+                     cached.capPtr == csrs.xcallCap &&
+                     cached.entryId == entry_id;
+    if (cache_hit) {
+        engineCacheHits.inc();
+        core.spend(Cycles(1));
+        cap_ok = cached.capBit;
+        entry = cached.entry;
+    } else {
+        if (entry_id >= csrs.xEntryTableSize) {
+            exceptions.inc();
+            res.exc = XpcException::InvalidXEntry;
+            return res;
+        }
+        cap_ok = readCapBit(core, entry_id);
+        entry = loadXEntry(core, entry_id);
+    }
+
+    if (!cap_ok) {
+        exceptions.inc();
+        res.exc = XpcException::InvalidXcallCap;
+        return res;
+    }
+    if (!entry.valid || entry_id >= csrs.xEntryTableSize) {
+        exceptions.inc();
+        res.exc = XpcException::InvalidXEntry;
+        return res;
+    }
+
+    // 3: push the linkage record.
+    if (csrs.linkTop >= linkStackCapacity) {
+        exceptions.inc();
+        res.exc = XpcException::InvalidLinkage;
+        return res;
+    }
+    LinkageRecord rec;
+    rec.valid = true;
+    rec.callerPageTable = csrs.pageTableRoot;
+    rec.callerCapPtr = csrs.xcallCap;
+    rec.callerSegList = csrs.segList;
+    rec.callerSeg = csrs.segReg;
+    rec.callerSegId = csrs.segId;
+    rec.callerMaskOffset = csrs.segMaskOffset;
+    rec.callerMaskLen = csrs.segMaskLen;
+    rec.returnToken = return_token;
+    writeLinkageRecord(core.mem().phys(), csrs.linkReg, csrs.linkTop,
+                       rec);
+    if (!opts.nonblockingLinkStack) {
+        // A blocking push stalls on the store traffic; the
+        // non-blocking stack hides it behind the switch (paper 3.2).
+        core.spend(machine.config().xpc.linkPushBlocking);
+        core.spend(core.mem().l1(core.id())
+                       .access(csrs.linkReg +
+                                   csrs.linkTop * linkageRecordBytes,
+                               linkageRecordBytes, true));
+    }
+    csrs.linkTop++;
+
+    // 4: switch to the callee: page table, capability register,
+    // seg-list, and hand over the (masked) relay segment.
+    res.callerCapPtr = csrs.xcallCap;
+    mem::SegWindow handover = effectiveSeg(csrs);
+    csrs.segReg = handover;
+    csrs.segMaskOffset = 0;
+    csrs.segMaskLen = 0;
+    csrs.xcallCap = entry.capPtr;
+    csrs.segList = entry.segList;
+    switchPageTable(core, entry.pageTableRoot);
+
+    res.entry = entry;
+    return res;
+}
+
+XretResult
+XpcEngine::xret(hw::Core &core)
+{
+    XretResult res;
+    xrets.inc();
+    hw::XpcCsrs &csrs = core.csrs;
+    core.spend(machine.config().xpc.xretLogic);
+
+    if (csrs.linkTop == 0) {
+        exceptions.inc();
+        res.exc = XpcException::InvalidLinkage;
+        return res;
+    }
+
+    uint64_t index = csrs.linkTop - 1;
+    PAddr rec_addr = csrs.linkReg + index * linkageRecordBytes;
+    core.spend(core.mem().l1(core.id())
+                   .access(rec_addr, linkageRecordBytes, false));
+    core.spend(Cycles((linkageRecordBytes /
+                       core.mem().params().wordBytes) *
+                      core.mem().params().perWordIssue.value()));
+    LinkageRecord rec =
+        readLinkageRecord(core.mem().phys(), csrs.linkReg, index);
+
+    if (!rec.valid) {
+        exceptions.inc();
+        res.exc = XpcException::InvalidLinkage;
+        return res;
+    }
+
+    // The callee must return exactly the segment it was handed: the
+    // current seg-reg has to match caller-seg narrowed by caller-mask
+    // (paper 3.3, "Return a relay-seg").
+    hw::XpcCsrs expect;
+    expect.segReg = rec.callerSeg;
+    expect.segMaskOffset = rec.callerMaskOffset;
+    expect.segMaskLen = rec.callerMaskLen;
+    mem::SegWindow expected = effectiveSeg(expect);
+    const mem::SegWindow &cur = csrs.segReg;
+    bool seg_ok = cur.valid == expected.valid &&
+                  (!cur.valid ||
+                   (cur.vaBase == expected.vaBase &&
+                    cur.paBase == expected.paBase &&
+                    cur.len == expected.len));
+    if (!seg_ok) {
+        exceptions.inc();
+        res.exc = XpcException::InvalidSegMask;
+        return res;
+    }
+
+    // Consume the record and restore the caller's state.
+    LinkageRecord dead = rec;
+    dead.valid = false;
+    writeLinkageRecord(core.mem().phys(), csrs.linkReg, index, dead);
+    csrs.linkTop = index;
+
+    csrs.xcallCap = rec.callerCapPtr;
+    csrs.segList = rec.callerSegList;
+    csrs.segReg = rec.callerSeg;
+    csrs.segId = rec.callerSegId;
+    csrs.segMaskOffset = rec.callerMaskOffset;
+    csrs.segMaskLen = rec.callerMaskLen;
+    switchPageTable(core, rec.callerPageTable);
+
+    res.record = rec;
+    return res;
+}
+
+XpcException
+XpcEngine::swapseg(hw::Core &core, uint64_t index)
+{
+    swapsegs.inc();
+    hw::XpcCsrs &csrs = core.csrs;
+    core.spend(machine.config().xpc.swapsegLogic);
+
+    if (csrs.segList == 0 || index >= segListCapacity) {
+        exceptions.inc();
+        return XpcException::SwapsegError;
+    }
+
+    PAddr slot = csrs.segList + index * segListEntryBytes;
+    core.spend(core.mem().l1(core.id())
+                   .access(slot, segListEntryBytes, true));
+
+    RelaySegEntry from_list =
+        readSegListEntry(core.mem().phys(), csrs.segList, index);
+
+    RelaySegEntry to_list;
+    to_list.valid = csrs.segReg.valid;
+    to_list.window = csrs.segReg;
+    to_list.segId = csrs.segId;
+    writeSegListEntry(core.mem().phys(), csrs.segList, index, to_list);
+
+    csrs.segReg = from_list.valid ? from_list.window : mem::SegWindow{};
+    csrs.segId = from_list.valid ? from_list.segId : 0;
+    csrs.segMaskOffset = 0;
+    csrs.segMaskLen = 0;
+    return XpcException::None;
+}
+
+XpcException
+XpcEngine::setSegMask(hw::Core &core, uint64_t offset, uint64_t len)
+{
+    hw::XpcCsrs &csrs = core.csrs;
+    core.spend(Cycles(1));
+
+    if (len == 0) {
+        // Clearing the mask restores the full segment view.
+        csrs.segMaskOffset = 0;
+        csrs.segMaskLen = 0;
+        return XpcException::None;
+    }
+    if (!csrs.segReg.valid || offset + len > csrs.segReg.len ||
+        offset + len < offset) {
+        exceptions.inc();
+        return XpcException::InvalidSegMask;
+    }
+    csrs.segMaskOffset = offset;
+    csrs.segMaskLen = len;
+    return XpcException::None;
+}
+
+void
+XpcEngine::prefetch(hw::Core &core, uint64_t entry_id)
+{
+    if (!opts.engineCache)
+        return;
+    hw::XpcCsrs &csrs = core.csrs;
+    EngineCacheEntry &slot = cache[core.id()];
+    slot.valid = false;
+    if (entry_id >= csrs.xEntryTableSize)
+        return;
+    slot.capBit = readCapBit(core, entry_id);
+    slot.entry = loadXEntry(core, entry_id);
+    slot.capPtr = csrs.xcallCap;
+    slot.entryId = entry_id;
+    slot.valid = true;
+}
+
+} // namespace xpc::engine

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The XPC engine: the hardware unit the paper adds to each core.
+ *
+ * It implements the three instructions (xcall, xret, swapseg), the
+ * seg-mask CSR write, the optional one-entry software-managed engine
+ * cache with prefetch, and the optional non-blocking link stack. All
+ * of its table walks are real memory accesses against simulated DRAM
+ * charged through the core's cache hierarchy, so the latencies the
+ * benches measure respond to locality exactly as the paper describes
+ * (warm xcall ~18 cycles, cached ~6, blocking push +16).
+ */
+
+#ifndef XPC_XPC_ENGINE_HH
+#define XPC_XPC_ENGINE_HH
+
+#include <cstdint>
+
+#include "hw/machine.hh"
+#include "xpc/exceptions.hh"
+#include "xpc/xentry.hh"
+
+namespace xpc::engine {
+
+/** Engine build-time options (the Figure 5 optimization rungs). */
+struct XpcEngineOptions
+{
+    /** Hide the linkage-record push latency (paper 3.2). */
+    bool nonblockingLinkStack = true;
+    /** One-entry x-entry/capability cache with prefetch (paper 3.2). */
+    bool engineCache = false;
+    /** Model the radix-tree xcall-cap alternative of paper 6.2:
+     *  scalable, but the lookup is pointer chasing instead of one
+     *  bitmap word. */
+    bool radixCaps = false;
+};
+
+/** Outcome of an xcall instruction. */
+struct XcallResult
+{
+    XpcException exc = XpcException::None;
+    /** The decoded target (valid iff exc == None). */
+    XEntry entry;
+    /** Caller's xcall-cap-reg, exposed to the callee in t0 so it can
+     *  identify its caller (paper 3.2). */
+    PAddr callerCapPtr = 0;
+};
+
+/** Outcome of an xret instruction. */
+struct XretResult
+{
+    XpcException exc = XpcException::None;
+    /** The restored caller state (valid iff exc == None). */
+    LinkageRecord record;
+};
+
+/** The per-machine XPC engine model (stateless across cores except
+ *  for the per-core engine cache). */
+class XpcEngine
+{
+  public:
+    XpcEngine(hw::Machine &machine, const XpcEngineOptions &options);
+
+    const XpcEngineOptions &options() const { return opts; }
+
+    /**
+     * Execute xcall on @p core targeting x-entry @p entry_id.
+     *
+     * @param return_token opaque value the runtime later uses to find
+     *        the caller context again; stands in for the return PC.
+     */
+    XcallResult xcall(hw::Core &core, uint64_t entry_id,
+                      uint64_t return_token);
+
+    /** Execute xret on @p core. */
+    XretResult xret(hw::Core &core);
+
+    /** Atomically exchange seg-reg with seg-list slot @p index. */
+    XpcException swapseg(hw::Core &core, uint64_t index);
+
+    /**
+     * csrw seg-mask: narrow the visible relay segment to
+     * [@p offset, @p offset + @p len) relative to seg-reg.
+     */
+    XpcException setSegMask(hw::Core &core, uint64_t offset,
+                            uint64_t len);
+
+    /** Prefetch @p entry_id into the engine cache (xcall with a
+     *  negative id in the RTL; explicit here). */
+    void prefetch(hw::Core &core, uint64_t entry_id);
+
+    /**
+     * The relay window the translation path should use right now:
+     * seg-reg narrowed by seg-mask.
+     */
+    static mem::SegWindow effectiveSeg(const hw::XpcCsrs &csrs);
+
+    /// @name Packed-structure accessors (used by the kernel, too).
+    /// @{
+    /** Functionally store @p entry at slot @p id of the table at
+     *  @p table_base (no timing: kernel-side management). */
+    static void writeXEntry(mem::PhysMem &phys, PAddr table_base,
+                            uint64_t id, const XEntry &entry);
+    static XEntry readXEntry(mem::PhysMem &phys, PAddr table_base,
+                             uint64_t id);
+
+    static void writeSegListEntry(mem::PhysMem &phys, PAddr list_base,
+                                  uint64_t index,
+                                  const RelaySegEntry &entry);
+    static RelaySegEntry readSegListEntry(mem::PhysMem &phys,
+                                          PAddr list_base,
+                                          uint64_t index);
+
+    static void writeLinkageRecord(mem::PhysMem &phys, PAddr stack_base,
+                                   uint64_t index,
+                                   const LinkageRecord &record);
+    static LinkageRecord readLinkageRecord(mem::PhysMem &phys,
+                                           PAddr stack_base,
+                                           uint64_t index);
+    /// @}
+
+    Counter xcalls;
+    Counter xrets;
+    Counter swapsegs;
+    Counter engineCacheHits;
+    Counter exceptions;
+
+  private:
+    hw::Machine &machine;
+    XpcEngineOptions opts;
+
+    /** One-entry per-core engine cache. */
+    struct EngineCacheEntry
+    {
+        bool valid = false;
+        PAddr capPtr = 0; ///< thread tag: whose prefetch filled it
+        uint64_t entryId = 0;
+        bool capBit = false;
+        XEntry entry;
+    };
+    std::vector<EngineCacheEntry> cache;
+
+    /** Charged read of the caller's capability bit. */
+    bool readCapBit(hw::Core &core, uint64_t entry_id);
+    /** Charged read of an x-entry through the cache hierarchy. */
+    XEntry loadXEntry(hw::Core &core, uint64_t entry_id);
+    /** Switch translation state to @p new_root, flushing an untagged
+     *  TLB when the root actually changes. */
+    void switchPageTable(hw::Core &core, PAddr new_root);
+};
+
+} // namespace xpc::engine
+
+#endif // XPC_XPC_ENGINE_HH

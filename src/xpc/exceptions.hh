@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The five exceptions the XPC engine can raise (paper Table 2).
+ */
+
+#ifndef XPC_XPC_EXCEPTIONS_HH
+#define XPC_XPC_EXCEPTIONS_HH
+
+namespace xpc::engine {
+
+/** Exception causes reported to the kernel by the XPC engine. */
+enum class XpcException
+{
+    None,
+    /** xcall to an out-of-range or invalid x-entry. */
+    InvalidXEntry,
+    /** xcall without the corresponding capability bit. */
+    InvalidXcallCap,
+    /** xret onto an empty stack or an invalidated linkage record. */
+    InvalidLinkage,
+    /** swapseg with an out-of-range seg-list index. */
+    SwapsegError,
+    /** seg-mask outside the active relay segment, or a callee that
+     *  tries to xret with a tampered seg-reg. */
+    InvalidSegMask,
+};
+
+/** @return a printable name for @p exc. */
+constexpr const char *
+xpcExceptionName(XpcException exc)
+{
+    switch (exc) {
+      case XpcException::None:
+        return "none";
+      case XpcException::InvalidXEntry:
+        return "invalid-x-entry";
+      case XpcException::InvalidXcallCap:
+        return "invalid-xcall-cap";
+      case XpcException::InvalidLinkage:
+        return "invalid-linkage";
+      case XpcException::SwapsegError:
+        return "swapseg-error";
+      case XpcException::InvalidSegMask:
+        return "invalid-seg-mask";
+    }
+    return "unknown";
+}
+
+} // namespace xpc::engine
+
+#endif // XPC_XPC_EXCEPTIONS_HH

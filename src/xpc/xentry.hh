@@ -1,0 +1,89 @@
+/**
+ * @file
+ * In-memory layout of x-entries, linkage records and seg-list slots.
+ *
+ * These live in simulated DRAM and are read/written by the engine
+ * through the cache hierarchy, so their sizes directly determine
+ * instruction latency (Figure 5's breakdown).
+ */
+
+#ifndef XPC_XPC_XENTRY_HH
+#define XPC_XPC_XENTRY_HH
+
+#include <cstdint>
+
+#include "mem/mem_system.hh"
+#include "sim/types.hh"
+
+namespace xpc::engine {
+
+/** Decoded x-entry (paper Figure 2: one row of the x-entry table). */
+struct XEntry
+{
+    bool valid = false;
+    /** Page table pointer of the server's address space. */
+    PAddr pageTableRoot = 0;
+    /** Procedure entrance address (we treat it as an opaque token the
+     *  runtime maps to a handler). */
+    VAddr entryAddr = 0;
+    /** xcall-cap-reg value installed for the handler (also selects
+     *  the server's runtime state, paper 4.2). */
+    PAddr capPtr = 0;
+    /** seg-list of the server's address space, installed on entry so
+     *  the callee's swapseg works. The paper's Figure 2 leaves this
+     *  implicit; we model it as a fifth x-entry field. */
+    PAddr segList = 0;
+};
+
+/** Byte size of one packed x-entry. */
+constexpr uint64_t xEntryBytes = 40;
+
+/** Decoded linkage record (one row of the per-thread link stack). */
+struct LinkageRecord
+{
+    bool valid = false;
+    PAddr callerPageTable = 0;
+    PAddr callerCapPtr = 0;
+    PAddr callerSegList = 0;
+    mem::SegWindow callerSeg;
+    uint64_t callerSegId = 0;
+    uint64_t callerMaskOffset = 0;
+    uint64_t callerMaskLen = 0;
+    /** Opaque token the runtime uses to find the caller context
+     *  (stands in for the hardware return address). */
+    uint64_t returnToken = 0;
+};
+
+/** Byte size of one packed linkage record. */
+constexpr uint64_t linkageRecordBytes = 96;
+
+/** Default link stack allocation (paper 4.1: 8 KiB per thread). */
+constexpr uint64_t linkStackBytes = 8192;
+
+/** Records that fit in one link stack. */
+constexpr uint64_t linkStackCapacity = linkStackBytes / linkageRecordBytes;
+
+/** One relay segment as stored in a seg-list slot. */
+struct RelaySegEntry
+{
+    bool valid = false;
+    mem::SegWindow window;
+    /** Kernel-assigned identity used for ownership tracking. */
+    uint64_t segId = 0;
+};
+
+/** Byte size of one packed seg-list slot. */
+constexpr uint64_t segListEntryBytes = 32;
+
+/** Seg-list slots per process (one 4 KiB page, paper 4.1). */
+constexpr uint64_t segListCapacity = pageSize / segListEntryBytes;
+
+/** Default x-entry table size (paper 4.1: 1024 entries). */
+constexpr uint64_t defaultXEntryCount = 1024;
+
+/** Bytes of the per-thread xcall capability bitmap (paper 4.1). */
+constexpr uint64_t xcallCapBitmapBytes = 128;
+
+} // namespace xpc::engine
+
+#endif // XPC_XPC_XENTRY_HH

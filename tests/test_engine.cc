@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Unit tests for the XPC engine: the xcall/xret/swapseg instructions,
+ * capability checking, linkage records, relay segments and masks, and
+ * the engine-cache/non-blocking-stack optimizations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/machine.hh"
+#include "xpc/engine.hh"
+
+namespace xpc::engine {
+namespace {
+
+class EngineTest : public ::testing::Test
+{
+  protected:
+    EngineTest() { rebuild({}); }
+
+    void
+    rebuild(const XpcEngineOptions &opts)
+    {
+        machine = std::make_unique<hw::Machine>(hw::rocketU500(),
+                                                64 << 20);
+        eng = std::make_unique<XpcEngine>(*machine, opts);
+        auto &alloc = machine->allocator();
+        table = alloc.allocFrames(16);
+        bitmap = alloc.allocFrames(1);
+        linkStack = alloc.allocFrames(2);
+        segList = alloc.allocFrames(1);
+        machine->phys().clear(table, 16 * pageSize);
+        machine->phys().clear(bitmap, pageSize);
+        machine->phys().clear(linkStack, 2 * pageSize);
+        machine->phys().clear(segList, pageSize);
+
+        hw::Core &c = core();
+        c.csrs = hw::XpcCsrs{};
+        c.csrs.pageTableRoot = 0xaaaa000;
+        c.csrs.xEntryTable = table;
+        c.csrs.xEntryTableSize = 64;
+        c.csrs.xcallCap = bitmap;
+        c.csrs.linkReg = linkStack;
+        c.csrs.segList = segList;
+    }
+
+    hw::Core &core() { return machine->core(0); }
+
+    void
+    installEntry(uint64_t id, PAddr root = 0xbbbb000)
+    {
+        XEntry e;
+        e.valid = true;
+        e.pageTableRoot = root;
+        e.entryAddr = 0x1000 + id;
+        e.capPtr = 0xcc000 + id * 0x1000;
+        e.segList = 0xdd000;
+        XpcEngine::writeXEntry(machine->phys(), table, id, e);
+    }
+
+    void
+    grantCap(uint64_t id)
+    {
+        PAddr word = bitmap + (id / 64) * 8;
+        uint64_t bits = machine->phys().read64(word);
+        machine->phys().write64(word, bits | (uint64_t(1) << (id % 64)));
+    }
+
+    std::unique_ptr<hw::Machine> machine;
+    std::unique_ptr<XpcEngine> eng;
+    PAddr table = 0, bitmap = 0, linkStack = 0, segList = 0;
+};
+
+TEST_F(EngineTest, XcallSwitchesToCallee)
+{
+    installEntry(3);
+    grantCap(3);
+    PAddr caller_cap = core().csrs.xcallCap;
+    XcallResult r = eng->xcall(core(), 3, 42);
+    ASSERT_EQ(r.exc, XpcException::None);
+    EXPECT_EQ(r.callerCapPtr, caller_cap);
+    EXPECT_EQ(core().csrs.pageTableRoot, 0xbbbb000u);
+    EXPECT_EQ(core().csrs.xcallCap, 0xcc000u + 3 * 0x1000);
+    EXPECT_EQ(core().csrs.segList, 0xdd000u);
+    EXPECT_EQ(core().csrs.linkTop, 1u);
+}
+
+TEST_F(EngineTest, XcallWithoutCapFaults)
+{
+    installEntry(3);
+    XcallResult r = eng->xcall(core(), 3, 0);
+    EXPECT_EQ(r.exc, XpcException::InvalidXcallCap);
+    EXPECT_EQ(core().csrs.linkTop, 0u);
+}
+
+TEST_F(EngineTest, XcallToInvalidEntryFaults)
+{
+    grantCap(5);
+    XcallResult r = eng->xcall(core(), 5, 0);
+    EXPECT_EQ(r.exc, XpcException::InvalidXEntry);
+}
+
+TEST_F(EngineTest, XcallBeyondTableSizeFaults)
+{
+    XcallResult r = eng->xcall(core(), 64, 0);
+    EXPECT_EQ(r.exc, XpcException::InvalidXEntry);
+}
+
+TEST_F(EngineTest, XretRestoresCaller)
+{
+    installEntry(3);
+    grantCap(3);
+    eng->xcall(core(), 3, 77);
+    XretResult r = eng->xret(core());
+    ASSERT_EQ(r.exc, XpcException::None);
+    EXPECT_EQ(r.record.returnToken, 77u);
+    EXPECT_EQ(core().csrs.pageTableRoot, 0xaaaa000u);
+    EXPECT_EQ(core().csrs.xcallCap, bitmap);
+    EXPECT_EQ(core().csrs.linkTop, 0u);
+}
+
+TEST_F(EngineTest, XretOnEmptyStackFaults)
+{
+    XretResult r = eng->xret(core());
+    EXPECT_EQ(r.exc, XpcException::InvalidLinkage);
+}
+
+TEST_F(EngineTest, XretOnInvalidatedRecordFaults)
+{
+    installEntry(3);
+    grantCap(3);
+    eng->xcall(core(), 3, 0);
+    // The kernel invalidates the record (e.g. caller was killed).
+    auto rec = XpcEngine::readLinkageRecord(machine->phys(), linkStack,
+                                            0);
+    rec.valid = false;
+    XpcEngine::writeLinkageRecord(machine->phys(), linkStack, 0, rec);
+    XretResult r = eng->xret(core());
+    EXPECT_EQ(r.exc, XpcException::InvalidLinkage);
+}
+
+TEST_F(EngineTest, NestedCallsAreLifo)
+{
+    for (uint64_t id = 1; id <= 3; id++) {
+        installEntry(id, 0xbbbb000 + id * 0x1000);
+        grantCap(id);
+    }
+    // Each callee can call the next because the cap bitmap pointer
+    // changes; grant through the per-entry bitmaps.
+    eng->xcall(core(), 1, 101);
+    // Simulate callee granting: write bits into the callee bitmaps.
+    for (uint64_t id = 2; id <= 3; id++) {
+        PAddr bm = core().csrs.xcallCap;
+        uint64_t bits = machine->phys().read64(bm);
+        machine->phys().write64(bm, bits | (uint64_t(1) << id));
+        eng->xcall(core(), id, 100 + id);
+    }
+    EXPECT_EQ(core().csrs.linkTop, 3u);
+    EXPECT_EQ(eng->xret(core()).record.returnToken, 103u);
+    EXPECT_EQ(eng->xret(core()).record.returnToken, 102u);
+    EXPECT_EQ(eng->xret(core()).record.returnToken, 101u);
+    EXPECT_EQ(core().csrs.pageTableRoot, 0xaaaa000u);
+}
+
+TEST_F(EngineTest, LinkStackOverflowFaults)
+{
+    installEntry(1, 0xaaaa000); // same root: no TLB churn needed
+    grantCap(1);
+    // Entry 1's capPtr must also allow calling entry 1 for reentry.
+    machine->phys().write64(0xcc000 + 0x1000, 0x2);
+    for (uint64_t i = 0; i < linkStackCapacity; i++) {
+        ASSERT_EQ(eng->xcall(core(), 1, i).exc, XpcException::None);
+    }
+    EXPECT_EQ(eng->xcall(core(), 1, 999).exc,
+              XpcException::InvalidLinkage);
+}
+
+TEST_F(EngineTest, SegHandoverAndReturn)
+{
+    installEntry(3);
+    grantCap(3);
+    mem::SegWindow seg{true, uint64_t(0x30) << 32, 0x100000, 8192,
+                       true, true};
+    core().csrs.segReg = seg;
+    core().csrs.segId = 9;
+
+    eng->xcall(core(), 3, 0);
+    // Callee sees the whole segment (no mask was set).
+    EXPECT_TRUE(core().csrs.segReg.valid);
+    EXPECT_EQ(core().csrs.segReg.len, 8192u);
+    ASSERT_EQ(eng->xret(core()).exc, XpcException::None);
+    EXPECT_EQ(core().csrs.segReg.paBase, 0x100000u);
+    EXPECT_EQ(core().csrs.segId, 9u);
+}
+
+TEST_F(EngineTest, SegMaskShrinksCalleeView)
+{
+    installEntry(3);
+    grantCap(3);
+    mem::SegWindow seg{true, uint64_t(0x30) << 32, 0x100000, 8192,
+                       true, true};
+    core().csrs.segReg = seg;
+    ASSERT_EQ(eng->setSegMask(core(), 4096, 1024), XpcException::None);
+
+    eng->xcall(core(), 3, 0);
+    EXPECT_EQ(core().csrs.segReg.vaBase, (uint64_t(0x30) << 32) + 4096);
+    EXPECT_EQ(core().csrs.segReg.paBase, 0x100000u + 4096);
+    EXPECT_EQ(core().csrs.segReg.len, 1024u);
+    // Callee's own mask starts clear.
+    EXPECT_EQ(core().csrs.segMaskLen, 0u);
+
+    ASSERT_EQ(eng->xret(core()).exc, XpcException::None);
+    // Caller gets its full segment and its mask back.
+    EXPECT_EQ(core().csrs.segReg.len, 8192u);
+    EXPECT_EQ(core().csrs.segMaskOffset, 4096u);
+    EXPECT_EQ(core().csrs.segMaskLen, 1024u);
+}
+
+TEST_F(EngineTest, MaskOutsideSegmentFaults)
+{
+    mem::SegWindow seg{true, uint64_t(0x30) << 32, 0x100000, 4096,
+                       true, true};
+    core().csrs.segReg = seg;
+    EXPECT_EQ(eng->setSegMask(core(), 4000, 200),
+              XpcException::InvalidSegMask);
+    EXPECT_EQ(eng->setSegMask(core(), 0, 8192),
+              XpcException::InvalidSegMask);
+    EXPECT_EQ(eng->setSegMask(core(), 0, 4096), XpcException::None);
+}
+
+TEST_F(EngineTest, MaliciousCalleeCannotReturnDifferentSeg)
+{
+    installEntry(3);
+    grantCap(3);
+    mem::SegWindow seg{true, uint64_t(0x30) << 32, 0x100000, 8192,
+                       true, true};
+    core().csrs.segReg = seg;
+    eng->xcall(core(), 3, 0);
+    // Callee swaps in a different segment and "forgets" to restore.
+    core().csrs.segReg.paBase = 0x200000;
+    XretResult r = eng->xret(core());
+    EXPECT_EQ(r.exc, XpcException::InvalidSegMask);
+}
+
+TEST_F(EngineTest, SwapsegExchangesWithList)
+{
+    RelaySegEntry slot;
+    slot.valid = true;
+    slot.window = mem::SegWindow{true, uint64_t(0x31) << 32, 0x200000,
+                                 4096, true, true};
+    slot.segId = 5;
+    XpcEngine::writeSegListEntry(machine->phys(), segList, 2, slot);
+
+    mem::SegWindow old{true, uint64_t(0x30) << 32, 0x100000, 8192,
+                       true, true};
+    core().csrs.segReg = old;
+    core().csrs.segId = 9;
+
+    ASSERT_EQ(eng->swapseg(core(), 2), XpcException::None);
+    EXPECT_EQ(core().csrs.segReg.paBase, 0x200000u);
+    EXPECT_EQ(core().csrs.segId, 5u);
+
+    // The old segment landed in the slot.
+    auto e = XpcEngine::readSegListEntry(machine->phys(), segList, 2);
+    EXPECT_TRUE(e.valid);
+    EXPECT_EQ(e.window.paBase, 0x100000u);
+    EXPECT_EQ(e.segId, 9u);
+}
+
+TEST_F(EngineTest, SwapsegWithEmptySlotInvalidatesSegReg)
+{
+    mem::SegWindow old{true, uint64_t(0x30) << 32, 0x100000, 8192,
+                       true, true};
+    core().csrs.segReg = old;
+    ASSERT_EQ(eng->swapseg(core(), 0), XpcException::None);
+    EXPECT_FALSE(core().csrs.segReg.valid);
+}
+
+TEST_F(EngineTest, SwapsegOutOfRangeFaults)
+{
+    EXPECT_EQ(eng->swapseg(core(), segListCapacity),
+              XpcException::SwapsegError);
+}
+
+TEST_F(EngineTest, NonblockingLinkStackIsFaster)
+{
+    installEntry(3);
+    grantCap(3);
+    Cycles t0 = core().now();
+    eng->xcall(core(), 3, 0);
+    Cycles nonblocking = core().now() - t0;
+
+    rebuild(XpcEngineOptions{.nonblockingLinkStack = false});
+    installEntry(3);
+    grantCap(3);
+    t0 = core().now();
+    eng->xcall(core(), 3, 0);
+    Cycles blocking = core().now() - t0;
+    EXPECT_GT(blocking, nonblocking);
+}
+
+TEST_F(EngineTest, EngineCachePrefetchAccelerates)
+{
+    rebuild(XpcEngineOptions{.engineCache = true});
+    installEntry(3);
+    grantCap(3);
+    // Warm call without prefetch.
+    eng->xcall(core(), 3, 0);
+    eng->xret(core());
+    Cycles t0 = core().now();
+    eng->xcall(core(), 3, 0);
+    Cycles uncached = core().now() - t0;
+    eng->xret(core());
+
+    eng->prefetch(core(), 3);
+    t0 = core().now();
+    eng->xcall(core(), 3, 0);
+    Cycles cached = core().now() - t0;
+    EXPECT_LT(cached, uncached);
+    EXPECT_GE(eng->engineCacheHits.value(), 1u);
+}
+
+TEST_F(EngineTest, PackedStructuresRoundTrip)
+{
+    LinkageRecord r;
+    r.valid = true;
+    r.callerPageTable = 0x123000;
+    r.callerCapPtr = 0x456000;
+    r.callerSegList = 0x789000;
+    r.callerSeg = mem::SegWindow{true, 0xaaaa, 0xbbbb, 0xcccc, true,
+                                 false};
+    r.callerSegId = 17;
+    r.callerMaskOffset = 128;
+    r.callerMaskLen = 256;
+    r.returnToken = 0xfeed;
+    XpcEngine::writeLinkageRecord(machine->phys(), linkStack, 5, r);
+    auto got = XpcEngine::readLinkageRecord(machine->phys(), linkStack,
+                                            5);
+    EXPECT_TRUE(got.valid);
+    EXPECT_EQ(got.callerPageTable, r.callerPageTable);
+    EXPECT_EQ(got.callerCapPtr, r.callerCapPtr);
+    EXPECT_EQ(got.callerSegList, r.callerSegList);
+    EXPECT_EQ(got.callerSeg.vaBase, r.callerSeg.vaBase);
+    EXPECT_EQ(got.callerSeg.paBase, r.callerSeg.paBase);
+    EXPECT_EQ(got.callerSeg.len, r.callerSeg.len);
+    EXPECT_TRUE(got.callerSeg.read);
+    EXPECT_FALSE(got.callerSeg.write);
+    EXPECT_EQ(got.callerSegId, 17u);
+    EXPECT_EQ(got.callerMaskOffset, 128u);
+    EXPECT_EQ(got.callerMaskLen, 256u);
+    EXPECT_EQ(got.returnToken, 0xfeedu);
+}
+
+TEST_F(EngineTest, XcallLatencyInPaperBallpark)
+{
+    // Warm path, non-blocking link stack: the paper's Table 3 reports
+    // 18 cycles for xcall and 23 for xret. Allow a generous band.
+    installEntry(3, 0xaaaa000); // same root avoids the TLB flush
+    grantCap(3);
+    machine->phys().write64(0xcc000 + 3 * 0x1000, 0x8);
+    for (int i = 0; i < 4; i++) {
+        eng->xcall(core(), 3, 0);
+        eng->xret(core());
+    }
+    Cycles t0 = core().now();
+    eng->xcall(core(), 3, 0);
+    Cycles xcall_cost = core().now() - t0;
+    t0 = core().now();
+    eng->xret(core());
+    Cycles xret_cost = core().now() - t0;
+    EXPECT_GE(xcall_cost.value(), 8u);
+    EXPECT_LE(xcall_cost.value(), 40u);
+    EXPECT_GE(xret_cost.value(), 10u);
+    EXPECT_LE(xret_cost.value(), 45u);
+}
+
+} // namespace
+} // namespace xpc::engine

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the hardware layer: machine configs, cores, IPIs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/machine.hh"
+
+namespace xpc::hw {
+namespace {
+
+TEST(MachineConfigTest, RocketU500Shape)
+{
+    MachineConfig cfg = rocketU500();
+    EXPECT_EQ(cfg.name, "rocket-u500");
+    EXPECT_FALSE(cfg.mem.taggedTlb);
+    EXPECT_EQ(cfg.mem.l1d.sizeBytes, 32u * 1024);
+    EXPECT_EQ(cfg.mem.l2.sizeBytes, 1024u * 1024);
+    EXPECT_GT(cfg.cores, 1u);
+}
+
+TEST(MachineConfigTest, ArmHpiMatchesPaperTable4)
+{
+    MachineConfig cfg = armHpi();
+    EXPECT_EQ(cfg.cores, 8u);                 // 8 in-order cores
+    EXPECT_EQ(cfg.freqHz, 2'000'000'000ull);  // @2.0GHz
+    EXPECT_EQ(cfg.mem.tlbEntries, 256u);      // 256-entry TLB
+    EXPECT_EQ(cfg.mem.l1d.hitLatency, Cycles(3));
+    EXPECT_EQ(cfg.mem.l2.hitLatency, Cycles(13));
+    EXPECT_EQ(cfg.mem.l2.assoc, 16u);
+    EXPECT_TRUE(cfg.mem.taggedTlb);
+    EXPECT_EQ(cfg.core.tlbFlush, Cycles(58)); // TTBR0 barrier cost
+}
+
+TEST(MachineConfigTest, TaggedVariantOnlyChangesTlb)
+{
+    MachineConfig a = rocketU500(), b = rocketU500Tagged();
+    EXPECT_FALSE(a.mem.taggedTlb);
+    EXPECT_TRUE(b.mem.taggedTlb);
+    EXPECT_EQ(a.mem.l1d.sizeBytes, b.mem.l1d.sizeBytes);
+    EXPECT_EQ(a.core.ipi.value(), b.core.ipi.value());
+}
+
+TEST(MachineConfigTest, CycleConversion)
+{
+    MachineConfig cfg = rocketU500(); // 100 MHz
+    EXPECT_DOUBLE_EQ(cfg.cyclesToUsec(Cycles(100)), 1.0);
+    EXPECT_DOUBLE_EQ(cfg.cyclesToSec(Cycles(100'000'000)), 1.0);
+}
+
+TEST(CoreTest, ClockAccumulates)
+{
+    Machine m(rocketU500(), 64 << 20);
+    Core &c = m.core(0);
+    EXPECT_EQ(c.now(), Cycles(0));
+    c.spend(Cycles(10));
+    c.spend(Cycles(5));
+    EXPECT_EQ(c.now(), Cycles(15));
+}
+
+TEST(CoreTest, SyncToOnlyMovesForward)
+{
+    Machine m(rocketU500(), 64 << 20);
+    Core &c = m.core(0);
+    c.spend(Cycles(100));
+    c.syncTo(Cycles(50));
+    EXPECT_EQ(c.now(), Cycles(100));
+    c.syncTo(Cycles(150));
+    EXPECT_EQ(c.now(), Cycles(150));
+}
+
+TEST(MachineTest, IpiChargesAndSynchronizes)
+{
+    MachineConfig cfg = rocketU500();
+    Machine m(cfg, 64 << 20);
+    m.core(0).spend(Cycles(1000));
+    m.sendIpi(0, 1);
+    EXPECT_EQ(m.core(1).now(), Cycles(1000) + cfg.core.ipi);
+}
+
+TEST(MachineTest, CoresShareL2ButNotL1)
+{
+    Machine m(rocketU500(), 64 << 20);
+    uint8_t buf[8] = {};
+    // Core 0 warms the line.
+    m.mem().readPhys(0, 0x20000, buf, 8);
+    uint64_t l2miss = m.mem().l2Cache().misses.value();
+    // Core 1 misses L1 but hits L2.
+    m.mem().readPhys(1, 0x20000, buf, 8);
+    EXPECT_EQ(m.mem().l2Cache().misses.value(), l2miss);
+    EXPECT_EQ(m.mem().l1(1).hits.value(), 0u);
+}
+
+} // namespace
+} // namespace xpc::hw

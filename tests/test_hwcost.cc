@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the FPGA resource estimator (the Table 6 substitute).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwcost/resource_model.hh"
+
+namespace xpc::hwcost {
+namespace {
+
+TEST(ResourceModelTest, BaselineMatchesPaperTable6)
+{
+    ResourceEstimate base = ResourceModel::freedomU500Baseline();
+    EXPECT_EQ(base.lut, 44643u);
+    EXPECT_EQ(base.ff, 30379u);
+    EXPECT_EQ(base.dsp, 15u);
+    EXPECT_EQ(base.lutram, 3370u);
+}
+
+TEST(ResourceModelTest, DefaultEngineReproducesPaperDeltas)
+{
+    ResourceEstimate d =
+        ResourceModel::estimate(ResourceModel::defaultEngine());
+    // Paper: XPC adds 888 LUTs (45531-44643), 1007 FFs
+    // (31386-30379) and one DSP block.
+    EXPECT_EQ(d.lut, 888u);
+    EXPECT_EQ(d.ff, 1007u);
+    EXPECT_EQ(d.dsp, 1u);
+}
+
+TEST(ResourceModelTest, PercentagesMatchPaper)
+{
+    ResourceEstimate base = ResourceModel::freedomU500Baseline();
+    ResourceEstimate with =
+        ResourceModel::withEngine(ResourceModel::defaultEngine());
+    EXPECT_NEAR(ResourceModel::overheadPercent(base.lut, with.lut),
+                1.99, 0.02);
+    EXPECT_NEAR(ResourceModel::overheadPercent(base.ff, with.ff),
+                3.31, 0.02);
+    EXPECT_NEAR(ResourceModel::overheadPercent(base.dsp, with.dsp),
+                6.67, 0.02);
+}
+
+TEST(ResourceModelTest, EngineCacheCostsExtra)
+{
+    ResourceEstimate plain =
+        ResourceModel::estimate(ResourceModel::defaultEngine());
+    ResourceEstimate cached =
+        ResourceModel::estimate(ResourceModel::engineWithCache());
+    EXPECT_GT(cached.lut, plain.lut);
+    EXPECT_GT(cached.ff, plain.ff);
+}
+
+TEST(ResourceModelTest, InventoryScalesMonotonically)
+{
+    EngineInventory inv = ResourceModel::defaultEngine();
+    ResourceEstimate base = ResourceModel::estimate(inv);
+    inv.comparators64 += 4;
+    inv.csrBits += 64;
+    ResourceEstimate bigger = ResourceModel::estimate(inv);
+    EXPECT_GT(bigger.lut, base.lut);
+    EXPECT_GT(bigger.ff, base.ff);
+}
+
+TEST(ResourceModelTest, OverheadPercentEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(ResourceModel::overheadPercent(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ResourceModel::overheadPercent(0, 5), 100.0);
+    EXPECT_DOUBLE_EQ(ResourceModel::overheadPercent(100, 100), 0.0);
+}
+
+} // namespace
+} // namespace xpc::hwcost

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the name server (runtime capability distribution) and
+ * TCP retransmission over a lossy device.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/system.hh"
+#include "services/name_server.hh"
+#include "services/net_server.hh"
+#include "sim/random.hh"
+
+namespace xpc::services {
+namespace {
+
+// --------------------------------------------------------------------
+// Name server.
+// --------------------------------------------------------------------
+
+class NameServerTest
+    : public ::testing::TestWithParam<core::SystemFlavor>
+{
+  protected:
+    NameServerTest()
+    {
+        core::SystemOptions opts;
+        opts.flavor = GetParam();
+        sys = std::make_unique<core::System>(opts);
+    }
+
+    std::unique_ptr<core::System> sys;
+};
+
+TEST_P(NameServerTest, ResolveGrantsAndReturnsId)
+{
+    core::Transport &tr = sys->transport();
+    kernel::Thread &ns_t = sys->spawn("nameserver");
+    kernel::Thread &srv_t = sys->spawn("echo-server");
+    kernel::Thread &client = sys->spawn("client");
+
+    NameServer ns(tr, ns_t);
+    core::ServiceDesc desc;
+    desc.name = "echo";
+    desc.handlerThread = &srv_t;
+    core::ServiceId echo =
+        tr.registerService(desc, [](core::ServerApi &api) {
+            api.replyFromRequest(0, api.requestLen());
+        });
+    ns.publish("echo", echo, srv_t);
+    tr.connect(client, ns.id()); // bootstrap cap: only the NS
+
+    hw::Core &core = sys->core(0);
+    // Without resolution, an XPC client has no capability; resolve
+    // through the name server, which authorizes as a side effect.
+    int64_t got = NameServer::resolve(tr, core, client, ns.id(),
+                                      "echo");
+    ASSERT_EQ(got, int64_t(echo));
+    EXPECT_EQ(ns.lookups.value(), 1u);
+
+    uint8_t msg[16] = {9};
+    tr.requestArea(core, client, 4096);
+    tr.clientWrite(core, client, 0, msg, sizeof(msg));
+    auto r = tr.call(core, client, echo, 0, sizeof(msg), 4096);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.replyLen, sizeof(msg));
+}
+
+TEST_P(NameServerTest, UnknownNameReturnsMinusOne)
+{
+    core::Transport &tr = sys->transport();
+    kernel::Thread &ns_t = sys->spawn("nameserver");
+    kernel::Thread &client = sys->spawn("client");
+    NameServer ns(tr, ns_t);
+    tr.connect(client, ns.id());
+    int64_t got = NameServer::resolve(tr, sys->core(0), client,
+                                      ns.id(), "nonesuch");
+    EXPECT_EQ(got, -1);
+    EXPECT_EQ(ns.misses.value(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flavors, NameServerTest,
+    ::testing::Values(core::SystemFlavor::Sel4TwoCopy,
+                      core::SystemFlavor::Sel4Xpc,
+                      core::SystemFlavor::Zircon),
+    [](const ::testing::TestParamInfo<core::SystemFlavor> &info) {
+        std::string n = core::systemFlavorName(info.param);
+        for (auto &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(NameServerXpc, ResolutionSetsTheCapabilityBit)
+{
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    core::System sys(opts);
+    core::Transport &tr = sys.transport();
+    kernel::Thread &ns_t = sys.spawn("nameserver");
+    kernel::Thread &srv_t = sys.spawn("server");
+    kernel::Thread &client = sys.spawn("client");
+
+    NameServer ns(tr, ns_t);
+    core::ServiceDesc desc;
+    desc.name = "svc";
+    desc.handlerThread = &srv_t;
+    core::ServiceId svc =
+        tr.registerService(desc, [](core::ServerApi &) {});
+    ns.publish("svc", svc, srv_t);
+    tr.connect(client, ns.id());
+
+    auto *xt = dynamic_cast<core::XpcTransport *>(&tr);
+    ASSERT_NE(xt, nullptr);
+    uint64_t entry = xt->entryOf(svc);
+    EXPECT_FALSE(sys.manager().hasXcallCap(client, entry));
+    NameServer::resolve(tr, sys.core(0), client, ns.id(), "svc");
+    EXPECT_TRUE(sys.manager().hasXcallCap(client, entry));
+}
+
+// --------------------------------------------------------------------
+// TCP retransmission over a lossy device.
+// --------------------------------------------------------------------
+
+struct LossyRig
+{
+    std::unique_ptr<core::System> sys;
+    std::unique_ptr<LoopbackDeviceServer> loop;
+    std::unique_ptr<NetStackServer> net;
+    kernel::Thread *client = nullptr;
+    int64_t srv = 0, cli = 0;
+
+    explicit LossyRig(uint32_t drop_every_nth)
+    {
+        core::SystemOptions opts;
+        opts.flavor = core::SystemFlavor::Sel4Xpc;
+        sys = std::make_unique<core::System>(opts);
+        kernel::Thread &dev_t = sys->spawn("loopdev");
+        kernel::Thread &net_t = sys->spawn("netstack");
+        client = &sys->spawn("client");
+        loop = std::make_unique<LoopbackDeviceServer>(
+            sys->transport(), dev_t, drop_every_nth);
+        sys->transport().connect(net_t, loop->id());
+        net = std::make_unique<NetStackServer>(sys->transport(),
+                                               net_t, loop->id());
+        sys->transport().connect(*client, net->id());
+
+        hw::Core &core = sys->core(0);
+        core::Transport &tr = sys->transport();
+        srv = NetStackServer::clientSocket(tr, core, *client,
+                                           net->id());
+        cli = NetStackServer::clientSocket(tr, core, *client,
+                                           net->id());
+        NetStackServer::clientListen(tr, core, *client, net->id(),
+                                     srv, 80);
+        NetStackServer::clientConnect(tr, core, *client, net->id(),
+                                      cli, 80);
+    }
+};
+
+TEST(TcpRetransmit, LossyDeviceStillDeliversEverythingInOrder)
+{
+    LossyRig rig(/*drop every*/ 3);
+    hw::Core &core = rig.sys->core(0);
+    core::Transport &tr = rig.sys->transport();
+
+    std::vector<uint8_t> msg(20000);
+    std::iota(msg.begin(), msg.end(), 0);
+    ASSERT_EQ(NetStackServer::clientSend(tr, core, *rig.client,
+                                         rig.net->id(), rig.cli,
+                                         msg.data(), msg.size()),
+              int64_t(msg.size()));
+
+    EXPECT_GT(rig.loop->framesDropped.value(), 0u);
+    EXPECT_GT(rig.net->stack().segmentsRetransmitted.value(), 0u);
+
+    std::vector<uint8_t> got(msg.size());
+    ASSERT_EQ(NetStackServer::clientRecv(tr, core, *rig.client,
+                                         rig.net->id(), rig.srv,
+                                         got.data(), got.size()),
+              int64_t(got.size()));
+    EXPECT_EQ(got, msg);
+}
+
+TEST(TcpRetransmit, LosslessPathNeverRetransmits)
+{
+    LossyRig rig(0);
+    hw::Core &core = rig.sys->core(0);
+    core::Transport &tr = rig.sys->transport();
+    std::vector<uint8_t> msg(8000, 0x31);
+    NetStackServer::clientSend(tr, core, *rig.client, rig.net->id(),
+                               rig.cli, msg.data(), msg.size());
+    EXPECT_EQ(rig.net->stack().segmentsRetransmitted.value(), 0u);
+    EXPECT_EQ(rig.loop->framesDropped.value(), 0u);
+}
+
+TEST(TcpRetransmit, LossMakesTransferSlower)
+{
+    auto cycles = [](uint32_t drop) {
+        LossyRig rig(drop);
+        hw::Core &core = rig.sys->core(0);
+        core::Transport &tr = rig.sys->transport();
+        std::vector<uint8_t> msg(16000, 5);
+        Cycles t0 = core.now();
+        NetStackServer::clientSend(tr, core, *rig.client,
+                                   rig.net->id(), rig.cli, msg.data(),
+                                   msg.size());
+        return (core.now() - t0).value();
+    };
+    EXPECT_GT(cycles(2), cycles(0));
+}
+
+} // namespace
+} // namespace xpc::services

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for MiniDb's storage internals: the FS-backed paged file
+ * (cache hits, eviction write-back, pre-image hook ordering) and the
+ * xv6fs buffer cache's pinning discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "apps/minidb/paged_file.hh"
+#include "core/recording_transport.hh"
+#include "core/system.hh"
+#include "services/block_device.hh"
+#include "services/fs_server.hh"
+#include "services/fs/xv6fs.hh"
+
+namespace xpc::apps {
+namespace {
+
+class PagerTest : public ::testing::Test
+{
+  protected:
+    PagerTest()
+    {
+        core::SystemOptions opts;
+        opts.flavor = core::SystemFlavor::Sel4Xpc;
+        sys = std::make_unique<core::System>(opts);
+        kernel::Thread &dev_t = sys->spawn("dev");
+        kernel::Thread &fs_t = sys->spawn("fs");
+        client = &sys->spawn("client");
+        dev = std::make_unique<services::BlockDeviceServer>(
+            sys->transport(), dev_t, 2048);
+        sys->transport().connect(fs_t, dev->id());
+        fsrv = std::make_unique<services::FsServer>(
+            sys->transport(), fs_t, dev->id(), 2048);
+        sys->transport().connect(*client, fsrv->id());
+    }
+
+    std::unique_ptr<core::System> sys;
+    std::unique_ptr<services::BlockDeviceServer> dev;
+    std::unique_ptr<services::FsServer> fsrv;
+    kernel::Thread *client = nullptr;
+};
+
+TEST_F(PagerTest, AppendGetRoundTrips)
+{
+    PagedFile pf(sys->transport(), sys->core(0), *client,
+                 fsrv->id(), "/p.db", 8);
+    uint32_t p = pf.appendPage();
+    DbPage &page = pf.get(p);
+    std::memset(page.data.data(), 0x5d, 64);
+    pf.markDirty(p);
+    pf.flushDirty();
+
+    // A fresh pager over the same file sees the bytes.
+    PagedFile pf2(sys->transport(), sys->core(0), *client,
+                  fsrv->id(), "/p.db", 8);
+    pf2.adoptPages(1);
+    DbPage &again = pf2.get(p);
+    EXPECT_EQ(again.data[0], 0x5d);
+    EXPECT_EQ(again.data[63], 0x5d);
+}
+
+TEST_F(PagerTest, EvictionWritesDirtyVictimsBack)
+{
+    PagedFile pf(sys->transport(), sys->core(0), *client,
+                 fsrv->id(), "/evict.db", 4);
+    // Dirty 8 pages through a 4-page cache: the pager must write
+    // victims back on eviction, not lose them.
+    for (uint32_t i = 0; i < 8; i++) {
+        uint32_t p = pf.appendPage();
+        DbPage &page = pf.get(p);
+        page.data[0] = uint8_t(0xA0 + i);
+        pf.markDirty(p);
+    }
+    EXPECT_GT(pf.pageWrites.value(), 0u);
+    pf.flushDirty();
+    for (uint32_t i = 0; i < 8; i++) {
+        DbPage &page = pf.get(i);
+        EXPECT_EQ(page.data[0], uint8_t(0xA0 + i)) << "page " << i;
+    }
+}
+
+TEST_F(PagerTest, PreImageHookSeesDataBeforeTheWrite)
+{
+    PagedFile pf(sys->transport(), sys->core(0), *client,
+                 fsrv->id(), "/hook.db", 8);
+    uint32_t p = pf.appendPage();
+    {
+        DbPage &page = pf.get(p);
+        page.data[0] = 0x11;
+        pf.markDirty(p);
+    }
+    pf.flushDirty();
+
+    uint8_t captured = 0;
+    pf.preImageHook = [&](uint32_t page_no, const DbPage &pre) {
+        EXPECT_EQ(page_no, p);
+        captured = pre.data[0];
+    };
+    // Discipline: markDirty BEFORE modifying.
+    DbPage &page = pf.get(p);
+    pf.markDirty(p);
+    page.data[0] = 0x22;
+    EXPECT_EQ(captured, 0x11); // the pre-image, not the new value
+}
+
+TEST_F(PagerTest, SecondDirtyInSameEpochSkipsTheHook)
+{
+    PagedFile pf(sys->transport(), sys->core(0), *client,
+                 fsrv->id(), "/hook2.db", 8);
+    uint32_t p = pf.appendPage();
+    int hook_calls = 0;
+    pf.preImageHook = [&](uint32_t, const DbPage &) { hook_calls++; };
+    pf.get(p);
+    pf.markDirty(p);
+    pf.markDirty(p); // absorbed
+    EXPECT_EQ(hook_calls, 1);
+    EXPECT_EQ(pf.dirtyPages().size(), 1u);
+}
+
+// --------------------------------------------------------------------
+// xv6fs buffer cache pinning.
+// --------------------------------------------------------------------
+
+class CountingDisk : public services::fs::BlockIo
+{
+  public:
+    explicit CountingDisk(uint32_t n)
+        : blocks(n, std::vector<uint8_t>(services::fs::fsBlockBytes,
+                                         0))
+    {}
+
+    void
+    read(uint32_t b, void *dst) override
+    {
+        reads++;
+        std::memcpy(dst, blocks.at(b).data(),
+                    services::fs::fsBlockBytes);
+    }
+
+    void
+    write(uint32_t b, const void *src) override
+    {
+        writes++;
+        std::memcpy(blocks.at(b).data(), src,
+                    services::fs::fsBlockBytes);
+    }
+
+    std::vector<std::vector<uint8_t>> blocks;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+};
+
+TEST(BufCachePin, PinnedBuffersSurviveCachePressure)
+{
+    CountingDisk disk(256);
+    services::fs::BufCache cache(4);
+    // Fill a block, pin it, then stream far more blocks than the
+    // cache holds: the pinned buffer must not be written back early
+    // (write-ahead ordering) nor evicted.
+    auto &pinned = cache.get(disk, 10);
+    pinned.data[0] = 0x77;
+    pinned.dirty = true;
+    cache.pin(10, true);
+
+    uint64_t writes_before = disk.writes;
+    for (uint32_t b = 20; b < 60; b++)
+        cache.get(disk, b);
+    // The pinned dirty block was never flushed by eviction.
+    EXPECT_EQ(disk.writes, writes_before);
+    auto &still = cache.get(disk, 10);
+    EXPECT_EQ(still.data[0], 0x77);
+    EXPECT_TRUE(still.dirty);
+
+    cache.pin(10, false);
+    for (uint32_t b = 60; b < 100; b++)
+        cache.get(disk, b);
+    // Unpinned, it eventually ages out and is written back.
+    EXPECT_GT(disk.writes, writes_before);
+    EXPECT_EQ(disk.blocks[10][0], 0x77);
+}
+
+TEST(BufCachePin, HitCountersTrackLocality)
+{
+    CountingDisk disk(64);
+    services::fs::BufCache cache(8);
+    for (int round = 0; round < 10; round++)
+        for (uint32_t b = 0; b < 4; b++)
+            cache.get(disk, b);
+    EXPECT_EQ(cache.misses.value(), 4u);
+    EXPECT_EQ(cache.hits.value(), 36u);
+    EXPECT_EQ(disk.reads, 4u);
+}
+
+} // namespace
+} // namespace xpc::apps

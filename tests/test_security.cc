@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Security-property tests: the paper's section 6.1 analysis, run
+ * against the implementation. Authentication, TOCTTOU defence,
+ * fault isolation across terminating chain members, capability
+ * revocation and the DoS guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/system.hh"
+#include "sim/logging.hh"
+
+namespace xpc::core {
+namespace {
+
+class SecurityTest : public ::testing::Test
+{
+  protected:
+    SecurityTest()
+    {
+        SystemOptions opts;
+        opts.flavor = SystemFlavor::Sel4Xpc;
+        sys = std::make_unique<System>(opts);
+    }
+
+    std::unique_ptr<System> sys;
+};
+
+TEST_F(SecurityTest, XcallWithoutCapabilityIsRejected)
+{
+    kernel::Thread &server = sys->spawn("server");
+    kernel::Thread &attacker = sys->spawn("attacker");
+    XpcRuntime &rt = sys->runtime();
+    uint64_t id = rt.registerEntry(server, server,
+                                   [](XpcServerCall &) {}, 2);
+    // No grant for the attacker.
+    hw::Core &core = sys->core(0);
+    rt.allocRelayMem(core, attacker, 4096);
+    auto out = rt.call(core, attacker, id, 0, 0);
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.exc, engine::XpcException::InvalidXcallCap);
+}
+
+TEST_F(SecurityTest, RevokedCapabilityStopsWorking)
+{
+    kernel::Thread &server = sys->spawn("server");
+    kernel::Thread &client = sys->spawn("client");
+    XpcRuntime &rt = sys->runtime();
+    uint64_t id = rt.registerEntry(server, server,
+                                   [](XpcServerCall &) {}, 2);
+    sys->manager().grantXcallCap(server, client, id);
+    hw::Core &core = sys->core(0);
+    rt.allocRelayMem(core, client, 4096);
+    EXPECT_TRUE(rt.call(core, client, id, 0, 0).ok);
+
+    sys->manager().revokeXcallCap(client, id);
+    auto out = rt.call(core, client, id, 0, 0);
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.exc, engine::XpcException::InvalidXcallCap);
+}
+
+TEST_F(SecurityTest, CalleeIdentifiesCallerByCapRegister)
+{
+    kernel::Thread &server = sys->spawn("server");
+    kernel::Thread &alice = sys->spawn("alice");
+    kernel::Thread &bob = sys->spawn("bob");
+    XpcRuntime &rt = sys->runtime();
+
+    PAddr seen = 0;
+    uint64_t id = rt.registerEntry(
+        server, server,
+        [&](XpcServerCall &call) { seen = call.callerCap(); }, 2);
+    sys->manager().grantXcallCap(server, alice, id);
+    sys->manager().grantXcallCap(server, bob, id);
+
+    hw::Core &core = sys->core(0);
+    rt.allocRelayMem(core, alice, 4096);
+    rt.call(core, alice, id, 0, 0);
+    PAddr alice_cap = seen;
+    rt.allocRelayMem(core, bob, 4096);
+    rt.call(core, bob, id, 0, 0);
+    PAddr bob_cap = seen;
+
+    EXPECT_NE(alice_cap, 0u);
+    EXPECT_NE(bob_cap, 0u);
+    // Distinct callers are distinguishable and unforgeable.
+    EXPECT_NE(alice_cap, bob_cap);
+    EXPECT_EQ(alice_cap, alice.runtime.capBitmap);
+    EXPECT_EQ(bob_cap, bob.runtime.capBitmap);
+}
+
+TEST_F(SecurityTest, TocttouSingleOwnerWindow)
+{
+    // While the callee runs, the active window belongs to it; the
+    // caller's view is saved in the linkage record, and any byte the
+    // callee validated cannot be changed behind its back because
+    // there is exactly one seg-reg per core.
+    kernel::Thread &server = sys->spawn("server");
+    kernel::Thread &client = sys->spawn("client");
+    XpcRuntime &rt = sys->runtime();
+
+    bool validated_twice_same = false;
+    uint64_t id = rt.registerEntry(
+        server, server,
+        [&](XpcServerCall &call) {
+            uint8_t first[16], second[16];
+            call.readMsg(0, first, sizeof(first));
+            // ... time passes; on shared-memory designs the client
+            // could now race and flip the bytes ...
+            call.readMsg(0, second, sizeof(second));
+            validated_twice_same =
+                std::memcmp(first, second, sizeof(first)) == 0;
+        },
+        2);
+    sys->manager().grantXcallCap(server, client, id);
+
+    hw::Core &core = sys->core(0);
+    rt.allocRelayMem(core, client, 4096);
+    uint8_t payload[16] = {1, 2, 3, 4};
+    rt.segWrite(core, 0, payload, sizeof(payload));
+    EXPECT_TRUE(rt.call(core, client, id, 0, sizeof(payload)).ok);
+    EXPECT_TRUE(validated_twice_same);
+}
+
+TEST_F(SecurityTest, RelaySegNeverOverlapsPageTables)
+{
+    // Invariant 2: for every live segment, no page-table mapping of
+    // the owning process covers the segment's VA range, so no TLB
+    // shootdown is ever needed (paper 3.1).
+    kernel::Thread &client = sys->spawn("client");
+    XpcRuntime &rt = sys->runtime();
+    hw::Core &core = sys->core(0);
+    for (int i = 0; i < 8; i++) {
+        client.process()->alloc(16 * pageSize); // grow the heap
+        auto seg = sys->manager().allocRelaySeg(
+            &core, *client.process(), 8 * pageSize, uint64_t(i));
+        EXPECT_FALSE(client.process()->space().pageTable().anyMappingIn(
+            seg.va, seg.len));
+    }
+    (void)rt;
+}
+
+TEST_F(SecurityTest, DeadCallerMakesXretFault)
+{
+    // A -> B; A dies while B runs; B's xret must fault instead of
+    // resuming into a corpse (paper 4.2).
+    kernel::Thread &server = sys->spawn("server");
+    kernel::Thread &client = sys->spawn("client");
+    XpcRuntime &rt = sys->runtime();
+    hw::Core &core = sys->core(0);
+
+    engine::XretResult ret_result;
+    uint64_t id = rt.registerEntry(
+        server, server,
+        [&](XpcServerCall &call) {
+            // The kernel kills the caller mid-handler.
+            sys->manager().onProcessExit(*client.process());
+            // When the library later issues xret it must fault; probe
+            // the engine directly (and undo the probe by... nothing -
+            // the fault leaves state for the kernel).
+            ret_result = sys->engine().xret(call.core());
+        },
+        2);
+    sys->manager().grantXcallCap(server, client, id);
+    rt.allocRelayMem(core, client, 4096);
+
+    auto out = rt.call(core, client, id, 0, 0);
+    EXPECT_EQ(ret_result.exc, engine::XpcException::InvalidLinkage);
+    // The runtime's own xret then also faulted and reported it.
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.exc, engine::XpcException::InvalidLinkage);
+}
+
+TEST_F(SecurityTest, MidChainDeathInvalidatesOnlyItsRecords)
+{
+    // A -> B -> C; B dies; C's return to B faults, but A's records
+    // stay valid.
+    kernel::Thread &a = sys->spawn("A");
+    kernel::Thread &b = sys->spawn("B");
+    kernel::Thread &c = sys->spawn("C");
+    XpcRuntime &rt = sys->runtime();
+    hw::Core &core = sys->core(0);
+
+    engine::XretResult c_ret;
+    uint64_t c_id = rt.registerEntry(
+        c, c,
+        [&](XpcServerCall &call) {
+            sys->manager().onProcessExit(*b.process());
+            c_ret = sys->engine().xret(call.core());
+        },
+        2);
+    uint64_t b_id = rt.registerEntry(
+        b, b,
+        [&](XpcServerCall &call) {
+            auto out = call.callNested(c_id, 0, 0, 16);
+            (void)out;
+        },
+        2);
+    sys->manager().grantXcallCap(b, a, b_id);
+    sys->manager().grantXcallCap(c, b, c_id);
+
+    rt.allocRelayMem(core, a, 4096);
+    auto out = rt.call(core, a, b_id, 0, 64);
+    // C's xret faulted because B's record was invalidated.
+    EXPECT_EQ(c_ret.exc, engine::XpcException::InvalidLinkage);
+    (void)out;
+}
+
+TEST_F(SecurityTest, SegRevocationReturnsMemoryOnExit)
+{
+    kernel::Thread &victim = sys->spawn("victim");
+    hw::Core &core = sys->core(0);
+    uint64_t before = sys->machine().allocator().freeBytes();
+    for (int i = 0; i < 4; i++) {
+        sys->manager().allocRelaySeg(&core, *victim.process(),
+                                     64 * 1024, uint64_t(i));
+    }
+    EXPECT_LT(sys->machine().allocator().freeBytes(), before);
+    sys->manager().onProcessExit(*victim.process());
+    EXPECT_EQ(sys->machine().allocator().freeBytes(), before);
+}
+
+TEST_F(SecurityTest, ContextExhaustionIsBounded)
+{
+    // DoS guard: a caller cannot occupy more than maxContexts
+    // simultaneous invocations (paper 4.2).
+    kernel::Thread &server = sys->spawn("server");
+    kernel::Thread &client = sys->spawn("client");
+    XpcRuntime &rt = sys->runtime();
+
+    int depth = 0, rejected = 0;
+    uint64_t id = 0;
+    id = rt.registerEntry(
+        server, server,
+        [&](XpcServerCall &call) {
+            depth++;
+            if (depth < 6) {
+                auto out = call.callNested(id, 0, 0, 16);
+                if (!out.ok && out.exc == engine::XpcException::None)
+                    rejected++;
+            }
+        },
+        3);
+    sys->manager().grantXcallCap(server, client, id);
+    sys->manager().grantXcallCap(server, server, id);
+
+    hw::Core &core = sys->core(0);
+    rt.allocRelayMem(core, client, 4096);
+    EXPECT_TRUE(rt.call(core, client, id, 0, 64).ok);
+    EXPECT_EQ(depth, 3);
+    EXPECT_EQ(rejected, 1);
+    EXPECT_EQ(rt.contextExhausted.value(), 1u);
+}
+
+TEST_F(SecurityTest, EngineCacheIsTaggedPerThread)
+{
+    // Paper 6.1 "Timing Attacks": each engine-cache entry is tagged
+    // with the thread's capability pointer, so one thread's prefetch
+    // can never produce a hit (and thus a timing signal) for another.
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    opts.engineOpts.engineCache = true;
+    core::System local(opts);
+    kernel::Thread &server = local.spawn("server");
+    kernel::Thread &alice = local.spawn("alice");
+    kernel::Thread &bob = local.spawn("bob");
+    core::XpcRuntime &rt = local.runtime();
+    uint64_t id = rt.registerEntry(server, server,
+                                   [](core::XpcServerCall &) {}, 2);
+    local.manager().grantXcallCap(server, alice, id);
+    local.manager().grantXcallCap(server, bob, id);
+    hw::Core &core = local.core(0);
+
+    rt.allocRelayMem(core, alice, 4096);
+    local.engine().prefetch(core, id); // fills with alice's tag
+    uint64_t hits0 = local.engine().engineCacheHits.value();
+    rt.call(core, alice, id, 0, 0);
+    EXPECT_EQ(local.engine().engineCacheHits.value(), hits0 + 1);
+
+    // Bob runs next; alice's cached entry must not hit for him.
+    rt.allocRelayMem(core, bob, 4096);
+    uint64_t hits1 = local.engine().engineCacheHits.value();
+    rt.call(core, bob, id, 0, 0);
+    EXPECT_EQ(local.engine().engineCacheHits.value(), hits1);
+}
+
+TEST_F(SecurityTest, GrantCapForwardingIsExplicit)
+{
+    // Holding an xcall-cap does not imply the right to grant it on.
+    kernel::Thread &server = sys->spawn("server");
+    kernel::Thread &middle = sys->spawn("middle");
+    kernel::Thread &outsider = sys->spawn("outsider");
+    XpcRuntime &rt = sys->runtime();
+    uint64_t id = rt.registerEntry(server, server,
+                                   [](XpcServerCall &) {}, 2);
+    sys->manager().grantXcallCap(server, middle, id);
+    EXPECT_TRUE(sys->manager().hasXcallCap(middle, id));
+    EXPECT_FALSE(sys->manager().hasGrantCap(middle, id));
+    EXPECT_DEATH(sys->manager().grantXcallCap(middle, outsider, id),
+                 "grant-cap");
+}
+
+TEST_F(SecurityTest, TimeoutUnwindsAHungCallee)
+{
+    // Paper 6.1 fault isolation: if the callee hangs, a timeout can
+    // force control back to the caller.
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    opts.runtimeOpts.timeoutCycles = Cycles(10000);
+    core::System local(opts);
+    kernel::Thread &server = local.spawn("hang-server");
+    kernel::Thread &client = local.spawn("client");
+    core::XpcRuntime &rt = local.runtime();
+    uint64_t id = rt.registerEntry(
+        server, server,
+        [](core::XpcServerCall &call) {
+            if (call.opcode() == 1)
+                call.hang(Cycles(50000)); // well past the budget
+            else
+                call.setReplyLen(0);
+        },
+        2);
+    local.manager().grantXcallCap(server, client, id);
+
+    hw::Core &core = local.core(0);
+    core::RelaySegHandle seg = rt.allocRelayMem(core, client, 4096);
+
+    auto out = rt.call(core, client, id, 1, 0);
+    EXPECT_FALSE(out.ok);
+    EXPECT_TRUE(out.timedOut);
+    // The kernel restored the caller completely.
+    EXPECT_EQ(core.csrs.linkTop, 0u);
+    EXPECT_EQ(core.csrs.segId, seg.segId);
+    EXPECT_EQ(core.csrs.pageTableRoot,
+              client.process()->space().root());
+
+    // The entry is still usable afterwards (well-behaved call).
+    auto ok = rt.call(core, client, id, 0, 0);
+    EXPECT_TRUE(ok.ok);
+    EXPECT_FALSE(ok.timedOut);
+}
+
+TEST_F(SecurityTest, FastCalleeNeverTriggersTheWatchdog)
+{
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    opts.runtimeOpts.timeoutCycles = Cycles(1000000);
+    core::System local(opts);
+    kernel::Thread &server = local.spawn("server");
+    kernel::Thread &client = local.spawn("client");
+    core::XpcRuntime &rt = local.runtime();
+    uint64_t id = rt.registerEntry(server, server,
+                                   [](core::XpcServerCall &) {}, 2);
+    local.manager().grantXcallCap(server, client, id);
+    hw::Core &core = local.core(0);
+    rt.allocRelayMem(core, client, 4096);
+    auto out = rt.call(core, client, id, 0, 0);
+    EXPECT_TRUE(out.ok);
+    EXPECT_FALSE(out.timedOut);
+}
+
+TEST_F(SecurityTest, MaskCannotGrowTheWindow)
+{
+    kernel::Thread &client = sys->spawn("client");
+    XpcRuntime &rt = sys->runtime();
+    hw::Core &core = sys->core(0);
+    rt.allocRelayMem(core, client, 4096);
+    EXPECT_EQ(sys->engine().setSegMask(core, 0, 8192),
+              engine::XpcException::InvalidSegMask);
+    EXPECT_EQ(sys->engine().setSegMask(core, 4000, 200),
+              engine::XpcException::InvalidSegMask);
+    // A nested mask can only shrink further.
+    ASSERT_EQ(sys->engine().setSegMask(core, 1024, 1024),
+              engine::XpcException::None);
+    mem::SegWindow w = engine::XpcEngine::effectiveSeg(core.csrs);
+    EXPECT_EQ(w.len, 1024u);
+}
+
+} // namespace
+} // namespace xpc::core

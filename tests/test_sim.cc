@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the sim substrate: types, RNG, Zipfian, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace xpc {
+namespace {
+
+TEST(CyclesTest, ArithmeticBehavesLikeIntegers)
+{
+    Cycles a(10), b(3);
+    EXPECT_EQ((a + b).value(), 13u);
+    EXPECT_EQ((a - b).value(), 7u);
+    EXPECT_EQ((b * 4).value(), 12u);
+    a += b;
+    EXPECT_EQ(a.value(), 13u);
+    EXPECT_LT(b, a);
+}
+
+TEST(PageMathTest, AlignmentHelpers)
+{
+    EXPECT_EQ(pageAlignDown(0x1234), 0x1000u);
+    EXPECT_EQ(pageAlignUp(0x1234), 0x2000u);
+    EXPECT_EQ(pageAlignUp(0x1000), 0x1000u);
+    EXPECT_TRUE(pageAligned(0x3000));
+    EXPECT_FALSE(pageAligned(0x3001));
+}
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BoundedStaysInBounds)
+{
+    Rng rng(99);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(RngTest, DoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; i++) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(ZipfianTest, StaysInRange)
+{
+    Zipfian z(1000);
+    for (int i = 0; i < 20000; i++)
+        EXPECT_LT(z.next(), 1000u);
+}
+
+TEST(ZipfianTest, HeadIsHot)
+{
+    // With theta=0.99, the top handful of keys should dominate.
+    Zipfian z(1000);
+    uint64_t head = 0, total = 50000;
+    for (uint64_t i = 0; i < total; i++)
+        head += (z.next() < 10);
+    EXPECT_GT(double(head) / double(total), 0.3);
+}
+
+TEST(DistributionTest, MomentsAndQuantiles)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; i++)
+        d.add(double(i));
+    EXPECT_EQ(d.count(), 100u);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+    EXPECT_NEAR(d.quantile(0.5), 50.5, 0.01);
+    EXPECT_NEAR(d.quantile(0.99), 99.01, 0.01);
+}
+
+TEST(DistributionTest, ResetClears)
+{
+    Distribution d;
+    d.add(1);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.sum(), 0.0);
+}
+
+TEST(WeightedCdfTest, CumulativeFractionMonotone)
+{
+    WeightedCdf cdf;
+    cdf.add(4, 10);
+    cdf.add(64, 30);
+    cdf.add(4096, 60);
+    EXPECT_DOUBLE_EQ(cdf.totalWeight(), 100.0);
+    EXPECT_DOUBLE_EQ(cdf.cumulativeAt(3), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.cumulativeAt(4), 0.1);
+    EXPECT_DOUBLE_EQ(cdf.cumulativeAt(64), 0.4);
+    EXPECT_DOUBLE_EQ(cdf.cumulativeAt(1 << 20), 1.0);
+}
+
+TEST(CounterTest, IncrementAndReset)
+{
+    Counter c;
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+} // namespace
+} // namespace xpc
