@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_oneway_call.dir/bench_fig06_oneway_call.cc.o"
+  "CMakeFiles/bench_fig06_oneway_call.dir/bench_fig06_oneway_call.cc.o.d"
+  "bench_fig06_oneway_call"
+  "bench_fig06_oneway_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_oneway_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_fs.dir/bench_fig07_fs.cc.o"
+  "CMakeFiles/bench_fig07_fs.dir/bench_fig07_fs.cc.o.d"
+  "bench_fig07_fs"
+  "bench_fig07_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_tcp.dir/bench_fig07_tcp.cc.o"
+  "CMakeFiles/bench_fig07_tcp.dir/bench_fig07_tcp.cc.o.d"
+  "bench_fig07_tcp"
+  "bench_fig07_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_http.dir/bench_fig08_http.cc.o"
+  "CMakeFiles/bench_fig08_http.dir/bench_fig08_http.cc.o.d"
+  "bench_fig08_http"
+  "bench_fig08_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_binder.dir/bench_fig09_binder.cc.o"
+  "CMakeFiles/bench_fig09_binder.dir/bench_fig09_binder.cc.o.d"
+  "bench_fig09_binder"
+  "bench_fig09_binder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_binder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

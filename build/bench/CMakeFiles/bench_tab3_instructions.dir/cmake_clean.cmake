@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_instructions.dir/bench_tab3_instructions.cc.o"
+  "CMakeFiles/bench_tab3_instructions.dir/bench_tab3_instructions.cc.o.d"
+  "bench_tab3_instructions"
+  "bench_tab3_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_gem5_arm.dir/bench_tab5_gem5_arm.cc.o"
+  "CMakeFiles/bench_tab5_gem5_arm.dir/bench_tab5_gem5_arm.cc.o.d"
+  "bench_tab5_gem5_arm"
+  "bench_tab5_gem5_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_gem5_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

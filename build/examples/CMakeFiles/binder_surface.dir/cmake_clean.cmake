@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binder_surface.dir/binder_surface.cpp.o"
+  "CMakeFiles/binder_surface.dir/binder_surface.cpp.o.d"
+  "binder_surface"
+  "binder_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binder_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_service.dir/file_service.cpp.o"
+  "CMakeFiles/file_service.dir/file_service.cpp.o.d"
+  "file_service"
+  "file_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

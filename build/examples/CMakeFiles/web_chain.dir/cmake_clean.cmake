@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_chain.dir/web_chain.cpp.o"
+  "CMakeFiles/web_chain.dir/web_chain.cpp.o.d"
+  "web_chain"
+  "web_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

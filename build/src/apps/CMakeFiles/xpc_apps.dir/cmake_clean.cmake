@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpc_apps.dir/minidb/btree.cc.o"
+  "CMakeFiles/xpc_apps.dir/minidb/btree.cc.o.d"
+  "CMakeFiles/xpc_apps.dir/minidb/minidb.cc.o"
+  "CMakeFiles/xpc_apps.dir/minidb/minidb.cc.o.d"
+  "CMakeFiles/xpc_apps.dir/minidb/paged_file.cc.o"
+  "CMakeFiles/xpc_apps.dir/minidb/paged_file.cc.o.d"
+  "CMakeFiles/xpc_apps.dir/ycsb.cc.o"
+  "CMakeFiles/xpc_apps.dir/ycsb.cc.o.d"
+  "libxpc_apps.a"
+  "libxpc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpc_binder.dir/binder.cc.o"
+  "CMakeFiles/xpc_binder.dir/binder.cc.o.d"
+  "CMakeFiles/xpc_binder.dir/parcel.cc.o"
+  "CMakeFiles/xpc_binder.dir/parcel.cc.o.d"
+  "libxpc_binder.a"
+  "libxpc_binder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpc_binder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

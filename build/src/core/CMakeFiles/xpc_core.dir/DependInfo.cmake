@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/xpc_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/xpc_core.dir/system.cc.o.d"
+  "/root/repo/src/core/transport.cc" "src/core/CMakeFiles/xpc_core.dir/transport.cc.o" "gcc" "src/core/CMakeFiles/xpc_core.dir/transport.cc.o.d"
+  "/root/repo/src/core/transport_sel4.cc" "src/core/CMakeFiles/xpc_core.dir/transport_sel4.cc.o" "gcc" "src/core/CMakeFiles/xpc_core.dir/transport_sel4.cc.o.d"
+  "/root/repo/src/core/transport_xpc.cc" "src/core/CMakeFiles/xpc_core.dir/transport_xpc.cc.o" "gcc" "src/core/CMakeFiles/xpc_core.dir/transport_xpc.cc.o.d"
+  "/root/repo/src/core/transport_zircon.cc" "src/core/CMakeFiles/xpc_core.dir/transport_zircon.cc.o" "gcc" "src/core/CMakeFiles/xpc_core.dir/transport_zircon.cc.o.d"
+  "/root/repo/src/core/xpc_runtime.cc" "src/core/CMakeFiles/xpc_core.dir/xpc_runtime.cc.o" "gcc" "src/core/CMakeFiles/xpc_core.dir/xpc_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/xpc_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpc/CMakeFiles/xpc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xpc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xpc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

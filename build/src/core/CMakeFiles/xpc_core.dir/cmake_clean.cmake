@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpc_core.dir/system.cc.o"
+  "CMakeFiles/xpc_core.dir/system.cc.o.d"
+  "CMakeFiles/xpc_core.dir/transport.cc.o"
+  "CMakeFiles/xpc_core.dir/transport.cc.o.d"
+  "CMakeFiles/xpc_core.dir/transport_sel4.cc.o"
+  "CMakeFiles/xpc_core.dir/transport_sel4.cc.o.d"
+  "CMakeFiles/xpc_core.dir/transport_xpc.cc.o"
+  "CMakeFiles/xpc_core.dir/transport_xpc.cc.o.d"
+  "CMakeFiles/xpc_core.dir/transport_zircon.cc.o"
+  "CMakeFiles/xpc_core.dir/transport_zircon.cc.o.d"
+  "CMakeFiles/xpc_core.dir/xpc_runtime.cc.o"
+  "CMakeFiles/xpc_core.dir/xpc_runtime.cc.o.d"
+  "libxpc_core.a"
+  "libxpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

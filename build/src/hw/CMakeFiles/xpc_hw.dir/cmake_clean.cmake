@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpc_hw.dir/machine.cc.o"
+  "CMakeFiles/xpc_hw.dir/machine.cc.o.d"
+  "CMakeFiles/xpc_hw.dir/machine_config.cc.o"
+  "CMakeFiles/xpc_hw.dir/machine_config.cc.o.d"
+  "libxpc_hw.a"
+  "libxpc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

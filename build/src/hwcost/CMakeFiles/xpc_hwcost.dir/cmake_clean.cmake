@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpc_hwcost.dir/resource_model.cc.o"
+  "CMakeFiles/xpc_hwcost.dir/resource_model.cc.o.d"
+  "libxpc_hwcost.a"
+  "libxpc_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpc_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/address_space.cc" "src/kernel/CMakeFiles/xpc_kernel.dir/address_space.cc.o" "gcc" "src/kernel/CMakeFiles/xpc_kernel.dir/address_space.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/xpc_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/xpc_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/sel4.cc" "src/kernel/CMakeFiles/xpc_kernel.dir/sel4.cc.o" "gcc" "src/kernel/CMakeFiles/xpc_kernel.dir/sel4.cc.o.d"
+  "/root/repo/src/kernel/thread.cc" "src/kernel/CMakeFiles/xpc_kernel.dir/thread.cc.o" "gcc" "src/kernel/CMakeFiles/xpc_kernel.dir/thread.cc.o.d"
+  "/root/repo/src/kernel/xpc_manager.cc" "src/kernel/CMakeFiles/xpc_kernel.dir/xpc_manager.cc.o" "gcc" "src/kernel/CMakeFiles/xpc_kernel.dir/xpc_manager.cc.o.d"
+  "/root/repo/src/kernel/zircon.cc" "src/kernel/CMakeFiles/xpc_kernel.dir/zircon.cc.o" "gcc" "src/kernel/CMakeFiles/xpc_kernel.dir/zircon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xpc/CMakeFiles/xpc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xpc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xpc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

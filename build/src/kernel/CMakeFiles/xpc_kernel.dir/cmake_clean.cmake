@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpc_kernel.dir/address_space.cc.o"
+  "CMakeFiles/xpc_kernel.dir/address_space.cc.o.d"
+  "CMakeFiles/xpc_kernel.dir/kernel.cc.o"
+  "CMakeFiles/xpc_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/xpc_kernel.dir/sel4.cc.o"
+  "CMakeFiles/xpc_kernel.dir/sel4.cc.o.d"
+  "CMakeFiles/xpc_kernel.dir/thread.cc.o"
+  "CMakeFiles/xpc_kernel.dir/thread.cc.o.d"
+  "CMakeFiles/xpc_kernel.dir/xpc_manager.cc.o"
+  "CMakeFiles/xpc_kernel.dir/xpc_manager.cc.o.d"
+  "CMakeFiles/xpc_kernel.dir/zircon.cc.o"
+  "CMakeFiles/xpc_kernel.dir/zircon.cc.o.d"
+  "libxpc_kernel.a"
+  "libxpc_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpc_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpc_mem.dir/cache.cc.o"
+  "CMakeFiles/xpc_mem.dir/cache.cc.o.d"
+  "CMakeFiles/xpc_mem.dir/mem_system.cc.o"
+  "CMakeFiles/xpc_mem.dir/mem_system.cc.o.d"
+  "CMakeFiles/xpc_mem.dir/page_table.cc.o"
+  "CMakeFiles/xpc_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/xpc_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/xpc_mem.dir/phys_mem.cc.o.d"
+  "CMakeFiles/xpc_mem.dir/tlb.cc.o"
+  "CMakeFiles/xpc_mem.dir/tlb.cc.o.d"
+  "libxpc_mem.a"
+  "libxpc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

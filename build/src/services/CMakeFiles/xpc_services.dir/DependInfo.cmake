@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/block_device.cc" "src/services/CMakeFiles/xpc_services.dir/block_device.cc.o" "gcc" "src/services/CMakeFiles/xpc_services.dir/block_device.cc.o.d"
+  "/root/repo/src/services/crypto/aes.cc" "src/services/CMakeFiles/xpc_services.dir/crypto/aes.cc.o" "gcc" "src/services/CMakeFiles/xpc_services.dir/crypto/aes.cc.o.d"
+  "/root/repo/src/services/fs/xv6fs.cc" "src/services/CMakeFiles/xpc_services.dir/fs/xv6fs.cc.o" "gcc" "src/services/CMakeFiles/xpc_services.dir/fs/xv6fs.cc.o.d"
+  "/root/repo/src/services/fs_server.cc" "src/services/CMakeFiles/xpc_services.dir/fs_server.cc.o" "gcc" "src/services/CMakeFiles/xpc_services.dir/fs_server.cc.o.d"
+  "/root/repo/src/services/name_server.cc" "src/services/CMakeFiles/xpc_services.dir/name_server.cc.o" "gcc" "src/services/CMakeFiles/xpc_services.dir/name_server.cc.o.d"
+  "/root/repo/src/services/net/tcp.cc" "src/services/CMakeFiles/xpc_services.dir/net/tcp.cc.o" "gcc" "src/services/CMakeFiles/xpc_services.dir/net/tcp.cc.o.d"
+  "/root/repo/src/services/net_server.cc" "src/services/CMakeFiles/xpc_services.dir/net_server.cc.o" "gcc" "src/services/CMakeFiles/xpc_services.dir/net_server.cc.o.d"
+  "/root/repo/src/services/web.cc" "src/services/CMakeFiles/xpc_services.dir/web.cc.o" "gcc" "src/services/CMakeFiles/xpc_services.dir/web.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/xpc_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpc/CMakeFiles/xpc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xpc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xpc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

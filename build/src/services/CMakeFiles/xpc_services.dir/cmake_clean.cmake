@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpc_services.dir/block_device.cc.o"
+  "CMakeFiles/xpc_services.dir/block_device.cc.o.d"
+  "CMakeFiles/xpc_services.dir/crypto/aes.cc.o"
+  "CMakeFiles/xpc_services.dir/crypto/aes.cc.o.d"
+  "CMakeFiles/xpc_services.dir/fs/xv6fs.cc.o"
+  "CMakeFiles/xpc_services.dir/fs/xv6fs.cc.o.d"
+  "CMakeFiles/xpc_services.dir/fs_server.cc.o"
+  "CMakeFiles/xpc_services.dir/fs_server.cc.o.d"
+  "CMakeFiles/xpc_services.dir/name_server.cc.o"
+  "CMakeFiles/xpc_services.dir/name_server.cc.o.d"
+  "CMakeFiles/xpc_services.dir/net/tcp.cc.o"
+  "CMakeFiles/xpc_services.dir/net/tcp.cc.o.d"
+  "CMakeFiles/xpc_services.dir/net_server.cc.o"
+  "CMakeFiles/xpc_services.dir/net_server.cc.o.d"
+  "CMakeFiles/xpc_services.dir/web.cc.o"
+  "CMakeFiles/xpc_services.dir/web.cc.o.d"
+  "libxpc_services.a"
+  "libxpc_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpc_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

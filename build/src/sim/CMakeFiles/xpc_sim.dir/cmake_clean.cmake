@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpc_sim.dir/logging.cc.o"
+  "CMakeFiles/xpc_sim.dir/logging.cc.o.d"
+  "CMakeFiles/xpc_sim.dir/random.cc.o"
+  "CMakeFiles/xpc_sim.dir/random.cc.o.d"
+  "CMakeFiles/xpc_sim.dir/stats.cc.o"
+  "CMakeFiles/xpc_sim.dir/stats.cc.o.d"
+  "libxpc_sim.a"
+  "libxpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxpc_sim.a"
+)

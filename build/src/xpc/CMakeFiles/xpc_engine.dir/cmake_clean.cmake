@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpc_engine.dir/engine.cc.o"
+  "CMakeFiles/xpc_engine.dir/engine.cc.o.d"
+  "libxpc_engine.a"
+  "libxpc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netns.dir/test_netns.cc.o"
+  "CMakeFiles/test_netns.dir/test_netns.cc.o.d"
+  "test_netns"
+  "test_netns.pdb"
+  "test_netns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

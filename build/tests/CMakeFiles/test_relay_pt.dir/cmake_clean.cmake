@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relay_pt.dir/test_relay_pt.cc.o"
+  "CMakeFiles/test_relay_pt.dir/test_relay_pt.cc.o.d"
+  "test_relay_pt"
+  "test_relay_pt.pdb"
+  "test_relay_pt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relay_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
