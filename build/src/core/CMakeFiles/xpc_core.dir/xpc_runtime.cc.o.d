@@ -222,4 +222,5 @@ src/core/CMakeFiles/xpc_core.dir/xpc_runtime.cc.o: \
  /root/repo/src/mem/tlb.hh /root/repo/src/hw/machine_config.hh \
  /root/repo/src/kernel/address_space.hh /root/repo/src/kernel/thread.hh \
  /root/repo/src/xpc/engine.hh /root/repo/src/xpc/exceptions.hh \
- /root/repo/src/xpc/xentry.hh /root/repo/src/sim/logging.hh
+ /root/repo/src/xpc/xentry.hh /root/repo/src/sim/fault_injector.hh \
+ /root/repo/src/sim/logging.hh

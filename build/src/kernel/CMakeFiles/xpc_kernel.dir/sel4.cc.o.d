@@ -219,4 +219,4 @@ src/kernel/CMakeFiles/xpc_kernel.dir/sel4.cc.o: \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/mem/tlb.hh \
  /root/repo/src/hw/machine_config.hh \
  /root/repo/src/kernel/address_space.hh /root/repo/src/kernel/thread.hh \
- /root/repo/src/sim/logging.hh
+ /root/repo/src/sim/fault_injector.hh /root/repo/src/sim/logging.hh

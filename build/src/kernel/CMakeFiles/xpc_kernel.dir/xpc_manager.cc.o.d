@@ -214,4 +214,12 @@ src/kernel/CMakeFiles/xpc_kernel.dir/xpc_manager.cc.o: \
  /root/repo/src/hw/machine_config.hh \
  /root/repo/src/kernel/address_space.hh /root/repo/src/kernel/thread.hh \
  /root/repo/src/xpc/engine.hh /root/repo/src/xpc/exceptions.hh \
- /root/repo/src/xpc/xentry.hh /root/repo/src/sim/logging.hh
+ /root/repo/src/xpc/xentry.hh /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/sim/logging.hh

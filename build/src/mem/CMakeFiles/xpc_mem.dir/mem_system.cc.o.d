@@ -216,4 +216,4 @@ src/mem/CMakeFiles/xpc_mem.dir/mem_system.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sim/logging.hh
+ /root/repo/src/sim/fault_injector.hh /root/repo/src/sim/logging.hh

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/services/name_server.cc" "src/services/CMakeFiles/xpc_services.dir/name_server.cc.o" "gcc" "src/services/CMakeFiles/xpc_services.dir/name_server.cc.o.d"
   "/root/repo/src/services/net/tcp.cc" "src/services/CMakeFiles/xpc_services.dir/net/tcp.cc.o" "gcc" "src/services/CMakeFiles/xpc_services.dir/net/tcp.cc.o.d"
   "/root/repo/src/services/net_server.cc" "src/services/CMakeFiles/xpc_services.dir/net_server.cc.o" "gcc" "src/services/CMakeFiles/xpc_services.dir/net_server.cc.o.d"
+  "/root/repo/src/services/supervisor.cc" "src/services/CMakeFiles/xpc_services.dir/supervisor.cc.o" "gcc" "src/services/CMakeFiles/xpc_services.dir/supervisor.cc.o.d"
   "/root/repo/src/services/web.cc" "src/services/CMakeFiles/xpc_services.dir/web.cc.o" "gcc" "src/services/CMakeFiles/xpc_services.dir/web.cc.o.d"
   )
 

@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/xpc_services.dir/net/tcp.cc.o.d"
   "CMakeFiles/xpc_services.dir/net_server.cc.o"
   "CMakeFiles/xpc_services.dir/net_server.cc.o.d"
+  "CMakeFiles/xpc_services.dir/supervisor.cc.o"
+  "CMakeFiles/xpc_services.dir/supervisor.cc.o.d"
   "CMakeFiles/xpc_services.dir/web.cc.o"
   "CMakeFiles/xpc_services.dir/web.cc.o.d"
   "libxpc_services.a"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fault_injector.cc" "src/sim/CMakeFiles/xpc_sim.dir/fault_injector.cc.o" "gcc" "src/sim/CMakeFiles/xpc_sim.dir/fault_injector.cc.o.d"
   "/root/repo/src/sim/logging.cc" "src/sim/CMakeFiles/xpc_sim.dir/logging.cc.o" "gcc" "src/sim/CMakeFiles/xpc_sim.dir/logging.cc.o.d"
   "/root/repo/src/sim/random.cc" "src/sim/CMakeFiles/xpc_sim.dir/random.cc.o" "gcc" "src/sim/CMakeFiles/xpc_sim.dir/random.cc.o.d"
   "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/xpc_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/xpc_sim.dir/stats.cc.o.d"

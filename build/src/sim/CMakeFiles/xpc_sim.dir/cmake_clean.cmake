@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/xpc_sim.dir/fault_injector.cc.o"
+  "CMakeFiles/xpc_sim.dir/fault_injector.cc.o.d"
   "CMakeFiles/xpc_sim.dir/logging.cc.o"
   "CMakeFiles/xpc_sim.dir/logging.cc.o.d"
   "CMakeFiles/xpc_sim.dir/random.cc.o"

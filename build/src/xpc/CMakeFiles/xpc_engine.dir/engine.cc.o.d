@@ -212,4 +212,4 @@ src/xpc/CMakeFiles/xpc_engine.dir/engine.cc.o: \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/mem/tlb.hh /root/repo/src/hw/machine_config.hh \
  /root/repo/src/xpc/exceptions.hh /root/repo/src/xpc/xentry.hh \
- /root/repo/src/sim/logging.hh
+ /root/repo/src/sim/fault_injector.hh /root/repo/src/sim/logging.hh

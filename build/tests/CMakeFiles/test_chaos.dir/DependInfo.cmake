@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_chaos.cc" "tests/CMakeFiles/test_chaos.dir/test_chaos.cc.o" "gcc" "tests/CMakeFiles/test_chaos.dir/test_chaos.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/services/CMakeFiles/xpc_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/xpc_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpc/CMakeFiles/xpc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xpc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xpc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

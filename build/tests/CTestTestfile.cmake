@@ -21,3 +21,4 @@ include("/root/repo/build/tests/test_edge[1]_include.cmake")
 include("/root/repo/build/tests/test_netns[1]_include.cmake")
 include("/root/repo/build/tests/test_misc[1]_include.cmake")
 include("/root/repo/build/tests/test_pager[1]_include.cmake")
+include("/root/repo/build/tests/test_chaos[1]_include.cmake")

@@ -54,18 +54,18 @@ class RecordingTransport : public Transport
         return inner.requestArea(core, client, len);
     }
 
-    void
+    bool
     clientWrite(hw::Core &core, kernel::Thread &client, uint64_t off,
                 const void *src, uint64_t len) override
     {
-        inner.clientWrite(core, client, off, src, len);
+        return inner.clientWrite(core, client, off, src, len);
     }
 
-    void
+    bool
     clientRead(hw::Core &core, kernel::Thread &client, uint64_t off,
                void *dst, uint64_t len) override
     {
-        inner.clientRead(core, client, off, dst, len);
+        return inner.clientRead(core, client, off, dst, len);
     }
 
     CallResult
@@ -88,6 +88,8 @@ class RecordingTransport : public Transport
         uint64_t rlen = inner.scratchCall(core, caller, in_handler,
                                           svc, opcode, req, req_len,
                                           reply, reply_cap);
+        if (rlen == scratchFailed)
+            return rlen;
         CallResult synth;
         synth.roundTrip = core.now() - t0;
         synth.replyLen = rlen;

@@ -14,7 +14,8 @@ Transport::scratchCall(hw::Core &core, kernel::Thread &caller,
     clientWrite(core, caller, 0, req, req_len);
     CallResult r = call(core, caller, svc, opcode, req_len,
                         std::max(req_len, reply_cap));
-    panic_if(!r.ok, "scratch call failed");
+    if (!r.ok)
+        return scratchFailed;
     uint64_t rlen = std::min<uint64_t>(r.replyLen, reply_cap);
     if (rlen > 0)
         clientRead(core, caller, 0, reply, rlen);

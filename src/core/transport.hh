@@ -38,11 +38,26 @@ namespace xpc::core {
 
 using ServiceId = uint64_t;
 
+/**
+ * Why a call failed, forwarded from the kernel / XPC runtime so that
+ * clients and supervisors can react (retry, restart, give up) instead
+ * of the simulator aborting.
+ */
+using TransportStatus = kernel::CallStatus;
+
 /** The server's transport-independent view of one invocation. */
 class ServerApi
 {
   public:
     virtual ~ServerApi() = default;
+
+    /**
+     * Mark the whole invocation failed (a message access faulted, a
+     * nested call this handler depended on went wrong, ...). The
+     * transport aborts the reply and surfaces @p status to the caller.
+     */
+    void fail(TransportStatus status) { failStatus = status; }
+    TransportStatus failStatus = TransportStatus::Ok;
 
     virtual uint64_t opcode() const = 0;
     virtual uint64_t requestLen() const = 0;
@@ -123,6 +138,7 @@ struct ServiceDesc
 struct CallResult
 {
     bool ok = false;
+    TransportStatus status = TransportStatus::Ok;
     uint64_t replyLen = 0;
     Cycles oneWay;
     Cycles roundTrip;
@@ -157,13 +173,22 @@ class Transport
     virtual VAddr requestArea(hw::Core &core, kernel::Thread &client,
                               uint64_t len) = 0;
 
-    /** Charged produce into the message area. */
-    virtual void clientWrite(hw::Core &core, kernel::Thread &client,
+    /**
+     * Charged produce into the message area.
+     * @return false when the copy faulted (fault injection): the
+     *         message bytes are NOT staged and the caller must not
+     *         issue the call on top of stale contents.
+     */
+    virtual bool clientWrite(hw::Core &core, kernel::Thread &client,
                              uint64_t off, const void *src,
                              uint64_t len) = 0;
 
-    /** Charged consume of the reply. */
-    virtual void clientRead(hw::Core &core, kernel::Thread &client,
+    /**
+     * Charged consume of the reply.
+     * @return false when the copy faulted (fault injection); @p dst
+     *         is zero-filled in that case.
+     */
+    virtual bool clientRead(hw::Core &core, kernel::Thread &client,
                             uint64_t off, void *dst, uint64_t len) = 0;
 
     /** Synchronous call; the request is the first @p req_len bytes of
@@ -183,12 +208,16 @@ class Transport
         requestArea(core, server, len);
     }
 
+    /** scratchCall's failure sentinel (never a valid reply length). */
+    static constexpr uint64_t scratchFailed = ~uint64_t(0);
+
     /**
      * Transport-level scratch call (the engine behind
      * ServerApi::callServiceScratch, also usable at wiring time with
      * @p in_handler false). The default implementation produces into
      * the caller's private message area and calls; XPC overrides it
-     * with a swapseg'd relay segment.
+     * with a swapseg'd relay segment. Returns scratchFailed when the
+     * nested call did not complete.
      */
     virtual uint64_t scratchCall(hw::Core &core, kernel::Thread &caller,
                                  bool in_handler, ServiceId svc,

@@ -1,5 +1,6 @@
 #include "transport_sel4.hh"
 
+#include <cstring>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -60,7 +61,12 @@ class Sel4ServerApi : public ServerApi
         transport.clientWrite(c, me, 0, stage.data(), req_len);
         CallResult r =
             transport.call(c, me, svc, op, req_len, len);
-        panic_if(!r.ok, "nested seL4 call failed");
+        if (!r.ok) {
+            fail(r.status == TransportStatus::Ok
+                     ? TransportStatus::NestedFailure
+                     : r.status);
+            return 0;
+        }
         uint64_t rlen = std::min<uint64_t>(r.replyLen, len);
         if (rlen > 0) {
             transport.clientRead(c, me, 0, stage.data(), rlen);
@@ -121,6 +127,8 @@ Sel4Transport::registerService(const ServiceDesc &desc,
             kernel::Sel4ServerCall &call) {
             Sel4ServerApi api(*this, call);
             handler(api);
+            if (api.failStatus != TransportStatus::Ok)
+                call.fail(api.failStatus);
         });
     endpointIds.push_back(ep);
     return id;
@@ -158,24 +166,31 @@ Sel4Transport::requestArea(hw::Core &core, kernel::Thread &client,
     return connFor(client, len).reqVa;
 }
 
-void
+bool
 Sel4Transport::clientWrite(hw::Core &core, kernel::Thread &client,
                            uint64_t off, const void *src, uint64_t len)
 {
     Conn &conn = connFor(client, off + len);
     auto res = kern.userWrite(core, *client.process(),
                               conn.reqVa + off, src, len);
-    panic_if(!res.ok, "client produce faulted");
+    panic_if(!res.ok && res.fault != mem::FaultKind::Injected,
+             "client produce faulted");
+    return res.ok;
 }
 
-void
+bool
 Sel4Transport::clientRead(hw::Core &core, kernel::Thread &client,
                           uint64_t off, void *dst, uint64_t len)
 {
     Conn &conn = connFor(client, off + len);
     auto res = kern.userRead(core, *client.process(),
                              conn.replyVa + off, dst, len);
-    panic_if(!res.ok, "client consume faulted");
+    if (!res.ok) {
+        panic_if(res.fault != mem::FaultKind::Injected,
+                 "client consume faulted");
+        std::memset(dst, 0, len);
+    }
+    return res.ok;
 }
 
 CallResult
@@ -189,6 +204,7 @@ Sel4Transport::call(hw::Core &core, kernel::Thread &client,
                          std::min(reply_cap, conn.len), longMode);
     CallResult res;
     res.ok = out.ok;
+    res.status = out.status;
     res.replyLen = out.replyLen;
     res.oneWay = out.oneWay;
     res.roundTrip = out.roundTrip;

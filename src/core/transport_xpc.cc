@@ -50,8 +50,12 @@ class XpcServerApi : public ServerApi
         auto out = call.callNested(transport.entryOf(svc), op, off,
                                    len,
                                    req_len == 0 ? len : req_len);
-        panic_if(!out.ok, "nested xcall failed (%s)",
-                 engine::xpcExceptionName(out.exc));
+        if (!out.ok) {
+            fail(out.status == TransportStatus::Ok
+                     ? TransportStatus::NestedFailure
+                     : out.status);
+            return 0;
+        }
         return out.replyLen;
     }
 
@@ -102,6 +106,8 @@ XpcTransport::registerService(const ServiceDesc &desc,
         [this, handler = std::move(handler)](XpcServerCall &call) {
             XpcServerApi api(*this, call);
             handler(api);
+            if (api.failStatus != TransportStatus::Ok)
+                call.fail(api.failStatus);
         },
         desc.maxContexts);
     entryIds.push_back(entry);
@@ -123,8 +129,27 @@ XpcTransport::requestArea(hw::Core &core, kernel::Thread &client,
                           uint64_t len)
 {
     auto it = activeSeg.find(client.id());
-    if (it != activeSeg.end() && it->second.len >= len)
+    if (it != activeSeg.end() &&
+        !rt.manager().segById(it->second.segId)) {
+        // The cached segment was revoked out from under the client;
+        // forget it and allocate a replacement.
+        activeSeg.erase(it);
+        it = activeSeg.end();
+    }
+    if (it != activeSeg.end() && it->second.len >= len) {
+        // Cache hit - but another thread (a restarted server doing
+        // its wiring, say) may have run on this core since the last
+        // call, so the client's context and segment may not be the
+        // active ones. Reinstall before handing the window out.
+        rt.ensureInstalled(core, client);
+        if (core.csrs.segId != it->second.segId) {
+            auto exc = rt.engine().swapseg(core, it->second.slot);
+            panic_if(exc != engine::XpcException::None ||
+                         core.csrs.segId != it->second.segId,
+                     "failed to reactivate a cached relay segment");
+        }
         return it->second.va;
+    }
 
     if (it != activeSeg.end()) {
         // Grow by replacing: allocate a bigger segment (allocRelayMem
@@ -145,20 +170,20 @@ XpcTransport::requestArea(hw::Core &core, kernel::Thread &client,
     return handle.va;
 }
 
-void
+bool
 XpcTransport::clientWrite(hw::Core &core, kernel::Thread &client,
                           uint64_t off, const void *src, uint64_t len)
 {
     (void)client;
-    rt.segWrite(core, off, src, len);
+    return rt.segWrite(core, off, src, len);
 }
 
-void
+bool
 XpcTransport::clientRead(hw::Core &core, kernel::Thread &client,
                          uint64_t off, void *dst, uint64_t len)
 {
     (void)client;
-    rt.segRead(core, off, dst, len);
+    return rt.segRead(core, off, dst, len);
 }
 
 void
@@ -187,6 +212,18 @@ XpcTransport::scratchCall(hw::Core &core, kernel::Thread &caller,
     // passes (paper 3.3).
     const RelaySegHandle *segp = scratchFor(caller.id());
     panic_if(!segp, "scratchCall without prepareScratch");
+    if (!rt.manager().segById(segp->segId)) {
+        // The scratch segment was revoked while a nested call held
+        // it. Re-provision the same slot with a fresh segment so the
+        // thread keeps its ability to make nested calls.
+        RelaySegHandle stale = *segp;
+        kernel::RelaySeg fresh = rt.manager().allocRelaySeg(
+            &core, *caller.process(), stale.len, stale.slot);
+        scratchSegs[caller.id()] =
+            RelaySegHandle{fresh.segId, fresh.va, fresh.len,
+                           stale.slot};
+        segp = scratchFor(caller.id());
+    }
     const RelaySegHandle &seg = *segp;
     if (!in_handler)
         rt.ensureInstalled(core, caller);
@@ -199,8 +236,12 @@ XpcTransport::scratchCall(hw::Core &core, kernel::Thread &caller,
 
     rt.segWrite(core, 0, req, req_len);
     auto out = rt.callCurrent(core, entryOf(svc), op, req_len);
-    panic_if(!out.ok, "scratch xcall failed (%s)",
-             engine::xpcExceptionName(out.exc));
+    if (!out.ok) {
+        // Restore the previous window before reporting, so an outer
+        // xret's seg-reg check still passes.
+        rt.engine().swapseg(core, seg.slot);
+        return scratchFailed;
+    }
     uint64_t rlen = std::min<uint64_t>(out.replyLen, reply_cap);
     if (rlen > 0)
         rt.segRead(core, 0, reply, rlen);
@@ -221,6 +262,7 @@ XpcTransport::call(hw::Core &core, kernel::Thread &client,
         rt.call(core, client, entryIds.at(svc), opcode, req_len);
     CallResult res;
     res.ok = out.ok;
+    res.status = out.status;
     res.replyLen = out.replyLen;
     res.oneWay = out.oneWay;
     res.roundTrip = out.roundTrip;

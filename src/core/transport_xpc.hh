@@ -27,10 +27,10 @@ class XpcTransport : public Transport
     void connect(kernel::Thread &client, ServiceId svc) override;
     VAddr requestArea(hw::Core &core, kernel::Thread &client,
                       uint64_t len) override;
-    void clientWrite(hw::Core &core, kernel::Thread &client,
+    bool clientWrite(hw::Core &core, kernel::Thread &client,
                      uint64_t off, const void *src,
                      uint64_t len) override;
-    void clientRead(hw::Core &core, kernel::Thread &client,
+    bool clientRead(hw::Core &core, kernel::Thread &client,
                     uint64_t off, void *dst, uint64_t len) override;
     CallResult call(hw::Core &core, kernel::Thread &client,
                     ServiceId svc, uint64_t opcode, uint64_t req_len,

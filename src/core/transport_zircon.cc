@@ -1,5 +1,6 @@
 #include "transport_zircon.hh"
 
+#include <cstring>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -57,7 +58,12 @@ class ZirconServerApi : public ServerApi
         transport.clientWrite(c, me, 0, stage.data(), req_len);
         CallResult r =
             transport.call(c, me, svc, op, req_len, len);
-        panic_if(!r.ok, "nested Zircon call failed");
+        if (!r.ok) {
+            fail(r.status == TransportStatus::Ok
+                     ? TransportStatus::NestedFailure
+                     : r.status);
+            return 0;
+        }
         uint64_t rlen = std::min<uint64_t>(r.replyLen, len);
         if (rlen > 0) {
             transport.clientRead(c, me, 0, stage.data(), rlen);
@@ -116,6 +122,8 @@ ZirconTransport::registerService(const ServiceDesc &desc,
             kernel::ZirconServerCall &call) {
             ZirconServerApi api(*this, call);
             handler(api);
+            if (api.failStatus != TransportStatus::Ok)
+                call.fail(api.failStatus);
         });
     channelIds.push_back(ch);
     return id;
@@ -156,7 +164,7 @@ ZirconTransport::requestArea(hw::Core &core, kernel::Thread &client,
     return connFor(client, len).reqVa;
 }
 
-void
+bool
 ZirconTransport::clientWrite(hw::Core &core, kernel::Thread &client,
                              uint64_t off, const void *src,
                              uint64_t len)
@@ -164,17 +172,24 @@ ZirconTransport::clientWrite(hw::Core &core, kernel::Thread &client,
     Conn &conn = connFor(client, off + len);
     auto res = kern.userWrite(core, *client.process(),
                               conn.reqVa + off, src, len);
-    panic_if(!res.ok, "client produce faulted");
+    panic_if(!res.ok && res.fault != mem::FaultKind::Injected,
+             "client produce faulted");
+    return res.ok;
 }
 
-void
+bool
 ZirconTransport::clientRead(hw::Core &core, kernel::Thread &client,
                             uint64_t off, void *dst, uint64_t len)
 {
     Conn &conn = connFor(client, off + len);
     auto res = kern.userRead(core, *client.process(),
                              conn.replyVa + off, dst, len);
-    panic_if(!res.ok, "client consume faulted");
+    if (!res.ok) {
+        panic_if(res.fault != mem::FaultKind::Injected,
+                 "client consume faulted");
+        std::memset(dst, 0, len);
+    }
+    return res.ok;
 }
 
 CallResult
@@ -188,6 +203,7 @@ ZirconTransport::call(hw::Core &core, kernel::Thread &client,
                          std::min(reply_cap, conn.len));
     CallResult res;
     res.ok = out.ok;
+    res.status = out.status;
     res.replyLen = out.replyLen;
     res.oneWay = out.oneWay;
     res.roundTrip = out.roundTrip;

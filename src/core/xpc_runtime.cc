@@ -1,5 +1,8 @@
 #include "xpc_runtime.hh"
 
+#include <cstring>
+
+#include "sim/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace xpc::core {
@@ -79,7 +82,7 @@ XpcRuntime::allocRelayMem(hw::Core &core, kernel::Thread &thread,
     return RelaySegHandle{seg.segId, seg.va, seg.len, slot};
 }
 
-void
+bool
 XpcRuntime::segWrite(hw::Core &core, uint64_t off, const void *src,
                      uint64_t len)
 {
@@ -95,11 +98,16 @@ XpcRuntime::segWrite(hw::Core &core, uint64_t off, const void *src,
     }
     auto res = kern.machine().mem().write(core.id(), ctx,
                                           window.vaBase + off, src, len);
-    panic_if(!res.ok, "segWrite faulted");
     core.spend(res.cycles);
+    if (!res.ok) {
+        panic_if(res.fault != mem::FaultKind::Injected,
+                 "segWrite faulted");
+        return false;
+    }
+    return true;
 }
 
-void
+bool
 XpcRuntime::segRead(hw::Core &core, uint64_t off, void *dst,
                     uint64_t len)
 {
@@ -115,8 +123,14 @@ XpcRuntime::segRead(hw::Core &core, uint64_t off, void *dst,
     }
     auto res = kern.machine().mem().read(core.id(), ctx,
                                          window.vaBase + off, dst, len);
-    panic_if(!res.ok, "segRead faulted");
     core.spend(res.cycles);
+    if (!res.ok) {
+        panic_if(res.fault != mem::FaultKind::Injected,
+                 "segRead faulted");
+        std::memset(dst, 0, len);
+        return false;
+    }
+    return true;
 }
 
 void
@@ -132,8 +146,13 @@ XpcServerCall::readMsg(uint64_t off, void *dst, uint64_t len)
     ctx.asid = handler.process()->space().asid();
     auto res = runtime.kern.machine().mem().read(
         coreRef.id(), ctx, window.vaBase + off, dst, len);
-    panic_if(!res.ok, "readMsg faulted");
     coreRef.spend(res.cycles);
+    if (!res.ok) {
+        panic_if(res.fault != mem::FaultKind::Injected,
+                 "readMsg faulted");
+        std::memset(dst, 0, len);
+        fail(kernel::CallStatus::CopyFault);
+    }
 }
 
 void
@@ -149,8 +168,13 @@ XpcServerCall::writeMsg(uint64_t off, const void *src, uint64_t len)
     ctx.asid = handler.process()->space().asid();
     auto res = runtime.kern.machine().mem().write(
         coreRef.id(), ctx, window.vaBase + off, src, len);
-    panic_if(!res.ok, "writeMsg faulted");
     coreRef.spend(res.cycles);
+    if (!res.ok) {
+        panic_if(res.fault != mem::FaultKind::Injected,
+                 "writeMsg faulted");
+        fail(kernel::CallStatus::CopyFault);
+        return;
+    }
     if (repLen < off + len)
         repLen = off + len;
 }
@@ -208,8 +232,53 @@ XpcCallOutcome
 XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
                    uint64_t req_len)
 {
+    using kernel::CallStatus;
+
     XpcCallOutcome out;
     calls.inc();
+
+    // Fault injection: one lookup per call decides what (if anything)
+    // goes wrong, and at which Table-1 phase it strikes.
+    FaultInjector *inj = kern.machine().faultInjector();
+    const FaultEvent *fault = nullptr;
+    if (inj && inj->enabled)
+        fault = inj->eventAt(inj->beginCall());
+
+    // Kill the process serving this entry, as a crash would.
+    auto kill_server = [&]() -> bool {
+        auto its = entryStates.find(entry_id);
+        if (its == entryStates.end())
+            return false;
+        kernel::Process *p = its->second.handlerThread->process();
+        if (!p || p->dead)
+            return false;
+        xpcManager.onProcessExit(*p);
+        return true;
+    };
+
+    bool killed_pre_xcall = false;
+    if (fault) {
+        switch (fault->op) {
+          case FaultOp::EngineException:
+            inj->armEngineException(fault->arg);
+            inj->recordFired(*fault);
+            break;
+          case FaultOp::CopyFault:
+            // The next message-byte access faults (reads see zeros).
+            inj->armMemFault();
+            inj->recordFired(*fault);
+            break;
+          case FaultOp::KillServer:
+            if (fault->phase == FaultPhase::PreXcall &&
+                kill_server()) {
+                killed_pre_xcall = true;
+                inj->recordFired(*fault);
+            }
+            break;
+          default:
+            break; // strikes later, at its phase
+        }
+    }
 
     if (opts.prefetchEntries) {
         // Issued in advance by the application; its latency overlaps
@@ -221,6 +290,14 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
     engine::XcallResult xc = engine().xcall(core, entry_id, entry_id);
     if (xc.exc != engine::XpcException::None) {
         out.exc = xc.exc;
+        if (killed_pre_xcall)
+            out.status = CallStatus::ServiceDead;
+        else if (xc.exc == engine::XpcException::InvalidXEntry)
+            out.status = CallStatus::ServiceDead;
+        else if (xc.exc == engine::XpcException::InvalidXcallCap)
+            out.status = CallStatus::NoCapability;
+        else
+            out.status = CallStatus::EngineFault;
         return out;
     }
 
@@ -244,6 +321,7 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
                  "xret failed unwinding a context-exhausted call");
         out.exc = engine::XpcException::None;
         out.ok = false;
+        out.status = CallStatus::Exhausted;
         return out;
     }
     state.busy++;
@@ -254,8 +332,50 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
     call_ctx.op = opcode;
     call_ctx.reqLen = req_len;
     call_ctx.caller = xc.callerCapPtr;
+
+    // In-handler faults strike while the callee owns the core.
+    bool skip_handler = false;
+    bool hang_injected = false;
+    bool server_died = false;
+    if (fault && fault->phase == FaultPhase::InHandler) {
+        switch (fault->op) {
+          case FaultOp::KillServer:
+            if (kill_server()) {
+                skip_handler = true;
+                server_died = true;
+                inj->recordFired(*fault);
+            }
+            break;
+          case FaultOp::HangServer:
+            // Only meaningful under a watchdog; without one the hang
+            // would (correctly) be unrecoverable.
+            if (opts.timeoutCycles.value() != 0) {
+                hang_injected = true;
+                inj->recordFired(*fault);
+            }
+            break;
+          case FaultOp::RevokeSeg:
+            if (core.csrs.segId != 0 &&
+                xpcManager.segById(core.csrs.segId)) {
+                xpcManager.revokeRelaySeg(core.csrs.segId);
+                skip_handler = true;
+                inj->recordFired(*fault);
+            }
+            break;
+          case FaultOp::CorruptLinkage:
+            if (xpcManager.corruptTopLinkage(core))
+                inj->recordFired(*fault);
+            break;
+          default:
+            break;
+        }
+    }
+
     Cycles h0 = core.now();
-    state.handler(call_ctx);
+    if (hang_injected)
+        call_ctx.hang(opts.timeoutCycles + Cycles(1000));
+    else if (!skip_handler)
+        state.handler(call_ctx);
     out.handlerCycles = core.now() - h0;
 
     if (call_ctx.hung && opts.timeoutCycles.value() != 0 &&
@@ -267,11 +387,33 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
         panic_if(!unwound, "timeout with no linkage record");
         out.ok = false;
         out.timedOut = true;
+        out.status = CallStatus::Timeout;
         out.roundTrip = core.now() - start;
         return out;
     }
     panic_if(call_ctx.hung,
              "handler hung but no timeout is configured");
+
+    if (fault && fault->phase == FaultPhase::PreXret) {
+        if (fault->op == FaultOp::KillServer && kill_server()) {
+            server_died = true;
+            inj->recordFired(*fault);
+        } else if (fault->op == FaultOp::CorruptLinkage &&
+                   xpcManager.corruptTopLinkage(core)) {
+            inj->recordFired(*fault);
+        }
+    }
+
+    if (server_died) {
+        // The callee crashed mid-call; it will never xret, so the
+        // kernel unwinds the client (paper 4.2 termination).
+        state.busy--;
+        xpcManager.forceUnwind(core, /*even_if_invalid=*/true);
+        out.ok = false;
+        out.status = CallStatus::ServiceDead;
+        out.roundTrip = core.now() - start;
+        return out;
+    }
 
     // Return trampoline (restore registers) and xret.
     core.spend(opts.trampoline == TrampolineMode::FullContext
@@ -281,7 +423,29 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
 
     engine::XretResult ret = engine().xret(core);
     if (ret.exc != engine::XpcException::None) {
+        // The hardware refused the return: the record under us is
+        // corrupt or the seg-reg no longer matches it. The kernel
+        // consumes the record, restores what can be trusted, and the
+        // caller sees an error instead of a wedged core.
+        xpcManager.forceUnwind(core, /*even_if_invalid=*/true);
         out.exc = ret.exc;
+        out.ok = false;
+        if (ret.exc == engine::XpcException::InvalidLinkage)
+            out.status = CallStatus::LinkageCorrupt;
+        else if (ret.exc == engine::XpcException::InvalidSegMask)
+            out.status = CallStatus::SegRevoked;
+        else
+            out.status = CallStatus::EngineFault;
+        out.roundTrip = core.now() - start;
+        return out;
+    }
+
+    if (call_ctx.failStatus != CallStatus::Ok) {
+        // The handler ran but its work is invalid (message copy
+        // faulted, or a nested call it depended on failed).
+        out.ok = false;
+        out.status = call_ctx.failStatus;
+        out.roundTrip = core.now() - start;
         return out;
     }
 

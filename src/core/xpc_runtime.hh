@@ -54,6 +54,8 @@ struct XpcRuntimeOptions
 struct XpcCallOutcome
 {
     bool ok = false;
+    /** Why the call failed (Ok when it did not). */
+    kernel::CallStatus status = kernel::CallStatus::Ok;
     /** The kernel's timeout fired and forced the unwind (6.1). */
     bool timedOut = false;
     engine::XpcException exc = engine::XpcException::None;
@@ -105,6 +107,14 @@ class XpcServerCall
 
     hw::Core &core() { return coreRef; }
     kernel::Thread &handlerThread() { return handler; }
+
+    /**
+     * Mark the whole invocation failed: a message access faulted or
+     * a nested call this handler depended on went wrong. The runtime
+     * still xrets cleanly but surfaces @p status to the caller.
+     */
+    void fail(kernel::CallStatus status) { failStatus = status; }
+    kernel::CallStatus failStatus = kernel::CallStatus::Ok;
 
   private:
     friend class XpcRuntime;
@@ -179,10 +189,12 @@ class XpcRuntime
                                uint64_t opcode, uint64_t req_len);
 
     /// @name Charged relay-segment access for the owning client.
+    /// Returns false when an injected fault corrupted the transfer
+    /// (reads then see zeros); real translation faults still panic.
     /// @{
-    void segWrite(hw::Core &core, uint64_t off, const void *src,
+    bool segWrite(hw::Core &core, uint64_t off, const void *src,
                   uint64_t len);
-    void segRead(hw::Core &core, uint64_t off, void *dst, uint64_t len);
+    bool segRead(hw::Core &core, uint64_t off, void *dst, uint64_t len);
     /// @}
 
     /** Busy invocation contexts of entry @p id (for tests). */

@@ -39,8 +39,23 @@ class Machine
      */
     void sendIpi(CoreId src, CoreId dst);
 
+    /**
+     * Attach a chaos fault injector to the whole machine: the memory
+     * system, the XPC engine, the kernels and the runtime all consult
+     * it. Null detaches.
+     */
+    void
+    setFaultInjector(FaultInjector *inj)
+    {
+        injector = inj;
+        memSys->setFaultInjector(inj);
+    }
+
+    FaultInjector *faultInjector() const { return injector; }
+
   private:
     MachineConfig cfg;
+    FaultInjector *injector = nullptr;
     mem::PhysMem physMem;
     mem::PhysAllocator frameAlloc;
     std::unique_ptr<mem::MemSystem> memSys;

@@ -126,4 +126,32 @@ Kernel::userWrite(hw::Core &core, Process &process, VAddr va,
     return res;
 }
 
+const char *
+callStatusName(CallStatus status)
+{
+    switch (status) {
+      case CallStatus::Ok:
+        return "ok";
+      case CallStatus::NoCapability:
+        return "no-capability";
+      case CallStatus::CopyFault:
+        return "copy-fault";
+      case CallStatus::Timeout:
+        return "timeout";
+      case CallStatus::Exhausted:
+        return "exhausted";
+      case CallStatus::ServiceDead:
+        return "service-dead";
+      case CallStatus::SegRevoked:
+        return "seg-revoked";
+      case CallStatus::LinkageCorrupt:
+        return "linkage-corrupt";
+      case CallStatus::EngineFault:
+        return "engine-fault";
+      case CallStatus::NestedFailure:
+        return "nested-failure";
+    }
+    return "unknown";
+}
+
 } // namespace xpc::kernel

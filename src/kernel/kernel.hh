@@ -18,6 +18,37 @@
 
 namespace xpc::kernel {
 
+/**
+ * Why a cross-process call did (or did not) complete. Kernels fill
+ * this into their call outcomes; the transports forward it to
+ * clients as a TransportStatus so a faulting call is an error the
+ * caller can handle instead of a simulator abort.
+ */
+enum class CallStatus
+{
+    Ok,
+    /** Caller lacks the capability for the target. */
+    NoCapability,
+    /** A request or reply copy faulted mid-transfer. */
+    CopyFault,
+    /** The callee overran its budget; the kernel unwound the call. */
+    Timeout,
+    /** No idle invocation context at the callee. */
+    Exhausted,
+    /** The callee's process died while the call was in flight. */
+    ServiceDead,
+    /** The relay segment was revoked while the callee held it. */
+    SegRevoked,
+    /** The linkage record under the call was corrupt. */
+    LinkageCorrupt,
+    /** The transfer instruction itself faulted (engine exception). */
+    EngineFault,
+    /** A nested (handover) call the handler issued failed. */
+    NestedFailure,
+};
+
+const char *callStatusName(CallStatus status);
+
 /** A process: one address space plus one or more threads. */
 class Process
 {

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace xpc::kernel {
@@ -66,6 +67,8 @@ void
 Sel4ServerCall::readRequest(uint64_t off, void *dst, uint64_t len)
 {
     panic_if(off + len > reqCapacity, "request read out of bounds");
+    if (len == 0)
+        return; // memcpy on a null dst is UB even for zero bytes
     switch (mode) {
       case Mode::Registers:
         std::memcpy(dst, regs + off, len);
@@ -78,7 +81,12 @@ Sel4ServerCall::readRequest(uint64_t off, void *dst, uint64_t len)
                         : serverBufVa;
         auto res = owner.userRead(coreRef, *server.process(), src + off,
                                   dst, len);
-        panic_if(!res.ok, "server request read faulted");
+        if (!res.ok) {
+            // Deterministic garbage for the handler; the kernel
+            // aborts the reply once the handler returns.
+            std::memset(dst, 0, len);
+            fail(CallStatus::CopyFault);
+        }
         return;
       }
     }
@@ -89,6 +97,8 @@ Sel4ServerCall::writeRequest(uint64_t off, const void *src,
                              uint64_t len)
 {
     panic_if(off + len > reqCapacity, "request write out of bounds");
+    if (len == 0)
+        return;
     switch (mode) {
       case Mode::Registers:
         std::memcpy(regs + off, src, len);
@@ -101,7 +111,8 @@ Sel4ServerCall::writeRequest(uint64_t off, const void *src,
                         : serverBufVa;
         auto res = owner.userWrite(coreRef, *server.process(),
                                    dst + off, src, len);
-        panic_if(!res.ok, "server request write faulted");
+        if (!res.ok)
+            fail(CallStatus::CopyFault);
         return;
       }
     }
@@ -111,6 +122,8 @@ void
 Sel4ServerCall::writeReply(uint64_t off, const void *src, uint64_t len)
 {
     panic_if(off + len > replyCapacity, "reply write out of bounds");
+    if (len == 0)
+        return;
     uint64_t prev = replyLen;
     if (replyLen < off + len)
         replyLen = off + len;
@@ -124,13 +137,15 @@ Sel4ServerCall::writeReply(uint64_t off, const void *src, uint64_t len)
         if (prev > 0) {
             auto res = owner.userWrite(coreRef, *server.process(),
                                        replyDst(), regsReply, prev);
-            panic_if(!res.ok, "reply migration faulted");
+            if (!res.ok)
+                fail(CallStatus::CopyFault);
         }
         replyInBuffer = true;
     }
     auto res = owner.userWrite(coreRef, *server.process(),
                                replyDst() + off, src, len);
-    panic_if(!res.ok, "server reply write faulted");
+    if (!res.ok)
+        fail(CallStatus::CopyFault);
 }
 
 void
@@ -152,10 +167,46 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     if (!endpointCaps[{client.id(), ep_id}]) {
         warn("thread %u lacks a cap for endpoint %lu", client.id(),
              (unsigned long)ep_id);
+        out.status = CallStatus::NoCapability;
         return out;
     }
 
+    // Chaos hook: a scheduled copy fault arms a one-shot memory
+    // fault that the next copy on this call path consumes.
+    if (FaultInjector *inj = mach.faultInjector();
+        inj && inj->enabled) {
+        uint64_t seq = inj->beginCall();
+        const FaultEvent *ev = inj->eventAt(seq);
+        if (ev && ev->op == FaultOp::CopyFault) {
+            inj->armMemFault();
+            inj->recordFired(*ev);
+        }
+    }
+
     Cycles start = core.now();
+
+    // Abandon the call: if the kernel already switched to the server,
+    // charge the bare return IPC before surfacing the error.
+    auto abortCall = [&](CallStatus status) {
+        if (current(core.id()) != &client) {
+            trapEnter(core);
+            saveRestoreRegs(core, params.fastpathRegs);
+            core.spend(params.trapConst);
+            core.spend(params.switchConst);
+            if (!mach.config().mem.taggedTlb) {
+                core.spend(mach.config().core.tlbFlush);
+                mach.mem().flushTlb(core.id());
+            }
+            setCurrent(core.id(), &client);
+            saveRestoreRegs(core, params.fastpathRegs);
+            core.spend(params.restoreConst);
+            trapExit(core);
+        }
+        out.ok = false;
+        out.status = status;
+        out.roundTrip = core.now() - start;
+        return out;
+    };
     Sel4Phases phases;
     bool cross_core = ep.server->sched.homeCore != core.id();
     bool medium = req_len > params.regMsgMax &&
@@ -192,8 +243,9 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
             mach.mem().copy(core.id(), userCtx(*client.process()),
                             req_va, userCtx(*client.process()),
                             shared->clientVa, req_len);
-        panic_if(!res.ok, "client copy into shared buffer faulted");
         core.spend(res.cycles);
+        if (!res.ok)
+            return abortCall(CallStatus::CopyFault);
         call_ctx.mode = Sel4ServerCall::Mode::Shared;
         call_ctx.sharedVa = shared->serverVa;
         call_ctx.serverBufVa = ep.scratchVa;
@@ -203,7 +255,8 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
         // cycle cost rides in the process-switch phase.
         auto res = userRead(core, *client.process(), req_va,
                             call_ctx.regs, req_len);
-        panic_if(!res.ok, "register message read faulted");
+        if (!res.ok)
+            return abortCall(CallStatus::CopyFault);
         call_ctx.mode = Sel4ServerCall::Mode::Registers;
     }
 
@@ -239,8 +292,11 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
         auto res = mach.mem().copy(
             core.id(), userCtx(*client.process()), req_va,
             userCtx(*ep.server->process()), ep.scratchVa, req_len);
-        panic_if(!res.ok, "kernel IPC-buffer copy faulted");
         core.spend(res.cycles);
+        if (!res.ok) {
+            trapExit(core);
+            return abortCall(CallStatus::CopyFault);
+        }
         call_ctx.mode = Sel4ServerCall::Mode::IpcBuffer;
         call_ctx.serverBufVa = ep.scratchVa;
         call_ctx.reqCapacity = ep.scratchLen;
@@ -283,8 +339,9 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
             handler_core.id(), userCtx(*ep.server->process()),
             shared->serverVa, userCtx(*ep.server->process()),
             ep.scratchVa, req_len);
-        panic_if(!res.ok, "server private copy faulted");
         handler_core.spend(res.cycles);
+        if (!res.ok)
+            return abortCall(CallStatus::CopyFault);
         call_ctx.serverBufVa = ep.scratchVa;
     }
     phases.transfer = medium_copy + (handler_core.now() - t0);
@@ -316,6 +373,7 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
         out.handlerCycles = handler_core.now() - h0;
         call_ctx.replyLen = remote.replyLen;
         call_ctx.replyInBuffer = remote.replyInBuffer;
+        call_ctx.failStatus = remote.failStatus;
         std::memcpy(call_ctx.regsReply, remote.regsReply,
                     sizeof(remote.regsReply));
         mach.sendIpi(handler_core.id(), core.id());
@@ -327,6 +385,12 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
         out.handlerCycles = core.now() - h0;
     }
 
+    // A handler-flagged failure (nested call went wrong, message
+    // access faulted) aborts the reply: the caller gets the status,
+    // not a half-built message.
+    if (call_ctx.failStatus != CallStatus::Ok)
+        return abortCall(call_ctx.failStatus);
+
     // --- Reply: transfer back, then the return IPC. ---------------
     uint64_t reply_len = call_ctx.replyLen;
     panic_if(reply_len > reply_cap, "reply overflows client buffer");
@@ -335,7 +399,8 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
             // Reply travelled in registers.
             auto res = userWrite(core, *client.process(), reply_va,
                                  call_ctx.regsReply, reply_len);
-            panic_if(!res.ok, "register reply write faulted");
+            if (!res.ok)
+                return abortCall(CallStatus::CopyFault);
         } else if (reply_len > params.ipcBufMax) {
             // Large reply through the shared window.
             panic_if(!shared, "large reply without a shared buffer");
@@ -345,15 +410,17 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
                     core.id(), userCtx(*ep.server->process()),
                     ep.scratchVa, userCtx(*ep.server->process()),
                     shared->serverVa, reply_len);
-                panic_if(!res.ok, "reply copy to shared faulted");
                 core.spend(res.cycles);
+                if (!res.ok)
+                    return abortCall(CallStatus::CopyFault);
             }
             auto res = mach.mem().copy(
                 core.id(), userCtx(*client.process()),
                 shared->clientVa, userCtx(*client.process()),
                 reply_va, reply_len);
-            panic_if(!res.ok, "client reply copy faulted");
             core.spend(res.cycles);
+            if (!res.ok)
+                return abortCall(CallStatus::CopyFault);
         } else {
             // Small/medium reply from a buffer: kernel copy on the
             // slow path.
@@ -362,8 +429,9 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
             auto res = mach.mem().copy(
                 core.id(), userCtx(*ep.server->process()), src,
                 userCtx(*client.process()), reply_va, reply_len);
-            panic_if(!res.ok, "kernel reply copy faulted");
             core.spend(res.cycles);
+            if (!res.ok)
+                return abortCall(CallStatus::CopyFault);
             core.spend(params.slowpathExtra);
         }
     }

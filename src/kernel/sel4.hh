@@ -93,6 +93,14 @@ class Sel4ServerCall
     Thread *callerThread() { return client; }
     Sel4Kernel &kernel() { return owner; }
 
+    /**
+     * Mark the whole invocation failed (a nested call the handler
+     * depended on went wrong, or a message access faulted). The
+     * kernel aborts the reply and surfaces @p status to the caller.
+     */
+    void fail(CallStatus status) { failStatus = status; }
+    CallStatus failStatus = CallStatus::Ok;
+
   private:
     friend class Sel4Kernel;
 
@@ -138,6 +146,7 @@ class Sel4ServerCall
 struct Sel4CallOutcome
 {
     bool ok = false;
+    CallStatus status = CallStatus::Ok;
     uint64_t replyLen = 0;
     /** Cycles from invocation until the server saw the request. */
     Cycles oneWay;

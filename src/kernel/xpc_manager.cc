@@ -1,5 +1,7 @@
 #include "xpc_manager.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace xpc::kernel {
@@ -197,6 +199,80 @@ XpcManager::freeRelaySeg(Process &process, uint64_t seg_id)
     liveSegs.erase(it);
 }
 
+void
+XpcManager::revokeRelaySeg(uint64_t seg_id)
+{
+    auto it = liveSegs.find(seg_id);
+    panic_if(it == liveSegs.end(), "revoke of unknown relay seg %lu",
+             (unsigned long)seg_id);
+    RelaySeg seg = it->second;
+    hw::Machine &m = kernel.machine();
+
+    // Invalidate every seg-list slot naming the segment, in every
+    // process this manager plumbed (seg-lists are per-process; the
+    // set below dedups threads sharing one).
+    std::set<PAddr> seg_lists;
+    for (Thread *t : threadsManaged) {
+        Process *p = t->process();
+        if (p && !p->dead)
+            seg_lists.insert(p->space().segList());
+    }
+    for (PAddr list : seg_lists) {
+        for (uint64_t slot = 0; slot < engine::segListCapacity; slot++) {
+            auto entry = engine::XpcEngine::readSegListEntry(m.phys(),
+                                                             list, slot);
+            if (entry.valid && entry.segId == seg_id) {
+                entry.valid = false;
+                engine::XpcEngine::writeSegListEntry(m.phys(), list,
+                                                     slot, entry);
+            }
+        }
+    }
+
+    // Scrub it out of any core currently holding it in seg-reg so
+    // in-flight relay accesses fault instead of hitting freed frames.
+    for (CoreId c = 0; c < m.coreCount(); c++) {
+        hw::XpcCsrs &csrs = m.core(c).csrs;
+        if (csrs.segId == seg_id) {
+            csrs.segReg = mem::SegWindow{};
+            csrs.segId = 0;
+        }
+    }
+
+    m.allocator().freeFrames(seg.pa, seg.len / pageSize);
+    auto owner_it = std::find_if(
+        threadsManaged.begin(), threadsManaged.end(), [&](Thread *t) {
+            return t->process() && t->process()->id() == seg.allocator;
+        });
+    if (owner_it != threadsManaged.end() &&
+        !(*owner_it)->process()->space().dead()) {
+        (*owner_it)->process()->space().releaseSegRange(seg.va);
+    }
+    liveSegs.erase(seg_id);
+}
+
+std::vector<uint64_t>
+XpcManager::segsOwnedBy(ProcessId pid) const
+{
+    std::vector<uint64_t> out;
+    for (const auto &[id, seg] : liveSegs) {
+        if (seg.allocator == pid)
+            out.push_back(id);
+    }
+    return out;
+}
+
+std::vector<uint64_t>
+XpcManager::relayPtsOwnedBy(ProcessId pid) const
+{
+    std::vector<uint64_t> out;
+    for (const auto &[id, rpt] : liveRelayPts) {
+        if (rpt.owner == pid)
+            out.push_back(id);
+    }
+    return out;
+}
+
 std::optional<RelaySeg>
 XpcManager::segById(uint64_t seg_id) const
 {
@@ -315,7 +391,7 @@ XpcManager::threadByCapBitmap(PAddr bitmap) const
 }
 
 bool
-XpcManager::forceUnwind(hw::Core &core)
+XpcManager::forceUnwind(hw::Core &core, bool even_if_invalid)
 {
     hw::XpcCsrs &csrs = core.csrs;
     if (csrs.linkTop == 0)
@@ -326,7 +402,7 @@ XpcManager::forceUnwind(hw::Core &core)
     auto rec = engine::XpcEngine::readLinkageRecord(m.phys(),
                                                     csrs.linkReg,
                                                     index);
-    if (!rec.valid) {
+    if (!rec.valid && !even_if_invalid) {
         kernel.trapExit(core);
         return false;
     }
@@ -345,11 +421,37 @@ XpcManager::forceUnwind(hw::Core &core)
     csrs.segMaskOffset = rec.callerMaskOffset;
     csrs.segMaskLen = rec.callerMaskLen;
     csrs.pageTableRoot = rec.callerPageTable;
+    // Don't reinstall a segment that was revoked while the callee
+    // held it: the caller resumes without a relay window instead of
+    // with a window onto freed frames.
+    if (csrs.segId != 0 && !liveSegs.count(csrs.segId)) {
+        csrs.segReg = mem::SegWindow{};
+        csrs.segId = 0;
+        csrs.segMaskOffset = 0;
+        csrs.segMaskLen = 0;
+    }
     if (!m.config().mem.taggedTlb) {
         core.spend(m.config().core.tlbFlush);
         m.mem().flushTlb(core.id());
     }
     kernel.trapExit(core);
+    return true;
+}
+
+bool
+XpcManager::corruptTopLinkage(hw::Core &core)
+{
+    hw::XpcCsrs &csrs = core.csrs;
+    if (csrs.linkTop == 0)
+        return false;
+    hw::Machine &m = kernel.machine();
+    uint64_t index = csrs.linkTop - 1;
+    auto rec = engine::XpcEngine::readLinkageRecord(m.phys(),
+                                                    csrs.linkReg,
+                                                    index);
+    rec.valid = false;
+    engine::XpcEngine::writeLinkageRecord(m.phys(), csrs.linkReg,
+                                          index, rec);
     return true;
 }
 

@@ -105,8 +105,24 @@ class XpcManager
     /** Free a relay segment owned by @p process. */
     void freeRelaySeg(Process &process, uint64_t seg_id);
 
+    /**
+     * Revoke a live relay segment out from under whoever holds it
+     * (paper 4.4 "Segment Revocation"): invalidate every seg-list
+     * slot naming it, scrub it out of any core's seg-reg, free the
+     * frames and retire the ID. A callee holding the segment sees
+     * its next access fault and its xret fail the seg-reg check.
+     */
+    void revokeRelaySeg(uint64_t seg_id);
+
     /** Look up a live segment by ID. */
     std::optional<RelaySeg> segById(uint64_t seg_id) const;
+
+    /** Live segments allocated by (still owned by) @p pid. */
+    std::vector<uint64_t> segsOwnedBy(ProcessId pid) const;
+    /** Live relay page tables owned by @p pid. */
+    std::vector<uint64_t> relayPtsOwnedBy(ProcessId pid) const;
+    uint64_t liveSegCount() const { return liveSegs.size(); }
+    uint64_t liveRelayPtCount() const { return liveRelayPts.size(); }
     /// @}
 
     /// @name Relay page tables (the paper's 6.2 extension).
@@ -180,9 +196,23 @@ class XpcManager
      * caller's full saved state - unlike xret, no seg-reg equality
      * check, since the hung callee cannot be trusted to have
      * restored anything - and invalidates the record.
+     *
+     * With @p even_if_invalid the kernel also consumes a record whose
+     * valid bit is gone (corruption, or the caller process died): the
+     * stale caller state is restored as far as it can be trusted, and
+     * a seg-reg naming a revoked segment is cleared rather than
+     * reinstalled.
      * @return true if a record was unwound.
      */
-    bool forceUnwind(hw::Core &core);
+    bool forceUnwind(hw::Core &core, bool even_if_invalid = false);
+
+    /**
+     * Fault injection helper: flip the valid bit of the top linkage
+     * record on @p core, as a bit flip or rogue DMA would. No cost is
+     * charged; this models damage, not an operation.
+     * @return true if there was a record to corrupt.
+     */
+    bool corruptTopLinkage(hw::Core &core);
 
   private:
     Kernel &kernel;

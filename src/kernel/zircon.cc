@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace xpc::kernel {
@@ -43,7 +44,10 @@ ZirconServerCall::readRequest(uint64_t off, void *dst, uint64_t len)
              "request read out of bounds");
     auto res = owner.userRead(coreRef, *server.process(), reqVa + off,
                               dst, len);
-    panic_if(!res.ok, "server request read faulted");
+    if (!res.ok) {
+        std::memset(dst, 0, len);
+        fail(CallStatus::CopyFault);
+    }
 }
 
 void
@@ -54,7 +58,8 @@ ZirconServerCall::writeRequest(uint64_t off, const void *src,
              "request write out of bounds");
     auto res = owner.userWrite(coreRef, *server.process(), reqVa + off,
                                src, len);
-    panic_if(!res.ok, "server request write faulted");
+    if (!res.ok)
+        fail(CallStatus::CopyFault);
 }
 
 void
@@ -65,7 +70,8 @@ ZirconServerCall::writeReply(uint64_t off, const void *src, uint64_t len)
         replyLen = off + len;
     auto res = owner.userWrite(coreRef, *server.process(),
                                replyVa + off, src, len);
-    panic_if(!res.ok, "server reply write faulted");
+    if (!res.ok)
+        fail(CallStatus::CopyFault);
 }
 
 void
@@ -89,10 +95,41 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
              (unsigned long)req_len);
     channelMsgs.inc();
 
+    if (FaultInjector *inj = mach.faultInjector(); inj && inj->enabled) {
+        uint64_t seq = inj->beginCall();
+        const FaultEvent *ev = inj->eventAt(seq);
+        if (ev && ev->op == FaultOp::CopyFault) {
+            inj->armMemFault();
+            inj->recordFired(*ev);
+        }
+    }
+
     Cycles start = core.now();
     bool cross_core = ch.server->sched.homeCore != core.id();
     hw::Core &scre =
         cross_core ? mach.core(ch.server->sched.homeCore) : core;
+
+    // A fault mid-call must still return control to the client: pay
+    // for the hop back (if the server was woken) and surface the
+    // status instead of panicking the whole simulation.
+    bool server_woken = false;
+    auto abortCall = [&](CallStatus status) -> ZirconCallOutcome {
+        if (server_woken) {
+            if (cross_core) {
+                mach.sendIpi(scre.id(), core.id());
+                core.syncTo(scre.now());
+                core.spend(costs.remoteWake);
+            } else {
+                core.spend(params.schedule);
+                contextSwitches.inc();
+                setCurrent(core.id(), &client);
+            }
+        }
+        out.ok = false;
+        out.status = status;
+        out.roundTrip = core.now() - start;
+        return out;
+    };
 
     // --- zx_channel_write: copy in (user -> kernel). --------------
     chargeSyscall(core);
@@ -101,13 +138,15 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
         if (req_len > 0) {
             auto res = userRead(core, *client.process(), req_va,
                                 stage.data(), req_len);
-            panic_if(!res.ok, "channel write: client read faulted");
+            if (!res.ok)
+                return abortCall(CallStatus::CopyFault);
             core.spend(mach.mem().writePhys(core.id(), ch.kernelBuf,
                                             stage.data(), req_len));
         }
     }
 
     // --- Wake the server; the client blocks on the reply. ---------
+    server_woken = true;
     if (cross_core) {
         mach.sendIpi(core.id(), scre.id());
         scre.spend(costs.remoteWake);
@@ -128,7 +167,8 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
                                        stage.data(), req_len));
         auto res = userWrite(scre, *ch.server->process(),
                              ch.serverReqVa, stage.data(), req_len);
-        panic_if(!res.ok, "channel read: server write faulted");
+        if (!res.ok)
+            return abortCall(CallStatus::CopyFault);
     }
 
     out.oneWay = scre.now() - start;
@@ -145,6 +185,9 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
     ch.handler(call_ctx);
     out.handlerCycles = scre.now() - h0;
 
+    if (call_ctx.failStatus != CallStatus::Ok)
+        return abortCall(call_ctx.failStatus);
+
     // --- Reply: server write, schedule back, client read. ---------
     uint64_t reply_len = call_ctx.replyLen;
     chargeSyscall(scre);
@@ -152,7 +195,8 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
         std::vector<uint8_t> stage(reply_len);
         auto res = userRead(scre, *ch.server->process(),
                             ch.serverReplyVa, stage.data(), reply_len);
-        panic_if(!res.ok, "channel reply: server read faulted");
+        if (!res.ok)
+            return abortCall(CallStatus::CopyFault);
         scre.spend(mach.mem().writePhys(scre.id(), ch.kernelBuf,
                                         stage.data(), reply_len));
     }
@@ -166,6 +210,7 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
         contextSwitches.inc();
         setCurrent(core.id(), &client);
     }
+    server_woken = false;
 
     chargeSyscall(core);
     if (reply_len > 0) {
@@ -174,7 +219,8 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
                                        stage.data(), reply_len));
         auto res = userWrite(core, *client.process(), reply_va,
                              stage.data(), reply_len);
-        panic_if(!res.ok, "channel reply: client write faulted");
+        if (!res.ok)
+            return abortCall(CallStatus::CopyFault);
     }
 
     out.ok = true;

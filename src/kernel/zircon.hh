@@ -58,6 +58,10 @@ class ZirconServerCall
     /** The calling thread (channel peer). */
     Thread *callerThread() { return client; }
 
+    /** Mark the whole invocation failed (see Sel4ServerCall::fail). */
+    void fail(CallStatus status) { failStatus = status; }
+    CallStatus failStatus = CallStatus::Ok;
+
   private:
     friend class ZirconKernel;
 
@@ -81,6 +85,7 @@ class ZirconServerCall
 struct ZirconCallOutcome
 {
     bool ok = false;
+    CallStatus status = CallStatus::Ok;
     uint64_t replyLen = 0;
     Cycles oneWay;
     Cycles roundTrip;

@@ -3,9 +3,27 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace xpc::mem {
+
+namespace {
+
+/** An injected fault costs what detecting a real one does: the
+ *  translation attempt plus the faulting access reaching memory. */
+AccessResult
+injectedFault(VAddr vaddr, Cycles latency)
+{
+    AccessResult res;
+    res.ok = false;
+    res.cycles = latency;
+    res.fault = FaultKind::Injected;
+    res.faultAddr = vaddr;
+    return res;
+}
+
+} // namespace
 
 MemSystem::MemSystem(PhysMem &phys, const MemParams &params,
                      uint32_t ncores)
@@ -134,6 +152,8 @@ AccessResult
 MemSystem::read(CoreId core, const TransContext &ctx, VAddr vaddr,
                 void *dst, uint64_t len)
 {
+    if (injector && injector->consumeMemFault())
+        return injectedFault(vaddr, memParams.dramLatency);
     AccessResult total;
     total.ok = true;
     auto *out = static_cast<uint8_t *>(dst);
@@ -162,6 +182,8 @@ AccessResult
 MemSystem::write(CoreId core, const TransContext &ctx, VAddr vaddr,
                  const void *src, uint64_t len)
 {
+    if (injector && injector->consumeMemFault())
+        return injectedFault(vaddr, memParams.dramLatency);
     AccessResult total;
     total.ok = true;
     auto *in = static_cast<const uint8_t *>(src);

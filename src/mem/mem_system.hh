@@ -25,6 +25,10 @@
 #include "mem/tlb.hh"
 #include "sim/types.hh"
 
+namespace xpc {
+class FaultInjector;
+}
+
 namespace xpc::mem {
 
 /** Memory-hierarchy parameters (one half of a MachineConfig). */
@@ -83,6 +87,8 @@ enum class FaultKind
     PageFault,
     ProtectionFault,
     SegPermissionFault,
+    /** Fault injected by a chaos plan (sim/fault_injector.hh). */
+    Injected,
 };
 
 /** Result of a timed virtual access. */
@@ -173,9 +179,18 @@ class MemSystem
     /** Flush one core's TLB (untagged address-space switch). */
     void flushTlb(CoreId core) { tlbs[core]->flushAll(); }
 
+    /**
+     * Attach a fault injector: while one is set and has an armed
+     * memory fault, the next virtual access consumes it and fails
+     * with FaultKind::Injected instead of moving data.
+     */
+    void setFaultInjector(FaultInjector *inj) { injector = inj; }
+    FaultInjector *faultInjector() const { return injector; }
+
   private:
     PhysMem &physMem;
     MemParams memParams;
+    FaultInjector *injector = nullptr;
     std::unique_ptr<Cache> l2;
     std::vector<std::unique_ptr<Cache>> l1ds;
     std::vector<std::unique_ptr<Tlb>> tlbs;

@@ -29,11 +29,13 @@ BlockDeviceServer::handle(core::ServerApi &api)
     uint8_t hdr[sizeof(BlockReq)];
     api.readRequest(0, hdr, sizeof(hdr));
     BlockReq req = unpackFrom<BlockReq>(hdr);
-    panic_if(req.blockNo + req.count > nblocks,
-             "block access [%lu, %lu) beyond device of %lu blocks",
-             (unsigned long)req.blockNo,
-             (unsigned long)(req.blockNo + req.count),
-             (unsigned long)nblocks);
+    if (req.blockNo + req.count > nblocks) {
+        // A corrupted request (e.g. a faulted copy read as zeros or
+        // garbage) must not take the device down with it.
+        api.fail(core::TransportStatus::CopyFault);
+        api.setReplyLen(0);
+        return;
+    }
 
     kernel::Kernel &kern = transport.kernelRef();
     kernel::Process &proc = *serverThread.process();
@@ -46,7 +48,11 @@ BlockDeviceServer::handle(core::ServerApi &api)
         auto res = kern.userRead(api.core(), proc,
                                  store + req.blockNo * blockBytes,
                                  buf.data(), bytes);
-        panic_if(!res.ok, "ramdisk read faulted");
+        if (!res.ok) {
+            api.fail(core::TransportStatus::CopyFault);
+            api.setReplyLen(0);
+            return;
+        }
         api.writeReply(0, buf.data(), bytes);
         api.setReplyLen(bytes);
         return;
@@ -57,7 +63,11 @@ BlockDeviceServer::handle(core::ServerApi &api)
         auto res = kern.userWrite(api.core(), proc,
                                   store + req.blockNo * blockBytes,
                                   buf.data(), bytes);
-        panic_if(!res.ok, "ramdisk write faulted");
+        if (!res.ok) {
+            api.fail(core::TransportStatus::CopyFault);
+            api.setReplyLen(0);
+            return;
+        }
         api.setReplyLen(0);
         return;
       }

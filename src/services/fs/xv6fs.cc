@@ -320,8 +320,14 @@ Xv6Fs::bfree(uint32_t block_no)
     BufCache::Buf &buf = bread(bmap_block);
     uint32_t i = block_no % bitsPerBlock;
     uint8_t mask = uint8_t(1 << (i % 8));
-    panic_if(!(buf.data[i / 8] & mask), "freeing a free block %u",
-             block_no);
+    if (!(buf.data[i / 8] & mask)) {
+        // An already-free bit here means the bitmap came off a
+        // faulted disk read (zeros). Leak the block instead of
+        // taking the whole server down; the supervisor will rebuild
+        // the volume when the device is restarted.
+        leakedBlocks.inc();
+        return;
+    }
     buf.data[i / 8] &= uint8_t(~mask);
     buf.dirty = true;
     logWrite(bmap_block);

@@ -175,6 +175,8 @@ class Xv6Fs
 
     Counter transactions;
     Counter logWrites;
+    /** Blocks leaked instead of double-freed off a corrupt bitmap. */
+    Counter leakedBlocks;
 
   private:
     BlockIo *io = nullptr;

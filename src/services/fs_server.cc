@@ -14,28 +14,49 @@ void
 FsServer::IpcBlockIo::read(uint32_t block_no, void *dst)
 {
     panic_if(!core, "block IO without a core context");
+    if (ioFailed) {
+        // The device already failed this invocation; don't hammer a
+        // dead service, serve zeros until the handler aborts.
+        std::memset(dst, 0, BlockDeviceServer::blockBytes);
+        return;
+    }
     uint8_t req[sizeof(BlockReq)];
     packInto(req, BlockReq{block_no, 1});
-    uint64_t got = transport.scratchCall(
-        *core, fsThread, inHandler, diskSvc,
-        uint64_t(BlockOp::Read), req, sizeof(req), dst,
-        BlockDeviceServer::blockBytes);
-    panic_if(got != BlockDeviceServer::blockBytes,
-             "short block read (%lu bytes)", (unsigned long)got);
+    // The disk call may fail under fault injection; retry a couple of
+    // times (the backing store is durable), then give up and let the
+    // FS handler fail the whole invocation.
+    for (int attempt = 0; attempt < 3; attempt++) {
+        uint64_t got = transport.scratchCall(
+            *core, fsThread, inHandler, diskSvc,
+            uint64_t(BlockOp::Read), req, sizeof(req), dst,
+            BlockDeviceServer::blockBytes);
+        if (got == BlockDeviceServer::blockBytes)
+            return;
+    }
+    std::memset(dst, 0, BlockDeviceServer::blockBytes);
+    ioFailed = true;
 }
 
 void
 FsServer::IpcBlockIo::write(uint32_t block_no, const void *src)
 {
     panic_if(!core, "block IO without a core context");
+    if (ioFailed)
+        return;
     std::vector<uint8_t> req(blockDataOffset +
                              BlockDeviceServer::blockBytes);
     packInto(req.data(), BlockReq{block_no, 1});
     std::memcpy(req.data() + blockDataOffset, src,
                 BlockDeviceServer::blockBytes);
-    transport.scratchCall(*core, fsThread, inHandler, diskSvc,
-                          uint64_t(BlockOp::Write), req.data(),
-                          req.size(), nullptr, 0);
+    for (int attempt = 0; attempt < 3; attempt++) {
+        uint64_t got = transport.scratchCall(
+            *core, fsThread, inHandler, diskSvc,
+            uint64_t(BlockOp::Write), req.data(), req.size(), nullptr,
+            0);
+        if (got != core::Transport::scratchFailed)
+            return;
+    }
+    ioFailed = true;
 }
 
 FsServer::FsServer(core::Transport &tr, kernel::Thread &fs_thread,
@@ -134,6 +155,13 @@ FsServer::handle(core::ServerApi &api)
     else
         api.setReplyLen(sizeof(FsMsg));
 
+    if (blockIo.ioFailed) {
+        // A disk call failed even after retries: the FS state this
+        // handler produced cannot be trusted, abort the invocation.
+        blockIo.ioFailed = false;
+        api.fail(core::TransportStatus::NestedFailure);
+    }
+
     blockIo.core = nullptr;
     blockIo.inHandler = false;
 }
@@ -159,7 +187,8 @@ fsCall(core::Transport &tr, hw::Core &core, kernel::Thread &client,
     auto r = tr.call(core, client, svc, uint64_t(op),
                      fsDataOffset + payload_len,
                      fsDataOffset + reply_data_cap);
-    panic_if(!r.ok, "FS call failed");
+    if (!r.ok)
+        return FsServer::callFailed;
     uint8_t reply_raw[sizeof(FsMsg)];
     tr.clientRead(core, client, 0, reply_raw, sizeof(reply_raw));
     FsMsg reply = unpackFrom<FsMsg>(reply_raw);

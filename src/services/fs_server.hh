@@ -31,6 +31,10 @@ class FsServer
     core::ServiceId id() const { return svcId; }
     fs::Xv6Fs &fsImpl() { return filesystem; }
 
+    /** Client-wrapper return value when the IPC itself failed (as
+     *  opposed to an FS-level error like fsNoEnt). */
+    static constexpr int64_t callFailed = -1000;
+
     /// @name Typed client wrappers (drive the service over IPC).
     /// @{
     static int64_t clientOpen(core::Transport &tr, hw::Core &core,
@@ -71,6 +75,9 @@ class FsServer
         /** Per-request context. */
         hw::Core *core = nullptr;
         bool inHandler = false;
+        /** Set when a disk call failed even after retries; the FS
+         *  handler checks it and fails the whole invocation. */
+        bool ioFailed = false;
 
       private:
         core::Transport &transport;

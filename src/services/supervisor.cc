@@ -1,0 +1,102 @@
+#include "supervisor.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace xpc::services {
+
+void
+Supervisor::supervise(const std::string &name, kernel::Thread &server,
+                      core::ServiceId svc, RestartFn restart)
+{
+    panic_if(!restart, "supervised service needs a restart function");
+    supervised[name] = Entry{&server, svc, std::move(restart)};
+}
+
+bool
+Supervisor::isDown(const std::string &name) const
+{
+    auto it = supervised.find(name);
+    if (it == supervised.end())
+        return false;
+    const kernel::Thread *srv = it->second.server;
+    return !srv || !srv->process() || srv->process()->dead;
+}
+
+uint64_t
+Supervisor::heal()
+{
+    uint64_t healed = 0;
+    for (auto &[name, entry] : supervised) {
+        kernel::Thread *srv = entry.server;
+        if (srv && srv->process() && !srv->process()->dead)
+            continue;
+        entry.svc = entry.restart(entry.server);
+        nameServer.bind(name, entry.svc);
+        restarts.inc();
+        healed++;
+    }
+    return healed;
+}
+
+core::ServiceId
+Supervisor::currentId(const std::string &name) const
+{
+    auto it = supervised.find(name);
+    if (it != supervised.end())
+        return it->second.svc;
+    return transport.lookup(name);
+}
+
+int64_t
+Supervisor::callWithRetry(hw::Core &core, kernel::Thread &client,
+                          const std::string &name, uint64_t opcode,
+                          const void *req, uint64_t req_len,
+                          void *reply, uint64_t reply_cap,
+                          const RetryPolicy &policy)
+{
+    uint64_t area = std::max(req_len, reply_cap);
+    for (uint32_t attempt = 0; attempt < policy.maxAttempts;
+         attempt++) {
+        if (attempt > 0) {
+            retries.inc();
+            // Capped exponential backoff, charged as idle time.
+            uint64_t delay = policy.backoffBase.value()
+                             << (attempt - 1);
+            delay = std::min(delay, policy.backoffCap.value());
+            core.spend(Cycles(delay));
+        }
+        heal();
+        core::ServiceId svc = currentId(name);
+        // Re-authorize every attempt: a restarted service means the
+        // old capability grant died with the old instance.
+        transport.connect(client, svc);
+        transport.requestArea(core, client, area);
+        if (req_len > 0 &&
+            !transport.clientWrite(core, client, 0, req, req_len)) {
+            // The staging copy faulted: calling now would send stale
+            // bytes as a valid-looking request. Retry instead.
+            lastStatus = core::TransportStatus::CopyFault;
+            continue;
+        }
+        core::CallResult r = transport.call(core, client, svc, opcode,
+                                            req_len, area);
+        lastStatus = r.status;
+        if (!r.ok)
+            continue;
+        uint64_t rlen = std::min<uint64_t>(r.replyLen, reply_cap);
+        if (rlen > 0 &&
+            !transport.clientRead(core, client, 0, reply, rlen)) {
+            // The reply came back but its copy-out faulted. The op
+            // already applied server-side, so supervised calls must
+            // be idempotent (retry re-applies them).
+            lastStatus = core::TransportStatus::CopyFault;
+            continue;
+        }
+        return int64_t(rlen);
+    }
+    return -1;
+}
+
+} // namespace xpc::services

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Crash recovery above the transport: a supervisor that notices dead
+ * server processes, restarts them and re-registers the fresh instance
+ * with the name server, plus a client-side call helper that retries
+ * failed calls with capped exponential backoff.
+ *
+ * Together with the error statuses the kernels and the XPC runtime
+ * now propagate (TransportStatus), this closes the recovery loop the
+ * paper's section 4.2 sketches for application termination: a server
+ * dying mid-xcall surfaces as ServiceDead at the client, the
+ * supervisor resurrects the service, and the retried call lands on
+ * the new instance.
+ */
+
+#ifndef XPC_SERVICES_SUPERVISOR_HH
+#define XPC_SERVICES_SUPERVISOR_HH
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "services/name_server.hh"
+
+namespace xpc::services {
+
+/** Client retry policy: capped exponential backoff. */
+struct RetryPolicy
+{
+    uint32_t maxAttempts = 5;
+    /** Backoff before retry k is base << k, capped below. */
+    Cycles backoffBase{2000};
+    Cycles backoffCap{64000};
+};
+
+/** Restarts dead services and re-registers them by name. */
+class Supervisor
+{
+  public:
+    /**
+     * Rebuild a dead service: spawn a fresh process and thread,
+     * register the service on the transport, update @p server to the
+     * new handler thread and return the new ServiceId.
+     */
+    using RestartFn = std::function<core::ServiceId(kernel::Thread *&server)>;
+
+    Supervisor(core::Transport &transport, NameServer &ns)
+        : transport(transport), nameServer(ns)
+    {}
+
+    /** Put service @p name under supervision. */
+    void supervise(const std::string &name, kernel::Thread &server,
+                   core::ServiceId svc, RestartFn restart);
+
+    /** True when the named service's server process is dead. */
+    bool isDown(const std::string &name) const;
+
+    /**
+     * Sweep every supervised service; restart and re-register the
+     * dead ones. @return how many were restarted.
+     */
+    uint64_t heal();
+
+    /** The ServiceId currently serving @p name (tracks restarts). */
+    core::ServiceId currentId(const std::string &name) const;
+
+    /**
+     * Supervised client call: stage @p req, call @p name, consume the
+     * reply into @p reply. On failure, heal dead services, back off
+     * (charged to @p core, capped exponential) and retry.
+     * @return the reply length, or -1 once attempts are exhausted
+     *         (lastStatus then says why the final attempt failed).
+     */
+    int64_t callWithRetry(hw::Core &core, kernel::Thread &client,
+                          const std::string &name, uint64_t opcode,
+                          const void *req, uint64_t req_len,
+                          void *reply, uint64_t reply_cap,
+                          const RetryPolicy &policy = {});
+
+    /** Status of the most recent callWithRetry attempt. */
+    core::TransportStatus lastStatus = core::TransportStatus::Ok;
+
+    Counter restarts;
+    Counter retries;
+
+  private:
+    struct Entry
+    {
+        kernel::Thread *server = nullptr;
+        core::ServiceId svc = 0;
+        RestartFn restart;
+    };
+
+    core::Transport &transport;
+    NameServer &nameServer;
+    std::map<std::string, Entry> supervised;
+};
+
+} // namespace xpc::services
+
+#endif // XPC_SERVICES_SUPERVISOR_HH

@@ -169,6 +169,12 @@ HttpServer::handle(core::ServerApi &api)
         api.writeRequest(bodyOff, keyed.data(), keyed.size());
         body_len = api.callService(cacheSvc, uint64_t(CacheOp::Get),
                                    bodyOff, maxBody, keyed.size());
+        if (api.failStatus != core::TransportStatus::Ok) {
+            // The cache died or the hop faulted; the invocation is
+            // already marked failed, don't build a reply on garbage.
+            api.setReplyLen(0);
+            return;
+        }
         if (body_len == 13) {
             // Crude 404 detection mirrors real static servers that
             // stat() first; the cache reply is still served.
@@ -192,7 +198,15 @@ HttpServer::handle(core::ServerApi &api)
         }
         uint64_t r = api.callService(
             cryptoSvc, uint64_t(CryptoOp::Encrypt), bodyOff, padded);
-        panic_if(r != padded, "crypto returned a short reply");
+        if (api.failStatus != core::TransportStatus::Ok ||
+            r != padded) {
+            // A dead crypto server must not take the HTTP server
+            // down with it; fail this invocation only.
+            if (api.failStatus == core::TransportStatus::Ok)
+                api.fail(core::TransportStatus::NestedFailure);
+            api.setReplyLen(0);
+            return;
+        }
         body_len = padded;
     }
 

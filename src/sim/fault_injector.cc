@@ -1,0 +1,160 @@
+#include "fault_injector.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace xpc {
+
+const char *
+faultOpName(FaultOp op)
+{
+    switch (op) {
+      case FaultOp::KillServer:
+        return "kill-server";
+      case FaultOp::HangServer:
+        return "hang-server";
+      case FaultOp::RevokeSeg:
+        return "revoke-seg";
+      case FaultOp::CorruptLinkage:
+        return "corrupt-linkage";
+      case FaultOp::EngineException:
+        return "engine-exception";
+      case FaultOp::CopyFault:
+        return "copy-fault";
+    }
+    return "unknown";
+}
+
+const char *
+faultPhaseName(FaultPhase phase)
+{
+    switch (phase) {
+      case FaultPhase::PreXcall:
+        return "pre-xcall";
+      case FaultPhase::InHandler:
+        return "in-handler";
+      case FaultPhase::PreXret:
+        return "pre-xret";
+    }
+    return "unknown";
+}
+
+FaultPlan
+FaultPlan::generate(uint64_t seed, uint64_t count, uint64_t call_span,
+                    uint32_t op_mask)
+{
+    panic_if(call_span < count,
+             "fault plan wants %lu faults in only %lu calls",
+             (unsigned long)count, (unsigned long)call_span);
+    if (op_mask == 0)
+        op_mask = (1u << faultOpCount) - 1;
+
+    std::vector<FaultOp> ops;
+    for (uint32_t i = 0; i < faultOpCount; i++) {
+        if (op_mask & (1u << i))
+            ops.push_back(FaultOp(i));
+    }
+    panic_if(ops.empty(), "fault plan with an empty op mask");
+
+    Rng rng(seed);
+
+    // Distinct call sequence numbers (at most one fault per call).
+    std::set<uint64_t> seqs;
+    while (seqs.size() < count)
+        seqs.insert(1 + rng.nextBounded(call_span));
+
+    FaultPlan plan;
+    plan.seed = seed;
+    for (uint64_t s : seqs) {
+        FaultEvent ev;
+        ev.callSeq = s;
+        ev.op = ops[rng.nextBounded(ops.size())];
+        switch (ev.op) {
+          case FaultOp::KillServer:
+            ev.phase = FaultPhase(rng.nextBounded(3));
+            break;
+          case FaultOp::HangServer:
+          case FaultOp::RevokeSeg:
+            ev.phase = FaultPhase::InHandler;
+            break;
+          case FaultOp::CorruptLinkage:
+            ev.phase = rng.nextBounded(2) == 0 ? FaultPhase::InHandler
+                                               : FaultPhase::PreXret;
+            break;
+          case FaultOp::EngineException:
+            ev.phase = FaultPhase::PreXcall;
+            // 1 = InvalidXEntry, 2 = InvalidXcallCap (engine codes).
+            ev.arg = 1 + uint32_t(rng.nextBounded(2));
+            break;
+          case FaultOp::CopyFault:
+            ev.phase = FaultPhase::PreXcall;
+            break;
+        }
+        plan.events.push_back(ev);
+    }
+    // std::set iteration is ordered, but be explicit about the
+    // contract: events sorted by firing sequence.
+    std::sort(plan.events.begin(), plan.events.end(),
+              [](const FaultEvent &a, const FaultEvent &b) {
+                  return a.callSeq < b.callSeq;
+              });
+    return plan;
+}
+
+const FaultEvent *
+FaultInjector::eventAt(uint64_t seq) const
+{
+    auto it = std::lower_bound(
+        plan_.events.begin(), plan_.events.end(), seq,
+        [](const FaultEvent &ev, uint64_t s) { return ev.callSeq < s; });
+    if (it == plan_.events.end() || it->callSeq != seq)
+        return nullptr;
+    return &*it;
+}
+
+void
+FaultInjector::recordFired(const FaultEvent &ev)
+{
+    log_.push_back(ev);
+    firedPerOp_[uint32_t(ev.op)]++;
+}
+
+uint64_t
+FaultInjector::firedCount(FaultOp op) const
+{
+    return firedPerOp_[uint32_t(op)];
+}
+
+uint32_t
+FaultInjector::firedKinds() const
+{
+    uint32_t kinds = 0;
+    for (uint32_t i = 0; i < faultOpCount; i++) {
+        if (firedPerOp_[i] > 0)
+            kinds++;
+    }
+    return kinds;
+}
+
+std::string
+FaultInjector::reportJson() const
+{
+    std::string s = "{\"seed\":" + std::to_string(plan_.seed) +
+                    ",\"calls\":" + std::to_string(seq_) +
+                    ",\"planned\":" + std::to_string(plan_.events.size()) +
+                    ",\"injected\":" + std::to_string(log_.size()) +
+                    ",\"by_kind\":{";
+    for (uint32_t i = 0; i < faultOpCount; i++) {
+        if (i > 0)
+            s += ",";
+        s += "\"" + std::string(faultOpName(FaultOp(i))) +
+             "\":" + std::to_string(firedPerOp_[i]);
+    }
+    s += "}}";
+    return s;
+}
+
+} // namespace xpc

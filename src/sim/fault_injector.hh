@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Deterministic fault injection for chaos testing.
+ *
+ * A FaultPlan is a seeded, pre-generated schedule of faults keyed by
+ * the global call sequence number: "on call #17, kill the server
+ * mid-handler". The FaultInjector carries the plan through a run,
+ * answers the hooks threaded through the kernels, the XPC engine and
+ * the runtime, and records every fault it actually fired so a run can
+ * be replayed (same seed, same config => identical fired sequence).
+ *
+ * Like all randomness in the tree, plans flow through the seeded Rng;
+ * nothing here touches global state, so two injectors built from the
+ * same seed produce byte-identical schedules.
+ */
+
+#ifndef XPC_SIM_FAULT_INJECTOR_HH
+#define XPC_SIM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace xpc {
+
+/** What to break (the tentpole's fault taxonomy). */
+enum class FaultOp : uint32_t
+{
+    /** Kill the callee's process mid-xcall (paper 4.2 termination). */
+    KillServer,
+    /** Hang the handler past the watchdog budget (paper 6.1). */
+    HangServer,
+    /** Revoke the relay segment the callee currently holds (4.4). */
+    RevokeSeg,
+    /** Corrupt the top linkage record under the running call. */
+    CorruptLinkage,
+    /** Force an engine exception on the next xcall. */
+    EngineException,
+    /** Fail a message copy (surfaces as a memory fault mid-IPC). */
+    CopyFault,
+};
+
+/** How many FaultOp values exist (for plan generation and stats). */
+constexpr uint32_t faultOpCount = 6;
+
+const char *faultOpName(FaultOp op);
+
+/** Where in a call's lifetime the fault lands (Table 1 phases). */
+enum class FaultPhase : uint32_t
+{
+    PreXcall, ///< before the transfer instruction fires
+    InHandler, ///< while the migrated thread runs the handler
+    PreXret,   ///< after the handler, before control returns
+};
+
+const char *faultPhaseName(FaultPhase phase);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    /** Global call sequence number the fault fires on (1-based). */
+    uint64_t callSeq = 0;
+    FaultOp op = FaultOp::CopyFault;
+    FaultPhase phase = FaultPhase::PreXcall;
+    /** Op-specific argument (e.g. which engine exception to force). */
+    uint32_t arg = 0;
+};
+
+/** A complete seeded fault schedule. */
+struct FaultPlan
+{
+    uint64_t seed = 0;
+    /** Events sorted by callSeq; at most one per call. */
+    std::vector<FaultEvent> events;
+
+    /**
+     * Generate @p count faults spread over the first @p call_span
+     * calls, drawing ops from @p op_mask (bit i enables FaultOp(i);
+     * 0 means all ops). Deterministic in @p seed.
+     */
+    static FaultPlan generate(uint64_t seed, uint64_t count,
+                              uint64_t call_span, uint32_t op_mask = 0);
+};
+
+/**
+ * Carries a FaultPlan through a run. The hooks come in two flavors:
+ * schedule queries (beginCall/eventAt) used by the kernels and the
+ * XPC runtime at phase boundaries, and one-shot armed faults
+ * (armMemFault/armEngineException) that the memory system and engine
+ * consume at the exact micro-architectural point the fault models.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+    /** Master switch: hooks are inert while false (wiring time). */
+    bool enabled = false;
+
+    /** Advance the global call counter. @return the new sequence. */
+    uint64_t beginCall() { return ++seq_; }
+
+    /** The scheduled event for call @p seq, or nullptr. */
+    const FaultEvent *eventAt(uint64_t seq) const;
+
+    /** Log that @p ev was actually injected (the replay record). */
+    void recordFired(const FaultEvent &ev);
+
+    /// @name One-shot memory fault (consumed by MemSystem).
+    /// @{
+    void armMemFault() { memArmed_ = true; }
+    bool
+    consumeMemFault()
+    {
+        bool was = memArmed_;
+        memArmed_ = false;
+        return was;
+    }
+    bool memFaultArmed() const { return memArmed_; }
+    /// @}
+
+    /// @name One-shot forced engine exception (consumed by xcall).
+    /// @{
+    void
+    armEngineException(uint32_t exc)
+    {
+        engExc_ = exc;
+        engArmed_ = true;
+    }
+
+    /** @return true and the exception code if one is armed. */
+    bool
+    consumeEngineException(uint32_t *exc)
+    {
+        if (!engArmed_)
+            return false;
+        engArmed_ = false;
+        *exc = engExc_;
+        return true;
+    }
+    /// @}
+
+    const FaultPlan &plan() const { return plan_; }
+    uint64_t seed() const { return plan_.seed; }
+    uint64_t callCount() const { return seq_; }
+
+    /** Every fault actually fired, in firing order. */
+    const std::vector<FaultEvent> &fired() const { return log_; }
+    uint64_t firedCount(FaultOp op) const;
+    uint64_t firedTotal() const { return log_.size(); }
+
+    /** Distinct FaultOp kinds that actually fired. */
+    uint32_t firedKinds() const;
+
+    /**
+     * One-line JSON report: seed, call count, per-op fired counts.
+     * Enough to rebuild the plan and replay the run from a log.
+     */
+    std::string reportJson() const;
+
+  private:
+    FaultPlan plan_;
+    uint64_t seq_ = 0;
+    bool memArmed_ = false;
+    bool engArmed_ = false;
+    uint32_t engExc_ = 0;
+    std::vector<FaultEvent> log_;
+    uint64_t firedPerOp_[faultOpCount] = {};
+};
+
+} // namespace xpc
+
+#endif // XPC_SIM_FAULT_INJECTOR_HH

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace xpc::engine {
@@ -214,6 +215,18 @@ XpcEngine::xcall(hw::Core &core, uint64_t entry_id,
     xcalls.inc();
     hw::XpcCsrs &csrs = core.csrs;
     core.spend(machine.config().xpc.xcallLogic);
+
+    // Chaos hook: a forced exception models the engine tripping on
+    // corrupted state (bad cap word, clobbered table entry) that the
+    // functional model cannot otherwise reach.
+    if (FaultInjector *inj = machine.faultInjector()) {
+        uint32_t forced;
+        if (inj->consumeEngineException(&forced)) {
+            exceptions.inc();
+            res.exc = XpcException(forced);
+            return res;
+        }
+    }
 
     // 1-2: capability check and x-entry load, possibly short-circuited
     // by the engine cache.

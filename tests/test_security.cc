@@ -362,6 +362,181 @@ TEST_F(SecurityTest, FastCalleeNeverTriggersTheWatchdog)
     EXPECT_FALSE(out.timedOut);
 }
 
+TEST_F(SecurityTest, NestedTimeoutUnwindsOnlyTheInnermostCall)
+{
+    // A -> B -> C with C hung: the watchdog unwinds C's record only;
+    // B observes the timeout, degrades gracefully and still answers
+    // A. One hung leaf must not take the whole chain down.
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    opts.runtimeOpts.timeoutCycles = Cycles(10000);
+    core::System local(opts);
+    kernel::Thread &a = local.spawn("A");
+    kernel::Thread &b = local.spawn("B");
+    kernel::Thread &c = local.spawn("C");
+    core::XpcRuntime &rt = local.runtime();
+    hw::Core &core = local.core(0);
+
+    uint64_t c_id = rt.registerEntry(
+        c, c, [](core::XpcServerCall &call) { call.hang(Cycles(50000)); },
+        2);
+    core::XpcCallOutcome b_saw;
+    PAddr b_root_after_timeout = 0;
+    uint64_t b_link_top_after_timeout = ~uint64_t(0);
+    uint64_t b_id = rt.registerEntry(
+        b, b,
+        [&](core::XpcServerCall &call) {
+            b_saw = call.callNested(c_id, 0, 0, 16);
+            // After the unwind, B is fully restored: its own root is
+            // active again and only the A->B record remains.
+            b_root_after_timeout = call.core().csrs.pageTableRoot;
+            b_link_top_after_timeout = call.core().csrs.linkTop;
+            call.setReplyLen(0);
+        },
+        2);
+    local.manager().grantXcallCap(b, a, b_id);
+    local.manager().grantXcallCap(c, b, c_id);
+    core::RelaySegHandle seg = rt.allocRelayMem(core, a, 4096);
+
+    auto out = rt.call(core, a, b_id, 0, 64);
+    EXPECT_FALSE(b_saw.ok);
+    EXPECT_TRUE(b_saw.timedOut);
+    EXPECT_EQ(b_saw.status, kernel::CallStatus::Timeout);
+    EXPECT_EQ(b_root_after_timeout, b.process()->space().root());
+    EXPECT_EQ(b_link_top_after_timeout, 1u);
+    // The outer call was untouched by the inner timeout.
+    EXPECT_TRUE(out.ok);
+    EXPECT_EQ(core.csrs.linkTop, 0u);
+    EXPECT_EQ(core.csrs.segId, seg.segId);
+    EXPECT_EQ(core.csrs.pageTableRoot, a.process()->space().root());
+}
+
+TEST_F(SecurityTest, ForceUnwindPopsNestedChainRecordsInOrder)
+{
+    // Drive XpcManager::forceUnwind directly against a live A->B->C
+    // chain: each pop must restore exactly one caller frame, in LIFO
+    // order, and the runtime must survive the resulting empty link
+    // stack with clean errors instead of panics.
+    kernel::Thread &a = sys->spawn("A");
+    kernel::Thread &b = sys->spawn("B");
+    kernel::Thread &c = sys->spawn("C");
+    XpcRuntime &rt = sys->runtime();
+    hw::Core &core = sys->core(0);
+
+    PAddr root_after_first = 0, root_after_second = 0;
+    uint64_t top_after_first = 0, top_after_second = 0;
+    bool third_pop = true;
+    uint64_t c_id = rt.registerEntry(
+        c, c,
+        [&](XpcServerCall &call) {
+            hw::Core &cc = call.core();
+            EXPECT_EQ(cc.csrs.linkTop, 2u);
+            // Pop B->C: B's frame comes back.
+            ASSERT_TRUE(sys->manager().forceUnwind(cc));
+            root_after_first = cc.csrs.pageTableRoot;
+            top_after_first = cc.csrs.linkTop;
+            // Pop A->B: A's frame comes back.
+            ASSERT_TRUE(sys->manager().forceUnwind(cc));
+            root_after_second = cc.csrs.pageTableRoot;
+            top_after_second = cc.csrs.linkTop;
+            // Nothing left to pop.
+            third_pop = sys->manager().forceUnwind(cc);
+        },
+        2);
+    XpcCallOutcome b_saw;
+    uint64_t b_id = rt.registerEntry(
+        b, b,
+        [&](XpcServerCall &call) {
+            b_saw = call.callNested(c_id, 0, 0, 16);
+        },
+        2);
+    sys->manager().grantXcallCap(b, a, b_id);
+    sys->manager().grantXcallCap(c, b, c_id);
+    rt.allocRelayMem(core, a, 4096);
+
+    auto out = rt.call(core, a, b_id, 0, 64);
+    EXPECT_EQ(root_after_first, b.process()->space().root());
+    EXPECT_EQ(top_after_first, 1u);
+    EXPECT_EQ(root_after_second, a.process()->space().root());
+    EXPECT_EQ(top_after_second, 0u);
+    EXPECT_FALSE(third_pop);
+    // C's and B's xrets both found an empty link stack; each leg
+    // reported a linkage error instead of crashing.
+    EXPECT_FALSE(b_saw.ok);
+    EXPECT_EQ(b_saw.exc, engine::XpcException::InvalidLinkage);
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.status, kernel::CallStatus::LinkageCorrupt);
+    EXPECT_EQ(core.csrs.linkTop, 0u);
+    EXPECT_EQ(core.csrs.pageTableRoot, a.process()->space().root());
+}
+
+TEST_F(SecurityTest, ProcessExitMidCallLeavesNoOwnedResources)
+{
+    // Property: whatever a process owned (relay segments, relay page
+    // tables) and whenever it dies - even mid-call, with a caller
+    // pending on it - onProcessExit leaves no live resource owned by
+    // the dead process, and the pending caller observes an
+    // InvalidLinkage-class error, not a hang or a panic.
+    XpcRuntime &rt = sys->runtime();
+    hw::Core &core = sys->core(0);
+
+    for (int round = 0; round < 6; round++) {
+        kernel::Thread &client = sys->spawn("client");
+        kernel::Thread &server = sys->spawn("server");
+        kernel::Process &victim =
+            (round % 2 == 0) ? *client.process() : *server.process();
+
+        uint64_t id = rt.registerEntry(
+            server, server,
+            [&](XpcServerCall &) {
+                sys->manager().onProcessExit(victim);
+            },
+            2);
+        sys->manager().grantXcallCap(server, client, id);
+
+        // Everything allocated from here on is owned by one of the
+        // two processes and must come back when they die.
+        uint64_t free0 = sys->machine().allocator().freeBytes();
+        rt.allocRelayMem(core, client, 4096);
+        // Vary the resource mix per round.
+        for (int s = 1; s <= 1 + round % 3; s++)
+            sys->manager().allocRelaySeg(&core, victim,
+                                         uint64_t(s) * 8192,
+                                         8 + uint64_t(s));
+        for (int p = 0; p < round % 2 + 1; p++)
+            sys->manager().allocRelayPt(nullptr, victim, 4 * pageSize);
+        ASSERT_FALSE(
+            sys->manager().segsOwnedBy(victim.id()).empty());
+        ASSERT_FALSE(
+            sys->manager().relayPtsOwnedBy(victim.id()).empty());
+
+        auto out = rt.call(core, client, id, 0, 0);
+        // No resource survives its owner.
+        EXPECT_TRUE(sys->manager().segsOwnedBy(victim.id()).empty());
+        EXPECT_TRUE(
+            sys->manager().relayPtsOwnedBy(victim.id()).empty());
+        if (&victim == client.process()) {
+            // The dead caller's record was invalidated: the pending
+            // return faults and is reported as a linkage error.
+            EXPECT_FALSE(out.ok);
+            EXPECT_EQ(out.exc, engine::XpcException::InvalidLinkage);
+            EXPECT_EQ(out.status, kernel::CallStatus::LinkageCorrupt);
+        }
+        // Either way the core is never left mid-chain.
+        EXPECT_EQ(core.csrs.linkTop, 0u);
+        // The client's own call segment dies with whichever side
+        // owned resources; nothing keeps accumulating.
+        kernel::Process &other =
+            (&victim == client.process()) ? *server.process()
+                                          : *client.process();
+        sys->manager().onProcessExit(other);
+        // Every frame allocated this round came back.
+        EXPECT_EQ(sys->machine().allocator().freeBytes(), free0);
+    }
+    EXPECT_EQ(sys->manager().liveSegCount(), 0u);
+    EXPECT_EQ(sys->manager().liveRelayPtCount(), 0u);
+}
+
 TEST_F(SecurityTest, MaskCannotGrowTheWindow)
 {
     kernel::Thread &client = sys->spawn("client");
