@@ -51,25 +51,29 @@ xcallCost(bool nonblocking, bool cache, bool tagged, bool radix)
 }
 
 void
-printXcallAblation()
+printXcallAblation(BenchReport &report)
 {
     banner("Ablation: xcall latency under engine design choices "
            "(tagged TLB unless noted)");
     row({"Variant", "xcall cycles"}, 34);
-    row({"baseline (nonblock, bitmap)",
-         fmtU(xcallCost(true, false, true, false))}, 34);
-    row({"blocking link stack",
-         fmtU(xcallCost(false, false, true, false))}, 34);
-    row({"engine cache + prefetch",
-         fmtU(xcallCost(true, true, true, false))}, 34);
-    row({"radix-tree xcall-caps (6.2)",
-         fmtU(xcallCost(true, false, true, true))}, 34);
-    row({"untagged TLB (flush+refill)",
-         fmtU(xcallCost(true, false, false, false))}, 34);
+    auto line = [&](const char *name, const char *key, uint64_t c) {
+        row({name, fmtU(c)}, 34);
+        report.metric(std::string("xcall_cycles.") + key, double(c));
+    };
+    line("baseline (nonblock, bitmap)", "baseline",
+         xcallCost(true, false, true, false));
+    line("blocking link stack", "blocking",
+         xcallCost(false, false, true, false));
+    line("engine cache + prefetch", "engine_cache",
+         xcallCost(true, true, true, false));
+    line("radix-tree xcall-caps (6.2)", "radix_caps",
+         xcallCost(true, false, true, true));
+    line("untagged TLB (flush+refill)", "untagged_tlb",
+         xcallCost(true, false, false, false));
 }
 
 void
-printMessagePathAblation()
+printMessagePathAblation(BenchReport &report)
 {
     banner("Ablation: message-path disciplines, echo round trip "
            "(cycles) - the Figure 10 taxonomy measured");
@@ -83,11 +87,13 @@ printMessagePathAblation()
                 r = rig.call(bytes);
             return r.roundTrip.value();
         };
+        uint64_t xpc = rt(core::SystemFlavor::Sel4Xpc);
         row({fmtU(bytes), fmtU(rt(core::SystemFlavor::Zircon)),
              fmtU(rt(core::SystemFlavor::Sel4OneCopy)),
-             fmtU(rt(core::SystemFlavor::Sel4TwoCopy)),
-             fmtU(rt(core::SystemFlavor::Sel4Xpc))},
+             fmtU(rt(core::SystemFlavor::Sel4TwoCopy)), fmtU(xpc)},
             20);
+        report.metric("round_trip.relay_seg." + fmtU(bytes) + "B",
+                      double(xpc));
     }
 }
 
@@ -173,8 +179,9 @@ BENCHMARK(BM_XcallVariants)->UseManualTime()->Iterations(2);
 int
 main(int argc, char **argv)
 {
-    printXcallAblation();
-    printMessagePathAblation();
+    BenchReport report("ablation");
+    printXcallAblation(report);
+    printMessagePathAblation(report);
     printTrampolineAblation();
     printRelayPtAblation();
     benchmark::Initialize(&argc, argv);

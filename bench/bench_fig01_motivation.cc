@@ -73,6 +73,7 @@ measure(YcsbWorkload w)
 void
 printTables()
 {
+    BenchReport report("fig01_motivation");
     banner("Figure 1(a): share of CPU time spent on IPC, "
            "Sqlite3(MiniDb)+YCSB on seL4 (paper: 18-39%)");
     row({"workload", "IPC share"});
@@ -85,7 +86,10 @@ printTables()
         if (w == YcsbWorkload::E)
             e_result = m;
         row({ycsbName(w), fmt("%.1f%%", 100.0 * m.ipcShare)});
+        report.metric(std::string("ipc_share.") + ycsbName(w),
+                      m.ipcShare);
     }
+    report.metric("transfer_share_E", e_result.transferShare);
 
     banner("Figure 1(b): CDF of IPC time by message length, YCSB-E "
            "(paper: data transfer = 58.7% of IPC time)");

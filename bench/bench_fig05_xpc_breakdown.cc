@@ -77,25 +77,22 @@ measure(const Config &cfg)
     hw::Core &core = sys.core(0);
     rt.allocRelayMem(core, client, 4096);
 
-    // Warm everything; measure a steady-state call.
+    // Warm everything, reset the registry at steady state, then
+    // measure one call. The breakdown is read back from the
+    // runtime's phase attribution instead of private accounting.
     core::XpcCallOutcome out;
-    for (int i = 0; i < 8; i++)
+    for (int i = 0; i < 8; i++) {
+        if (i == 7)
+            sys.stats().resetAll();
         out = rt.call(core, client, id, 0, 0);
+    }
     panic_if(!out.ok, "xpc call failed");
 
-    // Decompose: measure the raw xcall on the same warm state.
-    Cycles t0 = core.now();
-    auto xc = sys.engine().xcall(core, id, 0);
-    uint64_t xcall_cycles = (core.now() - t0).value();
-    panic_if(xc.exc != engine::XpcException::None, "xcall failed");
-    sys.engine().xret(core);
-
+    const PhaseStats &ps = rt.phaseStats;
     Sample s;
-    s.total = out.oneWay.value();
-    s.xcall = xcall_cycles;
-    s.trampoline = cfg.tramp == core::TrampolineMode::FullContext
-                       ? opts.runtimeOpts.fullCtxCost.value()
-                       : opts.runtimeOpts.partialCtxCost.value();
+    s.total = ps.last(Phase::OneWay);
+    s.xcall = ps.last(Phase::Xcall);
+    s.trampoline = ps.last(Phase::Trampoline);
     s.tlb = s.total > s.xcall + s.trampoline
                 ? s.total - s.xcall - s.trampoline
                 : 0;
@@ -118,6 +115,8 @@ const Config configs[] = {
 void
 printTable()
 {
+    BenchReport report("fig05_xpc_breakdown");
+    report.config("machine", "rocket-u500");
     banner("Figure 5: XPC optimizations and breakdown "
            "(one-way IPC cycles; paper totals in parentheses)");
     row({"Config", "total", "(paper)", "trampoline", "xcall",
@@ -126,6 +125,10 @@ printTable()
         Sample s = measure(cfg);
         row({cfg.name, fmtU(s.total), "(" + fmtU(cfg.paperTotal) + ")",
              fmtU(s.trampoline), fmtU(s.xcall), fmtU(s.tlb)}, 20);
+        report.phase(cfg.name, "one_way", double(s.total));
+        report.phase(cfg.name, "trampoline", double(s.trampoline));
+        report.phase(cfg.name, "xcall", double(s.xcall));
+        report.phase(cfg.name, "tlb_other", double(s.tlb));
     }
 }
 

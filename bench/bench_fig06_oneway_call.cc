@@ -33,6 +33,7 @@ measureOneWay(core::SystemFlavor flavor, uint64_t bytes,
 void
 printTable()
 {
+    BenchReport report("fig06_oneway_call");
     banner("Figure 6: one-way call latency vs message size (cycles)");
     row({"size(B)", "seL4 same", "XPC same", "speedup", "seL4 cross",
          "XPC cross", "speedup"}, 12);
@@ -53,6 +54,10 @@ printTable()
              fmtU(sel4_cross), fmtU(xpc_cross),
              fmt("%.1fx", double(sel4_cross) / double(xpc_cross))},
             12);
+        std::string sz = fmtU(bytes) + "B";
+        report.metric("sel4_same." + sz, double(sel4_same));
+        report.metric("xpc_same." + sz, double(xpc_same));
+        report.metric("sel4_cross." + sz, double(sel4_cross));
     }
 }
 

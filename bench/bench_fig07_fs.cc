@@ -79,6 +79,7 @@ printTable()
 {
     const uint64_t bufs[] = {2048, 4096, 8192, 12288, 16384};
 
+    BenchReport report("fig07_fs");
     banner("Figure 7(a): FS read throughput (MB/s) vs buffer size");
     std::vector<std::string> hdr = {"buffer(B)"};
     for (auto f : flavors)
@@ -93,6 +94,10 @@ printTable()
             rrow.push_back(t.readMBps);
             wrow.push_back(t.writeMBps);
             cells.push_back(fmt("%.1f", t.readMBps));
+            std::string key = std::string(core::systemFlavorName(f)) +
+                              "." + fmtU(b) + "B";
+            report.metric("read_MBps." + key, t.readMBps);
+            report.metric("write_MBps." + key, t.writeMBps);
         }
         reads.push_back(rrow);
         writes.push_back(wrow);
@@ -126,6 +131,10 @@ printTable()
          fmt("%.1fx", avg_speedup(writes, 0, 1))}, 30);
     row({"write: seL4-XPC/seL4-2copy",
          fmt("%.1fx", avg_speedup(writes, 3, 4))}, 30);
+    report.metric("speedup.read_zircon", avg_speedup(reads, 0, 1));
+    report.metric("speedup.read_sel4", avg_speedup(reads, 3, 4));
+    report.metric("speedup.write_zircon", avg_speedup(writes, 0, 1));
+    report.metric("speedup.write_sel4", avg_speedup(writes, 3, 4));
 }
 
 void

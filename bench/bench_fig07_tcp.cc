@@ -53,6 +53,7 @@ measure(core::SystemFlavor flavor, uint64_t buf_bytes)
 void
 printTable()
 {
+    BenchReport report("fig07_tcp");
     banner("Figure 7(c): TCP throughput (MB/s) vs buffer size "
            "(paper: Zircon-XPC ~6x Zircon on average)");
     row({"buffer(B)", "Zircon", "Zircon-XPC", "speedup"});
@@ -64,9 +65,12 @@ printTable()
         sum += x / z;
         row({fmtU(b), fmt("%.2f", z), fmt("%.2f", x),
              fmt("%.1fx", x / z)});
+        report.metric("zircon_MBps." + fmtU(b) + "B", z);
+        report.metric("zircon_xpc_MBps." + fmtU(b) + "B", x);
     }
-    row({"average", "", "",
-         fmt("%.1fx", sum / (sizeof(bufs) / sizeof(bufs[0])))});
+    double avg = sum / (sizeof(bufs) / sizeof(bufs[0]));
+    row({"average", "", "", fmt("%.1fx", avg)});
+    report.metric("speedup.average", avg);
 }
 
 void

@@ -101,6 +101,7 @@ measure(core::SystemFlavor flavor, uint64_t file_bytes, bool encrypt)
 void
 printTable()
 {
+    BenchReport report("fig08_http");
     banner("Figure 8(c): HTTP server throughput (requests/s) vs "
            "file size (paper: ~12x plain, ~10x encrypted)");
     row({"file(B)", "Zircon", "Zircon-XPC", "speedup",
@@ -115,6 +116,11 @@ printTable()
              fmt("%.1fx", x / z), fmt("%.0f", ze), fmt("%.0f", xe),
              fmt("%.1fx", xe / ze)},
             13);
+        report.metric("plain_rps.zircon." + fmtU(s) + "B", z);
+        report.metric("plain_rps.zircon_xpc." + fmtU(s) + "B", x);
+        report.metric("encrypted_rps.zircon." + fmtU(s) + "B", ze);
+        report.metric("encrypted_rps.zircon_xpc." + fmtU(s) + "B",
+                      xe);
     }
 }
 

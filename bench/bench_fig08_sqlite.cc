@@ -44,6 +44,7 @@ const YcsbWorkload workloads[] = {YcsbWorkload::A, YcsbWorkload::B,
 void
 printTable()
 {
+    BenchReport report("fig08_sqlite");
     banner("Figure 8(a): Sqlite3(MiniDb) YCSB throughput on Zircon "
            "(normalized; paper avg +108%)");
     row({"workload", "Zircon", "Zircon-XPC", "normalized"});
@@ -54,8 +55,12 @@ printTable()
         zsum += fast / base;
         row({ycsbName(w), fmt("%.0f", base), fmt("%.0f", fast),
              fmt("%.2f", fast / base)});
+        report.metric(std::string("zircon_ops.") + ycsbName(w), base);
+        report.metric(std::string("zircon_xpc_ops.") + ycsbName(w),
+                      fast);
     }
     row({"average", "", "", fmt("%.2f", zsum / 6.0)});
+    report.metric("normalized.zircon_avg", zsum / 6.0);
 
     banner("Figure 8(b): Sqlite3(MiniDb) YCSB throughput on seL4 "
            "(normalized to two-copy; paper avg +60%)");
@@ -69,8 +74,13 @@ printTable()
         ssum += fast / two;
         row({ycsbName(w), fmt("%.0f", two), fmt("%.0f", one),
              fmt("%.0f", fast), fmt("%.2f", fast / two)});
+        report.metric(std::string("sel4_2copy_ops.") + ycsbName(w),
+                      two);
+        report.metric(std::string("sel4_xpc_ops.") + ycsbName(w),
+                      fast);
     }
     row({"average", "", "", "", fmt("%.2f", ssum / 6.0)});
+    report.metric("normalized.sel4_avg", ssum / 6.0);
 }
 
 void

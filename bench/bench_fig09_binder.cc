@@ -119,6 +119,7 @@ ashmemLatencyMs(BinderMode mode, uint64_t bytes)
 void
 printTables()
 {
+    BenchReport report("fig09_binder");
     banner("Figure 9(a): Binder latency, transaction buffer "
            "(us; paper: 378->878 baseline, 8.2->29 XPC)");
     row({"bytes", "Binder(us)", "Binder-XPC(us)", "speedup"}, 16);
@@ -128,6 +129,9 @@ printTables()
         row({fmtU(bytes), fmt("%.1f", base), fmt("%.1f", fast),
              fmt("%.1fx", base / fast)},
             16);
+        report.metric("buffer_us.binder." + fmtU(bytes) + "B", base);
+        report.metric("buffer_us.binder_xpc." + fmtU(bytes) + "B",
+                      fast);
     }
 
     banner("Figure 9(b): Binder latency, ashmem "
@@ -144,6 +148,11 @@ printTables()
              fmt("%.1fx", base / fast), fmt("%.3f", ashx),
              fmt("%.1fx", base / ashx)},
             14);
+        report.metric("ashmem_ms.binder." + fmtU(bytes) + "B", base);
+        report.metric("ashmem_ms.binder_xpc." + fmtU(bytes) + "B",
+                      fast);
+        report.metric("ashmem_ms.ashmem_xpc." + fmtU(bytes) + "B",
+                      ashx);
     }
 }
 

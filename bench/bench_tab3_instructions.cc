@@ -86,6 +86,10 @@ printTable()
     row({"xcall", fmtU(c.xcall), "(18)"});
     row({"xret", fmtU(c.xret), "(23)"});
     row({"swapseg", fmtU(c.swapseg), "(11)"});
+    BenchReport report("tab3_instructions");
+    report.metric("cycles.xcall", double(c.xcall));
+    report.metric("cycles.xret", double(c.xret));
+    report.metric("cycles.swapseg", double(c.swapseg));
 }
 
 void

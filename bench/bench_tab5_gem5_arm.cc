@@ -135,6 +135,13 @@ printTable5()
          "(7(+58))", fmtU(c.xpcRet) + "(+" + fmtU(c.tlbFlush) + ")",
          "(10(+58))"},
         16);
+    BenchReport report("tab5_gem5_arm");
+    report.config("machine", "gem5-arm-hpi");
+    report.metric("baseline_call", double(c.baselineCall));
+    report.metric("baseline_ret", double(c.baselineRet));
+    report.metric("xpc_call", double(c.xpcCall));
+    report.metric("xpc_ret", double(c.xpcRet));
+    report.metric("tlb_flush", double(c.tlbFlush));
 }
 
 void

@@ -48,6 +48,14 @@ printTable()
            "default build)");
     line("LUT", base.lut, wc.lut, "-");
     line("FF", base.ff, wc.ff, "-");
+
+    BenchReport report("tab6_hwcost");
+    report.metric("overhead_pct.lut",
+                  ResourceModel::overheadPercent(base.lut, with.lut));
+    report.metric("overhead_pct.ff",
+                  ResourceModel::overheadPercent(base.ff, with.ff));
+    report.metric("overhead_pct.dsp",
+                  ResourceModel::overheadPercent(base.dsp, with.dsp));
 }
 
 void

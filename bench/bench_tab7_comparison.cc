@@ -51,10 +51,14 @@ printTable()
         {"XPC", core::SystemFlavor::Sel4Xpc, "yes", "yes", "yes",
          "yes", "0"},
     };
+    BenchReport report("tab7_comparison");
     for (const Row &r : rows) {
+        uint64_t cycles = roundTrip(r.flavor, 4096);
         row({r.name, r.noTrap, r.noSched, r.safe, r.handover,
-             r.copies, fmtU(roundTrip(r.flavor, 4096))},
+             r.copies, fmtU(cycles)},
             14);
+        report.metric(std::string("round_trip_4KB.") + r.name,
+                      double(cycles));
     }
     std::printf(
         "\nPaper systems not buildable on address-space hardware\n"

@@ -8,8 +8,13 @@
 #ifndef XPC_BENCH_BENCH_UTIL_HH
 #define XPC_BENCH_BENCH_UTIL_HH
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -53,6 +58,154 @@ fmtU(uint64_t v)
     std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
     return buf;
 }
+
+/**
+ * Machine-readable companion to a bench's printed table.
+ *
+ * Collects the configuration, headline metrics, per-phase cycle
+ * attribution and latency distributions of one bench run and writes
+ * them as `BENCH_<name>.json` into `$XPC_BENCH_DIR` (default: the
+ * working directory) when write() is called or the report is
+ * destroyed. tools/stats_diff.py compares two such files and fails
+ * on regressions.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string bench_name)
+        : name(std::move(bench_name))
+    {}
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+    ~BenchReport()
+    {
+        if (!written)
+            write();
+    }
+
+    void
+    config(const std::string &key, const std::string &value)
+    {
+        configs[key] = "\"" + value + "\"";
+    }
+
+    void
+    config(const std::string &key, double value)
+    {
+        configs[key] = num(value);
+    }
+
+    /** Headline scalar (cycles, ops/sec, ...). */
+    void
+    metric(const std::string &key, double value)
+    {
+        metrics[key] = value;
+    }
+
+    /** Cycles attributed to @p phase under @p scope (dotted path). */
+    void
+    phase(const std::string &scope, const std::string &phase_name,
+          double cycles)
+    {
+        phases[scope + "." + phase_name] = cycles;
+    }
+
+    /** All recorded phases of @p ps under @p scope. */
+    void
+    phaseStats(const std::string &scope, const PhaseStats &ps)
+    {
+        for (uint32_t i = 0; i < phaseCount; i++) {
+            const Distribution &d = ps.dist(Phase(i));
+            if (d.count() == 0)
+                continue;
+            phase(scope, phaseName(Phase(i)), d.mean());
+        }
+    }
+
+    /** p50/p99 summary of @p d under @p key. */
+    void
+    distribution(const std::string &key, const Distribution &d)
+    {
+        if (d.count() == 0)
+            return;
+        dists[key] = "{\"count\": " + num(double(d.count())) +
+                     ", \"mean\": " + num(d.mean()) +
+                     ", \"p50\": " + num(d.quantile(0.5)) +
+                     ", \"p99\": " + num(d.quantile(0.99)) + "}";
+    }
+
+    /** Embed a full registry dump under "stats". */
+    void
+    attachStats(StatGroup &root)
+    {
+        std::ostringstream os;
+        root.dumpJson(os, 1);
+        statsJson = os.str();
+    }
+
+    /** @return the file path written, or "" on failure. */
+    std::string
+    write()
+    {
+        written = true;
+        const char *dir = std::getenv("XPC_BENCH_DIR");
+        std::string path = (dir && *dir ? std::string(dir) + "/" : "");
+        path += "BENCH_" + name + ".json";
+        std::ofstream out(path);
+        if (!out)
+            return "";
+        out << "{\n  \"bench\": \"" << name << "\"";
+        auto obj = [&](const char *key,
+                       const std::map<std::string, std::string> &m) {
+            out << ",\n  \"" << key << "\": {";
+            bool first = true;
+            for (const auto &[k, v] : m) {
+                out << (first ? "" : ",") << "\n    \"" << k
+                    << "\": " << v;
+                first = false;
+            }
+            out << (m.empty() ? "" : "\n  ") << "}";
+        };
+        obj("config", configs);
+        std::map<std::string, std::string> mm;
+        for (const auto &[k, v] : metrics)
+            mm[k] = num(v);
+        obj("metrics", mm);
+        mm.clear();
+        for (const auto &[k, v] : phases)
+            mm[k] = num(v);
+        obj("phases", mm);
+        obj("distributions", dists);
+        if (!statsJson.empty())
+            out << ",\n  \"stats\": " << statsJson;
+        out << "\n}\n";
+        return path;
+    }
+
+  private:
+    static std::string
+    num(double v)
+    {
+        if (std::isnan(v))
+            return "null";
+        char buf[64];
+        if (v == std::floor(v) && std::fabs(v) < 1e15)
+            std::snprintf(buf, sizeof(buf), "%.0f", v);
+        else
+            std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return buf;
+    }
+
+    std::string name;
+    std::map<std::string, std::string> configs;
+    std::map<std::string, double> metrics;
+    std::map<std::string, double> phases;
+    std::map<std::string, std::string> dists;
+    std::string statsJson;
+    bool written = false;
+};
 
 /** An echo service wired on a fresh system of the given flavor. */
 struct EchoRig

@@ -75,6 +75,12 @@ System::System(const SystemOptions &options) : opts(options)
         transportPtr = std::make_unique<XpcTransport>(*runtimePtr);
         break;
     }
+
+    mach->stats.setParent(&statsRoot);
+    kernelPtr->stats.setParent(&statsRoot);
+    enginePtr->stats.setParent(&statsRoot);
+    runtimePtr->stats.setParent(&statsRoot);
+    transportPtr->stats.setParent(&statsRoot);
 }
 
 kernel::Thread &

@@ -65,7 +65,16 @@ class System
     /** Create a process plus one thread homed on @p core_id. */
     kernel::Thread &spawn(const std::string &name, CoreId core_id = 0);
 
+    /**
+     * Root of this system's stat registry: machine (cores, caches,
+     * TLBs), kernel (incl. phase attribution), engine and runtime
+     * all hang off it. Dump with stats().dumpJson()/dumpCsv(); reset
+     * between measurement phases with stats().resetAll().
+     */
+    StatGroup &stats() { return statsRoot; }
+
   private:
+    StatGroup statsRoot{"system"};
     SystemOptions opts;
     std::unique_ptr<hw::Machine> mach;
     std::unique_ptr<kernel::Kernel> kernelPtr;

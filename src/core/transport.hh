@@ -151,6 +151,12 @@ struct CallResult
 class Transport
 {
   public:
+    Transport()
+    {
+        stats.addCounter("calls", &callsIssued);
+        stats.addCounter("failed_calls", &callsFailed);
+    }
+
     virtual ~Transport() = default;
 
     virtual const char *name() const = 0;
@@ -236,7 +242,24 @@ class Transport
 
     const ServiceDesc &describe(ServiceId svc) const;
 
+    Counter callsIssued;
+    Counter callsFailed;
+
+    /** Registry node; attached to the system's group. */
+    StatGroup stats{"transport"};
+
   protected:
+    /** Count @p res into the transport stats and pass it through;
+     *  concrete call() implementations return through this. */
+    CallResult
+    countCall(CallResult res)
+    {
+        callsIssued.inc();
+        if (!res.ok)
+            callsFailed.inc();
+        return res;
+    }
+
     ServiceId
     recordDesc(const ServiceDesc &desc)
     {

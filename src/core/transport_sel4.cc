@@ -209,7 +209,7 @@ Sel4Transport::call(hw::Core &core, kernel::Thread &client,
     res.oneWay = out.oneWay;
     res.roundTrip = out.roundTrip;
     res.handlerCycles = out.handlerCycles;
-    return res;
+    return countCall(res);
 }
 
 } // namespace xpc::core

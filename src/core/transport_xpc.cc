@@ -267,7 +267,7 @@ XpcTransport::call(hw::Core &core, kernel::Thread &client,
     res.oneWay = out.oneWay;
     res.roundTrip = out.roundTrip;
     res.handlerCycles = out.handlerCycles;
-    return res;
+    return countCall(res);
 }
 
 } // namespace xpc::core

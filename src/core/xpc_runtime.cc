@@ -4,6 +4,7 @@
 
 #include "sim/fault_injector.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace xpc::core {
 
@@ -12,6 +13,8 @@ XpcRuntime::XpcRuntime(kernel::Kernel &kernel,
                        const XpcRuntimeOptions &options)
     : kern(kernel), xpcManager(manager), opts(options)
 {
+    stats.addCounter("calls", &calls);
+    stats.addCounter("context_exhausted", &contextExhausted);
 }
 
 uint64_t
@@ -79,6 +82,8 @@ XpcRuntime::allocRelayMem(hw::Core &core, kernel::Thread &thread,
     auto exc = engine().swapseg(core, slot);
     panic_if(exc != engine::XpcException::None,
              "swapseg failed installing a fresh relay segment");
+    trace::Tracer::global().instantNow("runtime", "alloc_relay_mem",
+                                       core.id());
     return RelaySegHandle{seg.segId, seg.va, seg.len, slot};
 }
 
@@ -286,8 +291,10 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
         engine().prefetch(core, entry_id);
     }
 
+    auto &tr = trace::Tracer::global();
     Cycles start = core.now();
     engine::XcallResult xc = engine().xcall(core, entry_id, entry_id);
+    Cycles xcall_done = core.now();
     if (xc.exc != engine::XpcException::None) {
         out.exc = xc.exc;
         if (killed_pre_xcall)
@@ -308,9 +315,14 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
              "x-entry %lu has no registered handler",
              (unsigned long)entry_id);
     EntryState &state = it->second;
+    Cycles tramp0 = core.now();
     core.spend(opts.trampoline == TrampolineMode::FullContext
                    ? opts.fullCtxCost
                    : opts.partialCtxCost);
+    if (tr.enabled()) {
+        tr.begin("runtime", "trampoline", tramp0.value(), core.id());
+        tr.end("runtime", "trampoline", core.now().value(), core.id());
+    }
 
     if (state.busy >= state.maxContexts) {
         // No idle context: return an error to the caller (the
@@ -377,6 +389,10 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
     else if (!skip_handler)
         state.handler(call_ctx);
     out.handlerCycles = core.now() - h0;
+    if (tr.enabled()) {
+        tr.begin("runtime", "handler", h0.value(), core.id());
+        tr.end("runtime", "handler", core.now().value(), core.id());
+    }
 
     if (call_ctx.hung && opts.timeoutCycles.value() != 0 &&
         out.handlerCycles >= opts.timeoutCycles) {
@@ -416,11 +432,17 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
     }
 
     // Return trampoline (restore registers) and xret.
+    Cycles rtramp0 = core.now();
     core.spend(opts.trampoline == TrampolineMode::FullContext
                    ? opts.fullCtxCost
                    : opts.partialCtxCost);
+    if (tr.enabled()) {
+        tr.begin("runtime", "trampoline", rtramp0.value(), core.id());
+        tr.end("runtime", "trampoline", core.now().value(), core.id());
+    }
     state.busy--;
 
+    Cycles xret0 = core.now();
     engine::XretResult ret = engine().xret(core);
     if (ret.exc != engine::XpcException::None) {
         // The hardware refused the return: the record under us is
@@ -452,6 +474,15 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
     out.ok = true;
     out.replyLen = call_ctx.repLen;
     out.roundTrip = core.now() - start;
+
+    // Fig. 5 attribution: the entry trampoline is everything between
+    // the xcall retiring and the handler getting control.
+    phaseStats.record(Phase::Xcall, xcall_done - start);
+    phaseStats.record(Phase::Trampoline, out.oneWay - (xcall_done - start));
+    phaseStats.record(Phase::Handler, out.handlerCycles);
+    phaseStats.record(Phase::Xret, core.now() - xret0);
+    phaseStats.record(Phase::OneWay, out.oneWay);
+    phaseStats.record(Phase::RoundTrip, out.roundTrip);
     return out;
 }
 

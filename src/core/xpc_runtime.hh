@@ -18,6 +18,7 @@
 #include <map>
 
 #include "kernel/xpc_manager.hh"
+#include "sim/phase.hh"
 
 namespace xpc::core {
 
@@ -205,6 +206,12 @@ class XpcRuntime
 
     Counter calls;
     Counter contextExhausted;
+
+    /** Registry node; attached to the system's group. */
+    StatGroup stats{"runtime"};
+    /** Fig. 5 taxonomy: xcall/trampoline/handler/xret plus the
+     *  one-way and round-trip aggregates, per successful call. */
+    PhaseStats phaseStats{"phases", &stats};
 
   private:
     struct EntryState

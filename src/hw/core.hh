@@ -12,6 +12,7 @@
 #define XPC_HW_CORE_HH
 
 #include <cstdint>
+#include <string>
 
 #include "mem/mem_system.hh"
 #include "sim/stats.hh"
@@ -50,7 +51,11 @@ class Core
   public:
     Core(CoreId id, mem::MemSystem &mem_system)
         : coreId(id), memSys(mem_system)
-    {}
+    {
+        stats.setName("core" + std::to_string(id));
+        stats.addCounter("instructions_retired",
+                         &instructionsRetired);
+    }
 
     CoreId id() const { return coreId; }
 
@@ -80,6 +85,9 @@ class Core
     mem::MemSystem &mem() { return memSys; }
 
     Counter instructionsRetired;
+
+    /** Registry node; attached to the machine's group. */
+    StatGroup stats{"core"};
 
   private:
     CoreId coreId;

@@ -17,8 +17,11 @@ Machine::Machine(const MachineConfig &config, uint64_t dram_bytes)
     panic_if(cfg.cores == 0, "machine with zero cores");
     memSys = std::make_unique<mem::MemSystem>(physMem, cfg.mem,
                                               cfg.cores);
-    for (CoreId i = 0; i < cfg.cores; i++)
+    memSys->stats.setParent(&stats);
+    for (CoreId i = 0; i < cfg.cores; i++) {
         coresVec.push_back(std::make_unique<Core>(i, *memSys));
+        coresVec.back()->stats.setParent(&stats);
+    }
 }
 
 void

@@ -53,6 +53,9 @@ class Machine
 
     FaultInjector *faultInjector() const { return injector; }
 
+    /** Registry node covering the cores and the memory system. */
+    StatGroup stats{"machine"};
+
   private:
     MachineConfig cfg;
     FaultInjector *injector = nullptr;

@@ -19,6 +19,8 @@ Process::alloc(uint64_t len)
 Kernel::Kernel(hw::Machine &machine)
     : mach(machine), currentThread(machine.coreCount(), nullptr)
 {
+    stats.addCounter("traps", &traps);
+    stats.addCounter("context_switches", &contextSwitches);
 }
 
 Process &

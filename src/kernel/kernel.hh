@@ -132,6 +132,9 @@ class Kernel
     Counter traps;
     Counter contextSwitches;
 
+    /** Registry node; subclasses add their own stats under it. */
+    StatGroup stats{"kernel"};
+
   protected:
     hw::Machine &mach;
     std::vector<std::unique_ptr<Process>> processes;

@@ -4,10 +4,17 @@
 
 #include "sim/fault_injector.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace xpc::kernel {
 
-Sel4Kernel::Sel4Kernel(hw::Machine &machine) : Kernel(machine) {}
+Sel4Kernel::Sel4Kernel(hw::Machine &machine) : Kernel(machine)
+{
+    stats.setName("sel4");
+    stats.addCounter("fastpath_calls", &fastpathCalls);
+    stats.addCounter("slowpath_calls", &slowpathCalls);
+    stats.addCounter("cross_core_calls", &crossCoreCalls);
+}
 
 uint64_t
 Sel4Kernel::createEndpoint(Thread &server, Handler handler)
@@ -261,11 +268,16 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     }
 
     // --- Phase 1: trap. -------------------------------------------
+    auto &tr = trace::Tracer::global();
     Cycles trap_start = core.now();
     trapEnter(core);
     saveRestoreRegs(core, params.fastpathRegs);
     core.spend(params.trapConst);
     phases.trap = core.now() - trap_start;
+    if (tr.enabled()) {
+        tr.begin("sel4", "trap", trap_start.value(), core.id());
+        tr.end("sel4", "trap", core.now().value(), core.id());
+    }
 
     // --- Phase 2: IPC logic (capability fetch + checks). ----------
     t0 = core.now();
@@ -284,6 +296,10 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
         }
     }
     phases.logic = core.now() - t0;
+    if (tr.enabled()) {
+        tr.begin("sel4", "ipc_logic", t0.value(), core.id());
+        tr.end("sel4", "ipc_logic", core.now().value(), core.id());
+    }
 
     // Medium messages: the kernel copies through the IPC buffer
     // while still in the kernel (slow path).
@@ -319,6 +335,10 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     }
     setCurrent(core.id(), ep.server);
     phases.processSwitch = core.now() - t0;
+    if (tr.enabled()) {
+        tr.begin("sel4", "process_switch", t0.value(), core.id());
+        tr.end("sel4", "process_switch", core.now().value(), core.id());
+    }
 
     // --- Phase 4: restore the server's context, back to user. -----
     t0 = core.now();
@@ -326,6 +346,10 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     core.spend(params.restoreConst);
     trapExit(core);
     phases.restore = core.now() - t0;
+    if (tr.enabled()) {
+        tr.begin("sel4", "restore", t0.value(), core.id());
+        tr.end("sel4", "restore", core.now().value(), core.id());
+    }
 
     // Two-copy discipline: in user mode, the server copies the
     // message to private memory before using it.
@@ -348,6 +372,12 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     if (large) {
         // Include the client-side shared-buffer fill.
         phases.transfer += trap_start - start;
+    }
+    if (tr.enabled() && phases.transfer.value() > 0) {
+        tr.begin("sel4", "transfer", t0.value(), handler_core.id());
+        tr.end("sel4", "transfer",
+               t0.value() + phases.transfer.value(),
+               handler_core.id());
     }
 
     out.oneWay = (handler_core.now() > core.now() ? handler_core.now()
@@ -452,6 +482,13 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     trapExit(core);
 
     lastPhases = phases;
+    phaseStats.record(Phase::Trap, phases.trap);
+    phaseStats.record(Phase::IpcLogic, phases.logic);
+    phaseStats.record(Phase::ProcessSwitch, phases.processSwitch);
+    phaseStats.record(Phase::Restore, phases.restore);
+    phaseStats.record(Phase::Transfer, phases.transfer);
+    phaseStats.record(Phase::RoundTrip, core.now() - start);
+    phaseStats.record(Phase::OneWay, out.oneWay);
     out.ok = true;
     out.replyLen = reply_len;
     out.roundTrip = core.now() - start;

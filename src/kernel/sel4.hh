@@ -19,6 +19,7 @@
 #include <map>
 
 #include "kernel/kernel.hh"
+#include "sim/phase.hh"
 
 namespace xpc::kernel {
 
@@ -183,6 +184,9 @@ class Sel4Kernel : public Kernel
 
     /** Phase breakdown of the most recent fast-path call (Table 1). */
     Sel4Phases lastPhases;
+
+    /** Registry-visible phase attribution (Table 1 taxonomy). */
+    PhaseStats phaseStats{"phases", &stats};
 
     Counter fastpathCalls;
     Counter slowpathCalls;

@@ -4,12 +4,15 @@
 
 #include "sim/fault_injector.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace xpc::kernel {
 
 ZirconKernel::ZirconKernel(hw::Machine &machine) : Kernel(machine)
 {
     costs.schedule = params.schedule;
+    stats.setName("zircon");
+    stats.addCounter("channel_msgs", &channelMsgs);
 }
 
 uint64_t
@@ -182,7 +185,10 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
     call_ctx.reqVa = ch.serverReqVa;
     call_ctx.replyVa = ch.serverReplyVa;
     Cycles h0 = scre.now();
-    ch.handler(call_ctx);
+    {
+        trace::Span span(scre, "zircon", "handler");
+        ch.handler(call_ctx);
+    }
     out.handlerCycles = scre.now() - h0;
 
     if (call_ctx.failStatus != CallStatus::Ok)
@@ -226,6 +232,14 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
     out.ok = true;
     out.replyLen = reply_len;
     out.roundTrip = core.now() - start;
+    phaseStats.record(Phase::OneWay, out.oneWay);
+    phaseStats.record(Phase::Handler, out.handlerCycles);
+    phaseStats.record(Phase::RoundTrip, out.roundTrip);
+    auto &tr = trace::Tracer::global();
+    if (tr.enabled()) {
+        tr.begin("zircon", "channel_call", start.value(), core.id());
+        tr.end("zircon", "channel_call", core.now().value(), core.id());
+    }
     return out;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "kernel/kernel.hh"
+#include "sim/phase.hh"
 
 namespace xpc::kernel {
 
@@ -116,6 +117,10 @@ class ZirconKernel : public Kernel
                            uint64_t reply_cap);
 
     Counter channelMsgs;
+
+    /** Registry-visible phase attribution (one-way/handler/round
+     *  trip; Zircon has no fast-path phase split to attribute). */
+    PhaseStats phaseStats{"phases", &stats};
 
   private:
     struct Channel

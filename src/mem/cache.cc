@@ -16,6 +16,9 @@ Cache::Cache(const CacheParams &p, Cache *n, Cycles mem_latency)
     panic_if((numSets & (numSets - 1)) != 0,
              "cache set count must be a power of two, got %u", numSets);
     lines.resize(total_lines);
+    stats.addCounter("hits", &hits);
+    stats.addCounter("misses", &misses);
+    stats.addCounter("writebacks", &writebacks);
 }
 
 Cycles

@@ -61,6 +61,9 @@ class Cache
     Counter misses;
     Counter writebacks;
 
+    /** Registry node; the owner names it and attaches it to a parent. */
+    StatGroup stats{"cache"};
+
   private:
     struct Line
     {

@@ -5,6 +5,7 @@
 
 #include "sim/fault_injector.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace xpc::mem {
 
@@ -31,12 +32,18 @@ MemSystem::MemSystem(PhysMem &phys, const MemParams &params,
 {
     panic_if(ncores == 0, "MemSystem needs at least one core");
     l2 = std::make_unique<Cache>(params.l2, nullptr, params.dramLatency);
+    l2->stats.setName("l2");
+    l2->stats.setParent(&stats);
     for (uint32_t i = 0; i < ncores; i++) {
         l1ds.push_back(
             std::make_unique<Cache>(params.l1d, l2.get(),
                                     params.dramLatency));
+        l1ds.back()->stats.setName("l1d" + std::to_string(i));
+        l1ds.back()->stats.setParent(&stats);
         tlbs.push_back(std::make_unique<Tlb>(
             params.tlbEntries, params.tlbAssoc, params.taggedTlb));
+        tlbs.back()->stats.setName("tlb" + std::to_string(i));
+        tlbs.back()->stats.setParent(&stats);
     }
 }
 
@@ -91,6 +98,9 @@ MemSystem::translate(CoreId core, const TransContext &ctx, VAddr vaddr,
         res.cycles += memParams.walkOverhead;
         for (int i = 0; i < walk.levels; i++)
             res.cycles += l1(core).access(walk.pteAddrs[i], 8, false);
+        if (trace::Tracer::global().enabled())
+            trace::Tracer::global().instantNow("mem",
+                                               "tlb_miss_fill", core);
         if (!walk.valid) {
             res.fault = FaultKind::PageFault;
             res.faultAddr = vaddr;
@@ -125,6 +135,9 @@ MemSystem::translate(CoreId core, const TransContext &ctx, VAddr vaddr,
     res.cycles += memParams.walkOverhead;
     for (int i = 0; i < walk.levels; i++)
         res.cycles += l1(core).access(walk.pteAddrs[i], 8, false);
+    if (trace::Tracer::global().enabled())
+        trace::Tracer::global().instantNow("mem", "tlb_miss_fill",
+                                           core);
 
     if (!walk.valid) {
         res.fault = FaultKind::PageFault;
@@ -168,7 +181,12 @@ MemSystem::read(CoreId core, const TransContext &ctx, VAddr vaddr,
             total.faultAddr = tr.faultAddr;
             return total;
         }
+        uint64_t miss0 = l1(core).misses.value();
         total.cycles += l1(core).access(paddr, chunk, false);
+        if (trace::Tracer::global().enabled() &&
+            l1(core).misses.value() != miss0)
+            trace::Tracer::global().instantNow("mem", "l1_miss_fill",
+                                               core);
         total.cycles += issueCost(chunk);
         physMem.read(paddr, out, chunk);
         vaddr += chunk;
@@ -198,7 +216,12 @@ MemSystem::write(CoreId core, const TransContext &ctx, VAddr vaddr,
             total.faultAddr = tr.faultAddr;
             return total;
         }
+        uint64_t miss0 = l1(core).misses.value();
         total.cycles += l1(core).access(paddr, chunk, true);
+        if (trace::Tracer::global().enabled() &&
+            l1(core).misses.value() != miss0)
+            trace::Tracer::global().instantNow("mem", "l1_miss_fill",
+                                               core);
         total.cycles += issueCost(chunk);
         physMem.write(paddr, in, chunk);
         vaddr += chunk;

@@ -187,6 +187,9 @@ class MemSystem
     void setFaultInjector(FaultInjector *inj) { injector = inj; }
     FaultInjector *faultInjector() const { return injector; }
 
+    /** Registry node covering the TLBs and the cache hierarchy. */
+    StatGroup stats{"mem"};
+
   private:
     PhysMem &physMem;
     MemParams memParams;

@@ -12,6 +12,9 @@ Tlb::Tlb(uint32_t entries, uint32_t a, bool t)
              "bad TLB geometry: %u entries, %u ways", entries, a);
     panic_if((numSets & (numSets - 1)) != 0,
              "TLB set count must be a power of two, got %u", numSets);
+    stats.addCounter("hits", &hits);
+    stats.addCounter("misses", &misses);
+    stats.addCounter("flushes", &flushes);
 }
 
 TlbEntry *

@@ -68,6 +68,9 @@ class Tlb
     Counter misses;
     Counter flushes;
 
+    /** Registry node; the owner names it and attaches it to a parent. */
+    StatGroup stats{"tlb"};
+
   private:
     uint32_t numSets;
     uint32_t assoc;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace xpc::services {
 
@@ -35,6 +36,8 @@ Supervisor::heal()
         entry.svc = entry.restart(entry.server);
         nameServer.bind(name, entry.svc);
         restarts.inc();
+        trace::Tracer::global().instantNow("supervisor", "restart", 0,
+                                           name);
         healed++;
     }
     return healed;

@@ -46,7 +46,10 @@ class Supervisor
 
     Supervisor(core::Transport &transport, NameServer &ns)
         : transport(transport), nameServer(ns)
-    {}
+    {
+        stats.addCounter("restarts", &restarts);
+        stats.addCounter("retries", &retries);
+    }
 
     /** Put service @p name under supervision. */
     void supervise(const std::string &name, kernel::Thread &server,
@@ -82,6 +85,9 @@ class Supervisor
 
     Counter restarts;
     Counter retries;
+
+    /** Registry node; benches attach it next to the system's. */
+    StatGroup stats{"supervisor"};
 
   private:
     struct Entry

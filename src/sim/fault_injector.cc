@@ -5,6 +5,7 @@
 
 #include "sim/logging.hh"
 #include "sim/random.hh"
+#include "sim/trace.hh"
 
 namespace xpc {
 
@@ -120,6 +121,7 @@ FaultInjector::recordFired(const FaultEvent &ev)
 {
     log_.push_back(ev);
     firedPerOp_[uint32_t(ev.op)]++;
+    trace::Tracer::global().instantNow("fault", faultOpName(ev.op), 0);
 }
 
 uint64_t

@@ -2,11 +2,73 @@
 
 #include <cstdarg>
 
+#include "trace.hh"
+
 namespace xpc {
 
 namespace {
+
 bool quietFlag = false;
+LogSink sinkFn; // empty = default stdio sink
+
+/** stdio behaviour when no sink is installed. */
+void
+defaultSink(LogLevel level, const std::string &msg)
+{
+    switch (level) {
+      case LogLevel::Panic:
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+        break;
+      case LogLevel::Fatal:
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+        break;
+      case LogLevel::Warn:
+        if (!quietFlag)
+            std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        break;
+      case LogLevel::Inform:
+        if (!quietFlag)
+            std::fprintf(stdout, "info: %s\n", msg.c_str());
+        break;
+    }
+}
+
+/** Route one record through the sink and the tracer. */
+void
+emit(LogLevel level, const std::string &msg)
+{
+    trace::Tracer &t = trace::Tracer::global();
+    if (t.enabled())
+        t.instantNow("log", logLevelName(level), 0, msg);
+    if (sinkFn)
+        sinkFn(level, msg);
+    else
+        defaultSink(level, msg);
+}
+
 } // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic:
+        return "panic";
+      case LogLevel::Fatal:
+        return "fatal";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Inform:
+        return "inform";
+    }
+    return "unknown";
+}
+
+void
+setLogSink(LogSink sink)
+{
+    sinkFn = std::move(sink);
+}
 
 void
 setLogQuiet(bool quiet)
@@ -44,29 +106,29 @@ logFormat(const char *fmt, ...)
 void
 logPanic(const char *file, int line, std::string msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    emit(LogLevel::Panic,
+         msg + " (" + file + ":" + std::to_string(line) + ")");
     std::abort();
 }
 
 void
 logFatal(const char *file, int line, std::string msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    emit(LogLevel::Fatal,
+         msg + " (" + file + ":" + std::to_string(line) + ")");
     std::exit(1);
 }
 
 void
 logWarn(std::string msg)
 {
-    if (!quietFlag)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit(LogLevel::Warn, msg);
 }
 
 void
 logInform(std::string msg)
 {
-    if (!quietFlag)
-        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emit(LogLevel::Inform, msg);
 }
 
 } // namespace detail

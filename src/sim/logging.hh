@@ -13,12 +13,28 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 namespace xpc {
 
 /** Severity attached to each log record. */
 enum class LogLevel { Panic, Fatal, Warn, Inform };
+
+/** @return a printable name for @p level. */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Pluggable destination for log records. Every record flows through
+ * the installed sink: the default writes to stdio exactly as before,
+ * tests install a capturing sink, and the tracer (when enabled)
+ * additionally interleaves each record into the event stream as a
+ * trace instant. panic/fatal still terminate after the sink runs.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/** Install @p sink as the log destination; empty restores stdio. */
+void setLogSink(LogSink sink);
 
 namespace detail {
 

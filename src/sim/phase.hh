@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The paper's phase taxonomy and the RAII probes that attribute
+ * simulated cycles to it.
+ *
+ * Table 1 decomposes a seL4 one-way IPC into trap / IPC logic /
+ * process switch / restore (+ message transfer); Figure 5 decomposes
+ * an xcall into trampoline / xcall / TLB-and-other. PhaseStats holds
+ * one Distribution per phase inside a StatGroup, so benches read the
+ * breakdown from the registry instead of private accounting, and
+ * PhaseTimer is the scoped probe that records a phase's cycles and
+ * (when tracing is on) emits the matching begin/end span.
+ */
+
+#ifndef XPC_SIM_PHASE_HH
+#define XPC_SIM_PHASE_HH
+
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+#include "sim/types.hh"
+
+namespace xpc {
+
+/** Where cycles of a cross-process call can go. */
+enum class Phase : uint32_t
+{
+    // Table 1: the seL4 fast-path phases.
+    Trap,
+    IpcLogic,
+    ProcessSwitch,
+    Restore,
+    Transfer,
+    // Figure 5: the XPC call phases.
+    Trampoline,
+    Xcall,
+    Handler,
+    Xret,
+    // End-to-end attributions.
+    OneWay,
+    RoundTrip,
+};
+
+constexpr uint32_t phaseCount = 11;
+
+const char *phaseName(Phase phase);
+
+/** Per-phase cycle distributions, registered as one StatGroup. */
+class PhaseStats
+{
+  public:
+    /** Build a group named @p name and attach it to @p parent. */
+    explicit PhaseStats(const char *name = "phases",
+                        StatGroup *parent = nullptr);
+
+    StatGroup &statGroup() { return group; }
+
+    void
+    record(Phase phase, Cycles cycles)
+    {
+        uint32_t i = uint32_t(phase);
+        perPhase[i].add(double(cycles.value()));
+        lastVal[i] = cycles.value();
+    }
+
+    /** Cycles the most recent sample attributed to @p phase. */
+    uint64_t last(Phase phase) const
+    {
+        return lastVal[uint32_t(phase)];
+    }
+
+    const Distribution &dist(Phase phase) const
+    {
+        return perPhase[uint32_t(phase)];
+    }
+
+    void reset();
+
+  private:
+    StatGroup group;
+    Distribution perPhase[phaseCount];
+    uint64_t lastVal[phaseCount] = {};
+};
+
+/**
+ * Scoped phase probe: samples the core clock at construction, and at
+ * stop() (or destruction) attributes the elapsed cycles to a phase
+ * and closes the trace span it opened. Purely observational - it
+ * never spends cycles itself.
+ */
+template <typename CoreT>
+class PhaseTimer
+{
+  public:
+    PhaseTimer(CoreT &core, PhaseStats &stats, Phase phase,
+               const char *cat = "phase")
+        : coreRef(core), phaseStats(stats), phase_(phase),
+          category(cat), startTs(core.now())
+    {
+        trace::Tracer &t = trace::Tracer::global();
+        if (t.enabled()) {
+            traced = true;
+            t.begin(category, phaseName(phase_), startTs.value(),
+                    coreRef.id());
+        }
+    }
+
+    ~PhaseTimer() { stop(); }
+
+    PhaseTimer(const PhaseTimer &) = delete;
+    PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+    /** Close the probe early. @return the attributed cycles. */
+    Cycles
+    stop()
+    {
+        if (!stopped) {
+            stopped = true;
+            elapsed = coreRef.now() - startTs;
+            phaseStats.record(phase_, elapsed);
+            if (traced)
+                trace::Tracer::global().end(category,
+                                            phaseName(phase_),
+                                            coreRef.now().value(),
+                                            coreRef.id());
+        }
+        return elapsed;
+    }
+
+  private:
+    CoreT &coreRef;
+    PhaseStats &phaseStats;
+    Phase phase_;
+    const char *category;
+    Cycles startTs;
+    Cycles elapsed;
+    bool traced = false;
+    bool stopped = false;
+};
+
+} // namespace xpc
+
+#endif // XPC_SIM_PHASE_HH

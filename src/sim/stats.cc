@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <ostream>
 
 #include "logging.hh"
 
@@ -32,10 +34,15 @@ Distribution::ensureSorted() const
     }
 }
 
+namespace {
+constexpr double statNaN = std::numeric_limits<double>::quiet_NaN();
+} // namespace
+
 double
 Distribution::min() const
 {
-    panic_if(samples.empty(), "min() of an empty distribution");
+    if (samples.empty())
+        return statNaN;
     ensureSorted();
     return samples.front();
 }
@@ -43,7 +50,8 @@ Distribution::min() const
 double
 Distribution::max() const
 {
-    panic_if(samples.empty(), "max() of an empty distribution");
+    if (samples.empty())
+        return statNaN;
     ensureSorted();
     return samples.back();
 }
@@ -51,15 +59,17 @@ Distribution::max() const
 double
 Distribution::mean() const
 {
-    panic_if(samples.empty(), "mean() of an empty distribution");
+    if (samples.empty())
+        return statNaN;
     return runningSum / double(samples.size());
 }
 
 double
 Distribution::quantile(double q) const
 {
-    panic_if(samples.empty(), "quantile() of an empty distribution");
     panic_if(q < 0 || q > 1, "quantile %f out of [0,1]", q);
+    if (samples.empty())
+        return statNaN;
     ensureSorted();
     double pos = q * double(samples.size() - 1);
     size_t lo = size_t(std::floor(pos));
@@ -102,6 +112,186 @@ std::vector<std::pair<uint64_t, double>>
 WeightedCdf::points() const
 {
     return {buckets.begin(), buckets.end()};
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : groupName(std::move(name))
+{
+    setParent(parent);
+}
+
+StatGroup::~StatGroup()
+{
+    setParent(nullptr);
+    for (StatGroup *kid : kids)
+        kid->parentGroup = nullptr;
+}
+
+void
+StatGroup::setParent(StatGroup *parent)
+{
+    if (parentGroup) {
+        auto &sibs = parentGroup->kids;
+        sibs.erase(std::remove(sibs.begin(), sibs.end(), this),
+                   sibs.end());
+    }
+    parentGroup = parent;
+    if (parentGroup)
+        parentGroup->kids.push_back(this);
+}
+
+void
+StatGroup::addCounter(const std::string &name, Counter *c)
+{
+    counters.emplace_back(name, c);
+}
+
+void
+StatGroup::addDistribution(const std::string &name, Distribution *d)
+{
+    dists.emplace_back(name, d);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, c] : counters)
+        c->reset();
+    for (auto &[name, d] : dists)
+        d->reset();
+    for (StatGroup *kid : kids)
+        kid->resetAll();
+}
+
+const Counter *
+StatGroup::counter(const std::string &name) const
+{
+    for (const auto &[n, c] : counters)
+        if (n == name)
+            return c;
+    return nullptr;
+}
+
+const Distribution *
+StatGroup::distribution(const std::string &name) const
+{
+    for (const auto &[n, d] : dists)
+        if (n == name)
+            return d;
+    return nullptr;
+}
+
+const StatGroup *
+StatGroup::child(const std::string &name) const
+{
+    for (const StatGroup *kid : kids)
+        if (kid->groupName == name)
+            return kid;
+    return nullptr;
+}
+
+namespace {
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** JSON has no NaN; only called with count > 0. */
+void
+emitDistJson(std::ostream &os, const Distribution &d)
+{
+    os << "{\"count\":" << d.count() << ",\"sum\":" << d.sum()
+       << ",\"mean\":" << d.mean() << ",\"min\":" << d.min()
+       << ",\"max\":" << d.max() << ",\"p50\":" << d.quantile(0.5)
+       << ",\"p95\":" << d.quantile(0.95)
+       << ",\"p99\":" << d.quantile(0.99) << "}";
+}
+
+void
+pad(std::ostream &os, int indent)
+{
+    for (int i = 0; i < indent; i++)
+        os << ' ';
+}
+
+} // namespace
+
+void
+StatGroup::dumpJson(std::ostream &os, int indent) const
+{
+    pad(os, indent);
+    os << "{\"name\":" << jsonQuote(groupName);
+    if (!counters.empty()) {
+        os << ",\n";
+        pad(os, indent + 1);
+        os << "\"counters\":{";
+        bool first = true;
+        for (const auto &[name, c] : counters) {
+            os << (first ? "" : ",") << jsonQuote(name) << ":"
+               << c->value();
+            first = false;
+        }
+        os << "}";
+    }
+    if (!dists.empty()) {
+        os << ",\n";
+        pad(os, indent + 1);
+        os << "\"distributions\":{";
+        bool first = true;
+        for (const auto &[name, d] : dists) {
+            os << (first ? "" : ",") << jsonQuote(name) << ":";
+            if (d->count() == 0)
+                os << "{\"count\":0}";
+            else
+                emitDistJson(os, *d);
+            first = false;
+        }
+        os << "}";
+    }
+    if (!kids.empty()) {
+        os << ",\n";
+        pad(os, indent + 1);
+        os << "\"children\":[\n";
+        for (size_t i = 0; i < kids.size(); i++) {
+            kids[i]->dumpJson(os, indent + 2);
+            os << (i + 1 < kids.size() ? ",\n" : "\n");
+        }
+        pad(os, indent + 1);
+        os << "]";
+    }
+    os << "}";
+}
+
+void
+StatGroup::dumpCsv(std::ostream &os, const std::string &prefix) const
+{
+    std::string path =
+        prefix.empty() ? groupName : prefix + "." + groupName;
+    for (const auto &[name, c] : counters)
+        os << path << ",counter," << name << "," << c->value() << "\n";
+    for (const auto &[name, d] : dists) {
+        os << path << ",dist_count," << name << "," << d->count()
+           << "\n";
+        if (d->count() > 0) {
+            os << path << ",dist_mean," << name << "," << d->mean()
+               << "\n";
+            os << path << ",dist_p50," << name << ","
+               << d->quantile(0.5) << "\n";
+            os << path << ",dist_p99," << name << ","
+               << d->quantile(0.99) << "\n";
+        }
+    }
+    for (const StatGroup *kid : kids)
+        kid->dumpCsv(os, path);
 }
 
 } // namespace xpc

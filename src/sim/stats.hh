@@ -6,12 +6,19 @@
  * regenerate the paper's tables and figures. The design mirrors gem5's
  * Stats package at a much smaller scale: stats are named, registerable
  * into a StatGroup, and resettable between experiment phases.
+ *
+ * StatGroups form a tree (system -> machine -> mem -> l1d0, ...);
+ * each component owns its group and registers its counters and
+ * distributions by name in its constructor. The root dumps the whole
+ * hierarchy as one JSON or CSV document, and resetAll() clears every
+ * stat below a node so experiments can measure phases independently.
  */
 
 #ifndef XPC_SIM_STATS_HH
 #define XPC_SIM_STATS_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -37,6 +44,12 @@ class Counter
  *
  * Keeps all samples; experiments are short enough that exactness is
  * cheaper than bucketing bugs.
+ *
+ * Empty-distribution queries are defined: min/max/mean/quantile all
+ * return NaN (never panic), so registry dumps and dashboards can
+ * probe stats that happened not to fire. quantile(0) is the minimum
+ * and quantile(1) the maximum; q outside [0, 1] is a caller bug and
+ * panics.
  */
 class Distribution
 {
@@ -50,7 +63,11 @@ class Distribution
     double mean() const;
     double sum() const { return runningSum; }
 
-    /** @return the q-quantile for q in [0, 1]. */
+    /**
+     * @return the (linearly interpolated) q-quantile for q in [0, 1]:
+     *         quantile(0) == min(), quantile(1) == max(), NaN when
+     *         the distribution is empty.
+     */
     double quantile(double q) const;
 
   private:
@@ -84,6 +101,66 @@ class WeightedCdf
 
   private:
     std::map<uint64_t, double> buckets;
+};
+
+/**
+ * One node of the hierarchical stat registry.
+ *
+ * A StatGroup does not own the stats it names: components keep their
+ * Counter/Distribution members (the hot-path increment stays a bare
+ * add) and register pointers here. Groups attach to a parent to form
+ * the dump tree; a group detaches itself on destruction, and a dying
+ * parent orphans its children, so component destruction order never
+ * leaves dangling edges.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return groupName; }
+    void setName(std::string name) { groupName = std::move(name); }
+
+    /** Re-parent this group (nullptr detaches). */
+    void setParent(StatGroup *parent);
+    StatGroup *parent() const { return parentGroup; }
+    const std::vector<StatGroup *> &children() const { return kids; }
+
+    /** Register @p c under @p name (pointer must outlive the group). */
+    void addCounter(const std::string &name, Counter *c);
+    void addDistribution(const std::string &name, Distribution *d);
+
+    /** Reset every registered stat in this subtree. */
+    void resetAll();
+
+    /** Find a registered counter by name (this group only). */
+    const Counter *counter(const std::string &name) const;
+    const Distribution *distribution(const std::string &name) const;
+    /** Find a direct child group by name. */
+    const StatGroup *child(const std::string &name) const;
+
+    /**
+     * Dump this subtree as one JSON object:
+     * {"name": ..., "counters": {...}, "distributions": {...},
+     *  "children": [...]}. Distributions emit count, sum, mean,
+     *  min/max and p50/p95/p99 (moments omitted when empty).
+     */
+    void dumpJson(std::ostream &os, int indent = 0) const;
+
+    /** Dump as CSV rows "path,kind,stat,value" (one line per value). */
+    void dumpCsv(std::ostream &os,
+                 const std::string &prefix = "") const;
+
+  private:
+    std::string groupName;
+    StatGroup *parentGroup = nullptr;
+    std::vector<StatGroup *> kids;
+    std::vector<std::pair<std::string, Counter *>> counters;
+    std::vector<std::pair<std::string, Distribution *>> dists;
 };
 
 } // namespace xpc

@@ -1,0 +1,243 @@
+#include "trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+namespace xpc::trace {
+
+Tracer::Tracer()
+{
+    if (const char *env = std::getenv("XPC_TRACE"))
+        on = env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+    if (const char *env = std::getenv("XPC_TRACE_BUF")) {
+        unsigned long long n = std::strtoull(env, nullptr, 10);
+        if (n > 0)
+            cap = size_t(n);
+    }
+    ring.resize(cap);
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::setCapacity(size_t events)
+{
+    cap = events > 0 ? events : 1;
+    ring.assign(cap, TraceEvent{});
+    nrec = 0;
+}
+
+void
+Tracer::clear()
+{
+    ring.assign(cap, TraceEvent{});
+    nrec = 0;
+    lastTs.fill(0);
+}
+
+void
+Tracer::push(TraceEvent ev)
+{
+    lastTs[ev.tid % lastTs.size()] = ev.ts;
+    ring[nrec % cap] = std::move(ev);
+    nrec++;
+}
+
+void
+Tracer::begin(const char *cat, const char *name, uint64_t ts,
+              uint32_t tid)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.ts = ts;
+    ev.tid = tid;
+    ev.cat = cat;
+    ev.name = name;
+    ev.kind = EventKind::Begin;
+    push(std::move(ev));
+}
+
+void
+Tracer::end(const char *cat, const char *name, uint64_t ts,
+            uint32_t tid)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.ts = ts;
+    ev.tid = tid;
+    ev.cat = cat;
+    ev.name = name;
+    ev.kind = EventKind::End;
+    push(std::move(ev));
+}
+
+void
+Tracer::instant(const char *cat, const char *name, uint64_t ts,
+                uint32_t tid, std::string text)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.ts = ts;
+    ev.tid = tid;
+    ev.cat = cat;
+    ev.name = name;
+    ev.kind = EventKind::Instant;
+    ev.text = std::move(text);
+    push(std::move(ev));
+}
+
+void
+Tracer::counter(const char *cat, const char *name, uint64_t value,
+                uint64_t ts, uint32_t tid)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.ts = ts;
+    ev.tid = tid;
+    ev.cat = cat;
+    ev.name = name;
+    ev.arg = value;
+    ev.kind = EventKind::Counter;
+    push(std::move(ev));
+}
+
+void
+Tracer::instantNow(const char *cat, const char *name, uint32_t tid,
+                   std::string text)
+{
+    instant(cat, name, lastTime(tid), tid, std::move(text));
+}
+
+uint64_t
+Tracer::lastTime(uint32_t tid) const
+{
+    return lastTs[tid % lastTs.size()];
+}
+
+uint64_t
+Tracer::droppedCount() const
+{
+    return nrec > cap ? nrec - cap : 0;
+}
+
+size_t
+Tracer::size() const
+{
+    return nrec < cap ? size_t(nrec) : cap;
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::vector<TraceEvent> out;
+    size_t held = size();
+    out.reserve(held);
+    uint64_t first = nrec > cap ? nrec - cap : 0;
+    for (uint64_t i = first; i < nrec; i++)
+        out.push_back(ring[i % cap]);
+    return out;
+}
+
+namespace {
+
+/** Minimal JSON string escaping for event payloads. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+char
+phaseChar(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Begin:
+        return 'B';
+      case EventKind::End:
+        return 'E';
+      case EventKind::Instant:
+        return 'i';
+      case EventKind::Counter:
+        return 'C';
+    }
+    return 'i';
+}
+
+} // namespace
+
+void
+Tracer::exportChromeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first_ev = true;
+    for (const TraceEvent &ev : events()) {
+        if (!first_ev)
+            os << ",";
+        first_ev = false;
+        os << "\n{\"name\":\"" << jsonEscape(ev.name) << "\""
+           << ",\"cat\":\"" << jsonEscape(ev.cat) << "\""
+           << ",\"ph\":\"" << phaseChar(ev.kind) << "\""
+           << ",\"ts\":" << ev.ts << ",\"pid\":0,\"tid\":" << ev.tid;
+        if (ev.kind == EventKind::Instant)
+            os << ",\"s\":\"t\"";
+        if (ev.kind == EventKind::Counter)
+            os << ",\"args\":{\"value\":" << ev.arg << "}";
+        else if (!ev.text.empty())
+            os << ",\"args\":{\"msg\":\"" << jsonEscape(ev.text)
+               << "\"}";
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+bool
+Tracer::exportChromeJson(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    exportChromeJson(os);
+    return os.good();
+}
+
+} // namespace xpc::trace

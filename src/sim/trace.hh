@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Low-overhead event tracing keyed by simulated cycles.
+ *
+ * The Tracer records begin/end spans, instants and counter samples
+ * into a fixed-capacity ring buffer (oldest events are overwritten)
+ * and exports them as Chrome/Perfetto `trace_event` JSON, with one
+ * simulated cycle mapped to one microsecond of trace time. Every
+ * record call is guarded by a single inline enabled() check, so the
+ * tracer costs one predictable branch when off; it is off by default
+ * and turned on either programmatically or by setting XPC_TRACE=1 in
+ * the environment. Building with -DXPC_TRACING_DISABLED compiles the
+ * guard to a constant false and dead-codes every probe.
+ *
+ * Timestamps are *simulated* cycles supplied by the caller (usually
+ * hw::Core::now()), so tracing never perturbs measured latencies:
+ * recording an event does not spend core cycles.
+ */
+
+#ifndef XPC_SIM_TRACE_HH
+#define XPC_SIM_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace xpc::trace {
+
+/** Chrome trace_event phase of one record. */
+enum class EventKind : uint8_t
+{
+    Begin,   ///< "B": span opens
+    End,     ///< "E": span closes
+    Instant, ///< "i": point event
+    Counter, ///< "C": sampled counter value
+};
+
+/** One recorded event. cat/name must be string literals (or other
+ *  static-lifetime strings): the tracer stores the pointers only. */
+struct TraceEvent
+{
+    uint64_t ts = 0;  ///< simulated cycles
+    uint64_t arg = 0; ///< counter value (Counter events)
+    const char *cat = "";
+    const char *name = "";
+    uint32_t tid = 0; ///< core id
+    EventKind kind = EventKind::Instant;
+    /** Optional dynamic payload (log records); exported as args.msg. */
+    std::string text;
+};
+
+/** Ring-buffer tracer; one global instance per process. */
+class Tracer
+{
+  public:
+#ifdef XPC_TRACING_DISABLED
+    static constexpr bool compiledIn = false;
+#else
+    static constexpr bool compiledIn = true;
+#endif
+
+    /** The process-wide tracer. First use reads XPC_TRACE ("0" or
+     *  unset = disabled) and XPC_TRACE_BUF (capacity in events). */
+    static Tracer &global();
+
+    bool enabled() const { return compiledIn && on; }
+    void setEnabled(bool e) { on = e; }
+
+    /** Resize the ring buffer; drops everything recorded so far. */
+    void setCapacity(size_t events);
+    size_t capacity() const { return cap; }
+
+    /** Drop all recorded events (capacity unchanged). */
+    void clear();
+
+    void begin(const char *cat, const char *name, uint64_t ts,
+               uint32_t tid);
+    void end(const char *cat, const char *name, uint64_t ts,
+             uint32_t tid);
+    void instant(const char *cat, const char *name, uint64_t ts,
+                 uint32_t tid, std::string text = {});
+    void counter(const char *cat, const char *name, uint64_t value,
+                 uint64_t ts, uint32_t tid);
+
+    /**
+     * Instant stamped with the last timestamp seen on @p tid: used by
+     * layers that observe an event but do not own a cycle clock (the
+     * memory system, the log sinks, the fault injector).
+     */
+    void instantNow(const char *cat, const char *name, uint32_t tid,
+                    std::string text = {});
+
+    /** Most recent timestamp recorded for @p tid (0 if none). */
+    uint64_t lastTime(uint32_t tid) const;
+
+    /** Total events ever recorded (including overwritten ones). */
+    uint64_t recordedCount() const { return nrec; }
+    /** Events lost to ring-buffer wraparound. */
+    uint64_t droppedCount() const;
+    /** Events currently held. */
+    size_t size() const;
+
+    /** Snapshot of the retained events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    /** Write Chrome trace_event JSON ({"traceEvents": [...]}). */
+    void exportChromeJson(std::ostream &os) const;
+    /** Same, to a file. @return false if the file could not open. */
+    bool exportChromeJson(const std::string &path) const;
+
+  private:
+    Tracer();
+
+    void push(TraceEvent ev);
+
+    bool on = false;
+    size_t cap = 1 << 16;
+    std::vector<TraceEvent> ring;
+    uint64_t nrec = 0;
+    std::array<uint64_t, 256> lastTs{};
+};
+
+/**
+ * RAII begin/end span charged to a core's simulated clock. CoreT only
+ * needs now().value() and id(), so tests can use a stub clock.
+ */
+template <typename CoreT>
+class Span
+{
+  public:
+    Span(CoreT &core, const char *cat, const char *name)
+        : coreRef(core), category(cat), label(name)
+    {
+        Tracer &t = Tracer::global();
+        if (t.enabled()) {
+            active = true;
+            t.begin(category, label, coreRef.now().value(),
+                    coreRef.id());
+        }
+    }
+
+    ~Span()
+    {
+        if (active)
+            Tracer::global().end(category, label,
+                                 coreRef.now().value(), coreRef.id());
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    CoreT &coreRef;
+    const char *category;
+    const char *label;
+    bool active = false;
+};
+
+} // namespace xpc::trace
+
+#endif // XPC_SIM_TRACE_HH

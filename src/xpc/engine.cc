@@ -4,6 +4,7 @@
 
 #include "sim/fault_injector.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace xpc::engine {
 
@@ -41,6 +42,11 @@ unpackSegFlags(uint64_t f, mem::SegWindow &w)
 XpcEngine::XpcEngine(hw::Machine &m, const XpcEngineOptions &options)
     : machine(m), opts(options), cache(m.coreCount())
 {
+    stats.addCounter("xcalls", &xcalls);
+    stats.addCounter("xrets", &xrets);
+    stats.addCounter("swapsegs", &swapsegs);
+    stats.addCounter("engine_cache_hits", &engineCacheHits);
+    stats.addCounter("exceptions", &exceptions);
 }
 
 mem::SegWindow
@@ -213,6 +219,7 @@ XpcEngine::xcall(hw::Core &core, uint64_t entry_id,
 {
     XcallResult res;
     xcalls.inc();
+    trace::Span span(core, "engine", "xcall");
     hw::XpcCsrs &csrs = core.csrs;
     core.spend(machine.config().xpc.xcallLogic);
 
@@ -232,23 +239,26 @@ XpcEngine::xcall(hw::Core &core, uint64_t entry_id,
     // by the engine cache.
     bool cap_ok;
     XEntry entry;
-    EngineCacheEntry &cached = cache[core.id()];
-    bool cache_hit = opts.engineCache && cached.valid &&
-                     cached.capPtr == csrs.xcallCap &&
-                     cached.entryId == entry_id;
-    if (cache_hit) {
-        engineCacheHits.inc();
-        core.spend(Cycles(1));
-        cap_ok = cached.capBit;
-        entry = cached.entry;
-    } else {
-        if (entry_id >= csrs.xEntryTableSize) {
-            exceptions.inc();
-            res.exc = XpcException::InvalidXEntry;
-            return res;
+    {
+        trace::Span s(core, "engine", "cap_check");
+        EngineCacheEntry &cached = cache[core.id()];
+        bool cache_hit = opts.engineCache && cached.valid &&
+                         cached.capPtr == csrs.xcallCap &&
+                         cached.entryId == entry_id;
+        if (cache_hit) {
+            engineCacheHits.inc();
+            core.spend(Cycles(1));
+            cap_ok = cached.capBit;
+            entry = cached.entry;
+        } else {
+            if (entry_id >= csrs.xEntryTableSize) {
+                exceptions.inc();
+                res.exc = XpcException::InvalidXEntry;
+                return res;
+            }
+            cap_ok = readCapBit(core, entry_id);
+            entry = loadXEntry(core, entry_id);
         }
-        cap_ok = readCapBit(core, entry_id);
-        entry = loadXEntry(core, entry_id);
     }
 
     if (!cap_ok) {
@@ -268,39 +278,46 @@ XpcEngine::xcall(hw::Core &core, uint64_t entry_id,
         res.exc = XpcException::InvalidLinkage;
         return res;
     }
-    LinkageRecord rec;
-    rec.valid = true;
-    rec.callerPageTable = csrs.pageTableRoot;
-    rec.callerCapPtr = csrs.xcallCap;
-    rec.callerSegList = csrs.segList;
-    rec.callerSeg = csrs.segReg;
-    rec.callerSegId = csrs.segId;
-    rec.callerMaskOffset = csrs.segMaskOffset;
-    rec.callerMaskLen = csrs.segMaskLen;
-    rec.returnToken = return_token;
-    writeLinkageRecord(core.mem().phys(), csrs.linkReg, csrs.linkTop,
-                       rec);
-    if (!opts.nonblockingLinkStack) {
-        // A blocking push stalls on the store traffic; the
-        // non-blocking stack hides it behind the switch (paper 3.2).
-        core.spend(machine.config().xpc.linkPushBlocking);
-        core.spend(core.mem().l1(core.id())
-                       .access(csrs.linkReg +
-                                   csrs.linkTop * linkageRecordBytes,
-                               linkageRecordBytes, true));
+    {
+        trace::Span s(core, "engine", "link_push");
+        LinkageRecord rec;
+        rec.valid = true;
+        rec.callerPageTable = csrs.pageTableRoot;
+        rec.callerCapPtr = csrs.xcallCap;
+        rec.callerSegList = csrs.segList;
+        rec.callerSeg = csrs.segReg;
+        rec.callerSegId = csrs.segId;
+        rec.callerMaskOffset = csrs.segMaskOffset;
+        rec.callerMaskLen = csrs.segMaskLen;
+        rec.returnToken = return_token;
+        writeLinkageRecord(core.mem().phys(), csrs.linkReg,
+                           csrs.linkTop, rec);
+        if (!opts.nonblockingLinkStack) {
+            // A blocking push stalls on the store traffic; the
+            // non-blocking stack hides it behind the switch (3.2).
+            core.spend(machine.config().xpc.linkPushBlocking);
+            core.spend(core.mem().l1(core.id())
+                           .access(csrs.linkReg +
+                                       csrs.linkTop *
+                                           linkageRecordBytes,
+                                   linkageRecordBytes, true));
+        }
+        csrs.linkTop++;
     }
-    csrs.linkTop++;
 
     // 4: switch to the callee: page table, capability register,
     // seg-list, and hand over the (masked) relay segment.
-    res.callerCapPtr = csrs.xcallCap;
-    mem::SegWindow handover = effectiveSeg(csrs);
-    csrs.segReg = handover;
-    csrs.segMaskOffset = 0;
-    csrs.segMaskLen = 0;
-    csrs.xcallCap = entry.capPtr;
-    csrs.segList = entry.segList;
-    switchPageTable(core, entry.pageTableRoot);
+    {
+        trace::Span s(core, "engine", "pt_switch");
+        res.callerCapPtr = csrs.xcallCap;
+        mem::SegWindow handover = effectiveSeg(csrs);
+        csrs.segReg = handover;
+        csrs.segMaskOffset = 0;
+        csrs.segMaskLen = 0;
+        csrs.xcallCap = entry.capPtr;
+        csrs.segList = entry.segList;
+        switchPageTable(core, entry.pageTableRoot);
+    }
 
     res.entry = entry;
     return res;
@@ -311,6 +328,7 @@ XpcEngine::xret(hw::Core &core)
 {
     XretResult res;
     xrets.inc();
+    trace::Span span(core, "engine", "xret");
     hw::XpcCsrs &csrs = core.csrs;
     core.spend(machine.config().xpc.xretLogic);
 
@@ -378,6 +396,7 @@ XpcException
 XpcEngine::swapseg(hw::Core &core, uint64_t index)
 {
     swapsegs.inc();
+    trace::Span span(core, "engine", "swapseg");
     hw::XpcCsrs &csrs = core.csrs;
     core.spend(machine.config().xpc.swapsegLogic);
 

@@ -125,6 +125,9 @@ class XpcEngine
     Counter engineCacheHits;
     Counter exceptions;
 
+    /** Registry node; attached to the system's group. */
+    StatGroup stats{"engine"};
+
   private:
     hw::Machine &machine;
     XpcEngineOptions opts;

@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <set>
+#include <sstream>
 
+#include "sim/phase.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -127,6 +131,158 @@ TEST(CounterTest, IncrementAndReset)
     EXPECT_EQ(c.value(), 6u);
     c.reset();
     EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(DistributionTest, EmptyQueriesAreNaN)
+{
+    Distribution d;
+    EXPECT_TRUE(std::isnan(d.min()));
+    EXPECT_TRUE(std::isnan(d.max()));
+    EXPECT_TRUE(std::isnan(d.mean()));
+    EXPECT_TRUE(std::isnan(d.quantile(0.5)));
+    EXPECT_TRUE(std::isnan(d.quantile(0.0)));
+    EXPECT_TRUE(std::isnan(d.quantile(1.0)));
+}
+
+TEST(DistributionTest, QuantileEndpointsAreMinAndMax)
+{
+    Distribution d;
+    for (double v : {7.0, 3.0, 11.0, 5.0})
+        d.add(v);
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 11.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), d.min());
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), d.max());
+}
+
+TEST(DistributionTest, QuantileOutOfRangePanics)
+{
+    Distribution d;
+    d.add(1.0);
+    EXPECT_DEATH(d.quantile(-0.1), "quantile");
+    EXPECT_DEATH(d.quantile(1.1), "quantile");
+}
+
+TEST(StatGroupTest, RegistersAndLooksUp)
+{
+    StatGroup root("system");
+    StatGroup child("engine", &root);
+    Counter c;
+    Distribution d;
+    child.addCounter("xcalls", &c);
+    child.addDistribution("latency", &d);
+
+    ASSERT_EQ(root.children().size(), 1u);
+    EXPECT_EQ(root.child("engine"), &child);
+    EXPECT_EQ(root.child("nope"), nullptr);
+    EXPECT_EQ(child.counter("xcalls"), &c);
+    EXPECT_EQ(child.distribution("latency"), &d);
+    EXPECT_EQ(child.counter("latency"), nullptr);
+}
+
+TEST(StatGroupTest, ResetAllRecurses)
+{
+    StatGroup root("root");
+    StatGroup child("child", &root);
+    Counter top, bottom;
+    Distribution d;
+    root.addCounter("top", &top);
+    child.addCounter("bottom", &bottom);
+    child.addDistribution("dist", &d);
+    top.inc(3);
+    bottom.inc(5);
+    d.add(42);
+
+    root.resetAll();
+    EXPECT_EQ(top.value(), 0u);
+    EXPECT_EQ(bottom.value(), 0u);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(StatGroupTest, DumpJsonIsWellFormedAndComplete)
+{
+    StatGroup root("system");
+    StatGroup child("cache", &root);
+    Counter hits;
+    Distribution lat;
+    child.addCounter("hits", &hits);
+    child.addDistribution("latency", &lat);
+    hits.inc(7);
+    for (int i = 1; i <= 4; i++)
+        lat.add(double(i * 10));
+
+    std::ostringstream os;
+    root.dumpJson(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"name\":\"system\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"cache\""), std::string::npos);
+    EXPECT_NE(json.find("\"hits\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    // Balanced braces (cheap well-formedness check).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(StatGroupTest, DumpCsvRowsCarryFullPath)
+{
+    StatGroup root("system");
+    StatGroup child("tlb", &root);
+    Counter misses;
+    child.addCounter("misses", &misses);
+    misses.inc(9);
+
+    std::ostringstream os;
+    root.dumpCsv(os);
+    EXPECT_NE(os.str().find("system.tlb,counter,misses,9"),
+              std::string::npos);
+}
+
+TEST(StatGroupTest, DetachesFromDyingParentSafely)
+{
+    StatGroup child("child");
+    {
+        StatGroup parent("parent");
+        child.setParent(&parent);
+        ASSERT_EQ(parent.children().size(), 1u);
+    }
+    // Parent died first: the child must have been orphaned.
+    EXPECT_EQ(child.parent(), nullptr);
+
+    // And the reverse: a dying child detaches from its parent.
+    StatGroup parent2("parent2");
+    {
+        StatGroup c2("c2", &parent2);
+        ASSERT_EQ(parent2.children().size(), 1u);
+    }
+    EXPECT_TRUE(parent2.children().empty());
+}
+
+TEST(PhaseStatsTest, RecordsLastAndDistribution)
+{
+    PhaseStats ps;
+    ps.record(Phase::Trap, Cycles(100));
+    ps.record(Phase::Trap, Cycles(120));
+    EXPECT_EQ(ps.last(Phase::Trap), 120u);
+    EXPECT_EQ(ps.dist(Phase::Trap).count(), 2u);
+    EXPECT_DOUBLE_EQ(ps.dist(Phase::Trap).mean(), 110.0);
+    EXPECT_EQ(ps.last(Phase::Xret), 0u);
+    EXPECT_EQ(ps.dist(Phase::Xret).count(), 0u);
+
+    ps.reset();
+    EXPECT_EQ(ps.last(Phase::Trap), 0u);
+    EXPECT_EQ(ps.dist(Phase::Trap).count(), 0u);
+}
+
+TEST(PhaseStatsTest, PhaseNamesCoverTheTaxonomy)
+{
+    EXPECT_STREQ(phaseName(Phase::Trap), "trap");
+    EXPECT_STREQ(phaseName(Phase::Transfer), "transfer");
+    EXPECT_STREQ(phaseName(Phase::Xcall), "xcall");
+    EXPECT_STREQ(phaseName(Phase::RoundTrip), "round_trip");
+    std::set<std::string> names;
+    for (uint32_t i = 0; i < phaseCount; i++)
+        names.insert(phaseName(Phase(i)));
+    EXPECT_EQ(names.size(), phaseCount); // all distinct
 }
 
 } // namespace

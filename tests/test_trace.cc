@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests for the cycle-keyed event tracer, the RAII span probes
+ * and the pluggable log sink.
+ *
+ * The tracer is process-global, so every test goes through the
+ * TraceTest fixture: it saves the enabled flag, resets the buffer,
+ * and restores everything on teardown so tests stay independent and
+ * order-insensitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/phase.hh"
+#include "sim/trace.hh"
+#include "sim/types.hh"
+
+namespace xpc {
+namespace {
+
+/** Minimal clock for Span/PhaseTimer: now().value() and id() only. */
+struct StubCore
+{
+    uint64_t t = 0;
+    uint32_t core = 3;
+
+    Cycles now() const { return Cycles(t); }
+    uint32_t id() const { return core; }
+};
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!trace::Tracer::compiledIn)
+            GTEST_SKIP() << "built with XPC_TRACING_DISABLED";
+        trace::Tracer &t = trace::Tracer::global();
+        wasEnabled = t.enabled();
+        savedCap = t.capacity();
+        t.setCapacity(1024); // also clears
+        t.setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        if (!trace::Tracer::compiledIn)
+            return;
+        trace::Tracer &t = trace::Tracer::global();
+        t.setEnabled(wasEnabled);
+        t.setCapacity(savedCap);
+        t.clear();
+    }
+
+    bool wasEnabled = false;
+    size_t savedCap = 0;
+};
+
+TEST_F(TraceTest, SpanNestingEmitsBalancedBeginEnd)
+{
+    StubCore core;
+    {
+        trace::Span<StubCore> outer(core, "test", "outer");
+        core.t = 10;
+        {
+            trace::Span<StubCore> inner(core, "test", "inner");
+            core.t = 20;
+        }
+        core.t = 30;
+    }
+    auto evs = trace::Tracer::global().events();
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_EQ(evs[0].kind, trace::EventKind::Begin);
+    EXPECT_STREQ(evs[0].name, "outer");
+    EXPECT_EQ(evs[0].ts, 0u);
+    EXPECT_EQ(evs[1].kind, trace::EventKind::Begin);
+    EXPECT_STREQ(evs[1].name, "inner");
+    EXPECT_EQ(evs[1].ts, 10u);
+    EXPECT_EQ(evs[2].kind, trace::EventKind::End);
+    EXPECT_STREQ(evs[2].name, "inner");
+    EXPECT_EQ(evs[2].ts, 20u);
+    EXPECT_EQ(evs[3].kind, trace::EventKind::End);
+    EXPECT_STREQ(evs[3].name, "outer");
+    EXPECT_EQ(evs[3].ts, 30u);
+    for (const auto &ev : evs)
+        EXPECT_EQ(ev.tid, core.id());
+}
+
+TEST_F(TraceTest, RingWrapsAndCountsDrops)
+{
+    trace::Tracer &t = trace::Tracer::global();
+    t.setCapacity(4);
+    for (uint64_t i = 0; i < 10; i++)
+        t.instant("test", "ev", i, 0);
+    EXPECT_EQ(t.recordedCount(), 10u);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.droppedCount(), 6u);
+    auto evs = t.events();
+    ASSERT_EQ(evs.size(), 4u);
+    // Oldest retained first: timestamps 6..9.
+    for (size_t i = 0; i < evs.size(); i++)
+        EXPECT_EQ(evs[i].ts, 6 + i);
+
+    t.clear();
+    EXPECT_EQ(t.recordedCount(), 0u);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.droppedCount(), 0u);
+    EXPECT_EQ(t.capacity(), 4u);
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing)
+{
+    trace::Tracer &t = trace::Tracer::global();
+    t.setEnabled(false);
+    // Record methods self-guard: even unguarded probe sites stay
+    // silent while tracing is off.
+    t.begin("test", "x", 1, 0);
+    t.end("test", "x", 2, 0);
+    t.instant("test", "i", 3, 0);
+    t.counter("test", "c", 4, 5, 0);
+    t.instantNow("test", "n", 0);
+    StubCore core;
+    { trace::Span<StubCore> span(core, "test", "span"); }
+    EXPECT_EQ(t.recordedCount(), 0u);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_TRUE(t.events().empty());
+}
+
+TEST_F(TraceTest, InstantNowReusesLastTimestampPerTid)
+{
+    trace::Tracer &t = trace::Tracer::global();
+    t.begin("test", "s", 500, 4);
+    t.instant("test", "other", 900, 5);
+    EXPECT_EQ(t.lastTime(4), 500u);
+    EXPECT_EQ(t.lastTime(5), 900u);
+    EXPECT_EQ(t.lastTime(42), 0u);
+    t.instantNow("test", "obs", 4);
+    auto evs = t.events();
+    ASSERT_FALSE(evs.empty());
+    EXPECT_EQ(evs.back().ts, 500u);
+    EXPECT_EQ(evs.back().tid, 4u);
+}
+
+TEST_F(TraceTest, ChromeJsonRoundTrip)
+{
+    trace::Tracer &t = trace::Tracer::global();
+    t.begin("cat", "span", 100, 1);
+    t.end("cat", "span", 250, 1);
+    t.instant("cat", "mark", 300, 2, "hello \"world\"\n");
+    t.counter("cat", "depth", 7, 400, 1);
+
+    std::ostringstream os;
+    t.exportChromeJson(os);
+    std::string json = os.str();
+
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"span\",\"cat\":\"cat\","
+                        "\"ph\":\"B\",\"ts\":100"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"E\",\"ts\":250"), std::string::npos);
+    // Instants carry scope "t" and the escaped text payload.
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\\\"world\\\"\\n"), std::string::npos);
+    // Counters export their sampled value.
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"value\":7}"), std::string::npos);
+    // Cheap structural check: the document is brace-balanced and each
+    // of the four events became one object.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    size_t nevents = 0;
+    for (size_t at = json.find("\"ph\":"); at != std::string::npos;
+         at = json.find("\"ph\":", at + 1))
+        nevents++;
+    EXPECT_EQ(nevents, 4u);
+}
+
+TEST_F(TraceTest, LogSinkCapturesRecords)
+{
+    std::vector<std::pair<LogLevel, std::string>> captured;
+    setLogSink([&](LogLevel level, const std::string &msg) {
+        captured.emplace_back(level, msg);
+    });
+    warn("relay segment %d oversized", 7);
+    inform("engine cache primed");
+    setLogSink(nullptr);
+
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+    EXPECT_EQ(captured[0].second, "relay segment 7 oversized");
+    EXPECT_EQ(captured[1].first, LogLevel::Inform);
+    EXPECT_EQ(captured[1].second, "engine cache primed");
+}
+
+TEST_F(TraceTest, LogRecordsInterleaveIntoTraceWhenEnabled)
+{
+    trace::Tracer &t = trace::Tracer::global();
+    setLogSink([](LogLevel, const std::string &) {}); // mute stdio
+    warn("tlb shootdown fallback");
+    setLogSink(nullptr);
+
+    auto evs = t.events();
+    ASSERT_FALSE(evs.empty());
+    const trace::TraceEvent &ev = evs.back();
+    EXPECT_EQ(ev.kind, trace::EventKind::Instant);
+    EXPECT_STREQ(ev.cat, "log");
+    EXPECT_STREQ(ev.name, "warn");
+    EXPECT_EQ(ev.text, "tlb shootdown fallback");
+}
+
+TEST_F(TraceTest, PhaseTimerRecordsStatsAndSpan)
+{
+    StubCore core;
+    core.t = 100;
+    PhaseStats stats;
+    {
+        PhaseTimer<StubCore> timer(core, stats, Phase::Xcall);
+        core.t = 172;
+    }
+    EXPECT_EQ(stats.last(Phase::Xcall), 72u);
+    EXPECT_EQ(stats.dist(Phase::Xcall).count(), 1u);
+
+    auto evs = trace::Tracer::global().events();
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_EQ(evs[0].kind, trace::EventKind::Begin);
+    EXPECT_STREQ(evs[0].name, "xcall");
+    EXPECT_EQ(evs[0].ts, 100u);
+    EXPECT_EQ(evs[1].kind, trace::EventKind::End);
+    EXPECT_EQ(evs[1].ts, 172u);
+}
+
+TEST_F(TraceTest, PhaseTimerStopIsIdempotent)
+{
+    StubCore core;
+    PhaseStats stats;
+    PhaseTimer<StubCore> timer(core, stats, Phase::Handler);
+    core.t = 40;
+    EXPECT_EQ(timer.stop().value(), 40u);
+    core.t = 99; // later stops (and the destructor) must not re-record
+    EXPECT_EQ(timer.stop().value(), 40u);
+    EXPECT_EQ(stats.dist(Phase::Handler).count(), 1u);
+    EXPECT_EQ(stats.last(Phase::Handler), 40u);
+}
+
+TEST_F(TraceTest, SetCapacityDropsOldEvents)
+{
+    trace::Tracer &t = trace::Tracer::global();
+    t.instant("test", "a", 1, 0);
+    t.instant("test", "b", 2, 0);
+    EXPECT_EQ(t.size(), 2u);
+    t.setCapacity(8);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.capacity(), 8u);
+    t.instant("test", "c", 3, 0);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+} // namespace
+} // namespace xpc

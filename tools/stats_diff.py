@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports and fail on regressions.
+
+Usage:
+    stats_diff.py [--threshold PCT] [--all-metrics] BASELINE CURRENT
+
+Both inputs are files written by xpc::bench::BenchReport (or
+directories holding several of them, compared pairwise by file name).
+Every numeric entry under "metrics" and "phases" is compared; an entry
+counts as a regression when the current value is worse than the
+baseline by more than --threshold percent (default 0: the simulator is
+deterministic, so any drift is a real change).
+
+"Worse" is direction-aware: throughput-like keys (containing ops,
+MBps, rps, per_sec, throughput, speedup, normalized) regress when they
+shrink, everything else (cycles, latency, us, ms) regresses when it
+grows. Keys present on only one side are reported but are not
+failures, so adding a metric does not break the gate.
+
+Exit status: 0 = no regression, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HIGHER_IS_BETTER = ("ops", "mbps", "rps", "per_sec", "throughput",
+                    "speedup", "normalized", "share")
+
+
+def flatten(report):
+    """Numeric leaves of the comparable sections, as {path: value}."""
+    out = {}
+    for section in ("metrics", "phases"):
+        for key, val in report.get(section, {}).items():
+            if isinstance(val, (int, float)) and val is not True \
+                    and val is not False:
+                out[f"{section}.{key}"] = float(val)
+    return out
+
+
+def higher_is_better(key):
+    low = key.lower()
+    return any(tag in low for tag in HIGHER_IS_BETTER)
+
+
+def compare(base, cur, threshold_pct):
+    """@return (regressions, improvements, missing) lists of text."""
+    regressions, improvements, missing = [], [], []
+    for key in sorted(set(base) | set(cur)):
+        if key not in base:
+            missing.append(f"  only in current:  {key}")
+            continue
+        if key not in cur:
+            missing.append(f"  only in baseline: {key}")
+            continue
+        b, c = base[key], cur[key]
+        if b == c:
+            continue
+        delta = c - b
+        pct = (delta / abs(b) * 100.0) if b != 0 else float("inf")
+        worse = -pct if higher_is_better(key) else pct
+        line = f"  {key}: {b:g} -> {c:g} ({pct:+.2f}%)"
+        if worse > threshold_pct:
+            regressions.append(line)
+        else:
+            improvements.append(line)
+    return regressions, improvements, missing
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"stats_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def pair_up(base, cur):
+    """Yield (name, base_path, cur_path) for files or directories."""
+    if os.path.isfile(base) and os.path.isfile(cur):
+        yield os.path.basename(cur), base, cur
+        return
+    if not (os.path.isdir(base) and os.path.isdir(cur)):
+        print("stats_diff: arguments must both be files or both be "
+              "directories", file=sys.stderr)
+        sys.exit(2)
+    names = sorted(n for n in os.listdir(base)
+                   if n.startswith("BENCH_") and n.endswith(".json"))
+    if not names:
+        print(f"stats_diff: no BENCH_*.json under {base}",
+              file=sys.stderr)
+        sys.exit(2)
+    for name in names:
+        cur_path = os.path.join(cur, name)
+        if not os.path.exists(cur_path):
+            print(f"stats_diff: {name} missing from {cur}",
+                  file=sys.stderr)
+            sys.exit(2)
+        yield name, os.path.join(base, name), cur_path
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Compare two BenchReport JSON files/directories.")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.0,
+                    metavar="PCT",
+                    help="tolerated regression in percent (default 0)")
+    args = ap.parse_args()
+
+    failed = False
+    for name, base_path, cur_path in pair_up(args.baseline,
+                                             args.current):
+        regs, imps, miss = compare(flatten(load(base_path)),
+                                   flatten(load(cur_path)),
+                                   args.threshold)
+        if regs:
+            failed = True
+            print(f"{name}: {len(regs)} regression(s) beyond "
+                  f"{args.threshold:g}%:")
+            print("\n".join(regs))
+        elif imps or miss:
+            print(f"{name}: no regressions "
+                  f"({len(imps)} other change(s))")
+        else:
+            print(f"{name}: identical")
+        for block in (imps, miss):
+            if block:
+                print("\n".join(block))
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()
