@@ -24,6 +24,7 @@
 #include "services/fs_server.hh"
 #include "services/net_server.hh"
 #include "services/web.hh"
+#include "sim/critpath.hh"
 
 namespace xpc::bench {
 
@@ -188,7 +189,10 @@ class BenchReport
     static std::string
     num(double v)
     {
-        if (std::isnan(v))
+        // NaN and +/-inf have no JSON representation; "%g" would
+        // print "inf"/"nan" tokens that break every parser. Empty
+        // distributions produce exactly these, so map them to null.
+        if (!std::isfinite(v))
             return "null";
         char buf[64];
         if (v == std::floor(v) && std::fabs(v) < 1e15)
@@ -206,6 +210,30 @@ class BenchReport
     std::string statsJson;
     bool written = false;
 };
+
+/**
+ * When tracing is on, reconstruct the per-request critical paths from
+ * the trace ring and attach their aggregates - end-to-end p50/p99 and
+ * per-span cycle distributions - to @p report under "<scope>.*". A
+ * strict no-op while tracing is off, so BENCH_*.json stays
+ * byte-identical with the tracer disabled.
+ */
+inline void
+attachCritPath(BenchReport &report,
+               const std::string &scope = "critpath")
+{
+    auto &tracer = trace::Tracer::global();
+    if (!tracer.enabled())
+        return;
+    auto reports = critpath::analyze(tracer.events());
+    if (reports.empty())
+        return;
+    critpath::CritPathStats agg;
+    agg.addAll(reports);
+    report.distribution(scope + ".total_cycles", agg.total());
+    for (const auto &[span_name, d] : agg.spans())
+        report.distribution(scope + "." + span_name, *d);
+}
 
 /** An echo service wired on a fresh system of the given flavor. */
 struct EchoRig

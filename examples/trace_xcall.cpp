@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "core/system.hh"
+#include "sim/critpath.hh"
 #include "sim/trace.hh"
 
 using namespace xpc;
@@ -68,6 +69,13 @@ main()
     std::printf("%zu trace events -> %s "
                 "(open in ui.perfetto.dev)\n",
                 tracer.size(), path);
+
+    // The same trace, read back as a per-request critical path: every
+    // cycle of the round trip attributed to the innermost span.
+    auto reports = critpath::analyze(tracer.events());
+    std::printf("\n");
+    for (const auto &r : reports)
+        std::printf("%s", critpath::formatReport(r, tracer).c_str());
 
     std::printf("\nstat registry after the call:\n");
     sys.stats().dumpJson(std::cout);

@@ -7,6 +7,12 @@
  * client's relay segment; the HTTP server only masks windows.
  *
  *   ./build/examples/web_chain
+ *
+ * With XPC_TRACE=1 the XPC run additionally exports the request as
+ * web_chain_trace.json - one connected flow arc across the browser,
+ * httpd, file-cache and aes lanes in ui.perfetto.dev - and prints its
+ * critical path (tools/critpath.py produces the same report from the
+ * JSON file).
  */
 
 #include <cstdio>
@@ -16,6 +22,8 @@
 #include "core/system.hh"
 #include "services/crypto/aes.hh"
 #include "services/web.hh"
+#include "sim/critpath.hh"
+#include "sim/trace.hh"
 
 using namespace xpc;
 
@@ -53,11 +61,28 @@ serveOnce(core::SystemFlavor flavor, bool show)
     tr.connect(http_t, crypto.id());
 
     hw::Core &core = sys.core(0);
+    trace::Tracer &tracer = trace::Tracer::global();
+    // Trace just the GET: the preload/connect traffic above is its
+    // own set of requests and would clutter the flow view.
+    if (tracer.enabled())
+        tracer.clear();
     std::vector<uint8_t> response;
     Cycles t0 = core.now();
     int64_t n = services::HttpServer::clientGet(
         tr, core, client, http.id(), "/index.html", &response, 4096);
     uint64_t cycles = (core.now() - t0).value();
+
+    if (show && tracer.enabled()) {
+        const char *path = "web_chain_trace.json";
+        if (tracer.exportChromeJson(path))
+            std::printf("%zu trace events -> %s "
+                        "(open in ui.perfetto.dev)\n\n",
+                        tracer.size(), path);
+        for (const auto &r : critpath::analyze(tracer.events()))
+            std::printf("%s\n",
+                        critpath::formatReport(r, tracer).c_str());
+        tracer.clear();
+    }
 
     if (show && n > 0) {
         std::string text(response.begin(), response.end());

@@ -1,6 +1,8 @@
 #include "system.hh"
 
 #include "sim/logging.hh"
+#include "sim/request.hh"
+#include "sim/trace.hh"
 
 namespace xpc::core {
 
@@ -81,6 +83,12 @@ System::System(const SystemOptions &options) : opts(options)
     enginePtr->stats.setParent(&statsRoot);
     runtimePtr->stats.setParent(&statsRoot);
     transportPtr->stats.setParent(&statsRoot);
+
+    // Name the core lanes for trace exports; thread lanes get their
+    // process names as they spawn.
+    auto &tracer = trace::Tracer::global();
+    for (CoreId c = 0; c < mach->coreCount(); c++)
+        tracer.setTrackName(c, "core" + std::to_string(c));
 }
 
 kernel::Thread &
@@ -88,6 +96,8 @@ System::spawn(const std::string &name, CoreId core_id)
 {
     kernel::Process &p = kernelPtr->createProcess(name);
     kernel::Thread &t = kernelPtr->createThread(p, core_id);
+    trace::Tracer::global().setTrackName(
+        req::threadLane(uint32_t(t.id())), name);
     managerPtr->initThread(t);
     if (!kernelPtr->current(core_id))
         managerPtr->installThread(mach->core(core_id), t);

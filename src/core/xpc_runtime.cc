@@ -210,7 +210,8 @@ XpcServerCall::callNested(uint64_t entry_id, uint64_t opcode,
         return out;
     }
     XpcCallOutcome out = runtime.doCall(
-        coreRef, entry_id, opcode, req_len == 0 ? len : req_len);
+        coreRef, entry_id, opcode, req_len == 0 ? len : req_len,
+        req::threadLane(uint32_t(handler.id())));
     // xret restored our seg-reg and our mask; drop the mask again.
     runtime.engine().setSegMask(coreRef, 0, 0);
     return out;
@@ -223,24 +224,66 @@ XpcRuntime::call(hw::Core &core, kernel::Thread &client,
     panic_if(client.linkStack == 0,
              "client thread has no XPC plumbing (initThread first)");
     ensureInstalled(core, client);
-    return doCall(core, entry_id, opcode, req_len);
+    return doCall(core, entry_id, opcode, req_len,
+                  req::threadLane(uint32_t(client.id())));
 }
 
 XpcCallOutcome
 XpcRuntime::callCurrent(hw::Core &core, uint64_t entry_id,
-                        uint64_t opcode, uint64_t req_len)
+                        uint64_t opcode, uint64_t req_len,
+                        kernel::Thread *caller)
 {
-    return doCall(core, entry_id, opcode, req_len);
+    if (!caller)
+        caller = kern.current(core.id());
+    uint32_t lane = caller ? req::threadLane(uint32_t(caller->id()))
+                           : core.id();
+    return doCall(core, entry_id, opcode, req_len, lane);
 }
+
+namespace {
+
+/**
+ * Closes the outer "xpc.call" span (and the causal flow arc, for the
+ * top-level call of a chain) on *every* exit path of doCall - error
+ * unwinds, timeouts and crashed servers included - so the profiler
+ * always sees a well-bracketed request.
+ */
+struct CallSpanCloser
+{
+    trace::Tracer &tr;
+    hw::Core &core;
+    uint32_t lane;
+    uint64_t flowId;
+    bool top;
+    bool active;
+
+    ~CallSpanCloser()
+    {
+        if (!active)
+            return;
+        uint64_t now = core.now().value();
+        if (top)
+            tr.flow(trace::EventKind::FlowEnd, "xpc", "req", flowId,
+                    now, lane);
+        tr.end("xpc", "call", now, lane);
+    }
+};
+
+} // namespace
 
 XpcCallOutcome
 XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
-                   uint64_t req_len)
+                   uint64_t req_len, uint32_t caller_lane)
 {
     using kernel::CallStatus;
 
     XpcCallOutcome out;
     calls.inc();
+
+    // Bind the call to its request chain: the outermost call mints a
+    // fresh id, nested handover calls inherit the active one. Every
+    // trace event and memory access below is stamped with it.
+    req::RequestScope rscope;
 
     // Fault injection: one lookup per call decides what (if anything)
     // goes wrong, and at which Table-1 phase it strikes.
@@ -293,8 +336,28 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
 
     auto &tr = trace::Tracer::global();
     Cycles start = core.now();
-    engine::XcallResult xc = engine().xcall(core, entry_id, entry_id);
+    if (tr.enabled()) {
+        tr.begin("xpc", "call", start.value(), caller_lane);
+        // The flow arc: starts at the chain's first call, steps
+        // through each nested hop, closes where the chain returns.
+        tr.flow(rscope.topLevel() ? trace::EventKind::FlowStart
+                                  : trace::EventKind::FlowStep,
+                "xpc", "req", rscope.id(), start.value(), caller_lane);
+    }
+    CallSpanCloser closer{tr,          core,
+                          caller_lane, rscope.id(),
+                          rscope.topLevel(), tr.enabled()};
+
+    engine::XcallResult xc;
+    {
+        req::PhaseScope phase(uint32_t(Phase::Xcall));
+        xc = engine().xcall(core, entry_id, entry_id);
+    }
     Cycles xcall_done = core.now();
+    if (tr.enabled()) {
+        tr.begin("xpc", "xcall", start.value(), caller_lane);
+        tr.end("xpc", "xcall", xcall_done.value(), caller_lane);
+    }
     if (xc.exc != engine::XpcException::None) {
         out.exc = xc.exc;
         if (killed_pre_xcall)
@@ -316,9 +379,12 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
              (unsigned long)entry_id);
     EntryState &state = it->second;
     Cycles tramp0 = core.now();
-    core.spend(opts.trampoline == TrampolineMode::FullContext
-                   ? opts.fullCtxCost
-                   : opts.partialCtxCost);
+    {
+        req::PhaseScope phase(uint32_t(Phase::Trampoline));
+        core.spend(opts.trampoline == TrampolineMode::FullContext
+                       ? opts.fullCtxCost
+                       : opts.partialCtxCost);
+    }
     if (tr.enabled()) {
         tr.begin("runtime", "trampoline", tramp0.value(), core.id());
         tr.end("runtime", "trampoline", core.now().value(), core.id());
@@ -384,14 +450,25 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
     }
 
     Cycles h0 = core.now();
-    if (hang_injected)
-        call_ctx.hang(opts.timeoutCycles + Cycles(1000));
-    else if (!skip_handler)
-        state.handler(call_ctx);
+    {
+        req::PhaseScope phase(uint32_t(Phase::Handler));
+        if (hang_injected)
+            call_ctx.hang(opts.timeoutCycles + Cycles(1000));
+        else if (!skip_handler)
+            state.handler(call_ctx);
+    }
     out.handlerCycles = core.now() - h0;
     if (tr.enabled()) {
-        tr.begin("runtime", "handler", h0.value(), core.id());
-        tr.end("runtime", "handler", core.now().value(), core.id());
+        // The migrating-thread model: the handler ran on the caller's
+        // core, but it is *server* work - put the span on the server
+        // thread's lane and step the flow arc through it, so Perfetto
+        // renders the hop from client to server.
+        uint32_t hlane = req::threadLane(
+            uint32_t(state.handlerThread->id()));
+        tr.begin("xpc", "handler", h0.value(), hlane);
+        tr.flow(trace::EventKind::FlowStep, "xpc", "req", rscope.id(),
+                h0.value(), hlane);
+        tr.end("xpc", "handler", core.now().value(), hlane);
     }
 
     if (call_ctx.hung && opts.timeoutCycles.value() != 0 &&
@@ -433,9 +510,12 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
 
     // Return trampoline (restore registers) and xret.
     Cycles rtramp0 = core.now();
-    core.spend(opts.trampoline == TrampolineMode::FullContext
-                   ? opts.fullCtxCost
-                   : opts.partialCtxCost);
+    {
+        req::PhaseScope phase(uint32_t(Phase::Trampoline));
+        core.spend(opts.trampoline == TrampolineMode::FullContext
+                       ? opts.fullCtxCost
+                       : opts.partialCtxCost);
+    }
     if (tr.enabled()) {
         tr.begin("runtime", "trampoline", rtramp0.value(), core.id());
         tr.end("runtime", "trampoline", core.now().value(), core.id());
@@ -443,7 +523,15 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
     state.busy--;
 
     Cycles xret0 = core.now();
-    engine::XretResult ret = engine().xret(core);
+    engine::XretResult ret;
+    {
+        req::PhaseScope phase(uint32_t(Phase::Xret));
+        ret = engine().xret(core);
+    }
+    if (tr.enabled()) {
+        tr.begin("xpc", "xret", xret0.value(), caller_lane);
+        tr.end("xpc", "xret", core.now().value(), caller_lane);
+    }
     if (ret.exc != engine::XpcException::None) {
         // The hardware refused the return: the record under us is
         // corrupt or the seg-reg no longer matches it. The kernel

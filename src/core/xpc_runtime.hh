@@ -184,10 +184,14 @@ class XpcRuntime
     /**
      * Call an x-entry using whatever relay segment is currently
      * active on @p core. Handlers use this after swapping their own
-     * scratch segment in; no thread bookkeeping is touched.
+     * scratch segment in; no thread bookkeeping is touched. Passing
+     * the calling thread in @p caller puts the call's trace spans on
+     * that thread's lane (otherwise the installed thread's, falling
+     * back to the core lane).
      */
     XpcCallOutcome callCurrent(hw::Core &core, uint64_t entry_id,
-                               uint64_t opcode, uint64_t req_len);
+                               uint64_t opcode, uint64_t req_len,
+                               kernel::Thread *caller = nullptr);
 
     /// @name Charged relay-segment access for the owning client.
     /// Returns false when an injected fault corrupted the transfer
@@ -229,7 +233,8 @@ class XpcRuntime
     std::map<uint64_t, EntryState> entryStates;
 
     XpcCallOutcome doCall(hw::Core &core, uint64_t entry_id,
-                          uint64_t opcode, uint64_t req_len);
+                          uint64_t opcode, uint64_t req_len,
+                          uint32_t caller_lane);
 
     friend class XpcServerCall;
 };

@@ -8,6 +8,33 @@
 
 namespace xpc::kernel {
 
+namespace {
+
+/** Closes the outer "sel4.call" span (and, for top-level calls, the
+ *  causal flow arc) on every exit path, abort unwinds included. */
+struct Sel4SpanCloser
+{
+    trace::Tracer &tr;
+    hw::Core &core;
+    uint32_t lane;
+    uint64_t flowId;
+    bool top;
+    bool active;
+
+    ~Sel4SpanCloser()
+    {
+        if (!active)
+            return;
+        uint64_t now = core.now().value();
+        if (top)
+            tr.flow(trace::EventKind::FlowEnd, "sel4", "req", flowId,
+                    now, lane);
+        tr.end("sel4", "call", now, lane);
+    }
+};
+
+} // namespace
+
 Sel4Kernel::Sel4Kernel(hw::Machine &machine) : Kernel(machine)
 {
     stats.setName("sel4");
@@ -190,7 +217,22 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
         }
     }
 
+    // One seL4 IPC is one hop of a request chain: mint (or inherit)
+    // the request id and bracket the whole call on the client's lane.
+    req::RequestScope rscope;
+    auto &tr = trace::Tracer::global();
+    uint32_t clane = req::threadLane(uint32_t(client.id()));
+
     Cycles start = core.now();
+    if (tr.enabled()) {
+        tr.begin("sel4", "call", start.value(), clane);
+        tr.flow(rscope.topLevel() ? trace::EventKind::FlowStart
+                                  : trace::EventKind::FlowStep,
+                "sel4", "req", rscope.id(), start.value(), clane);
+    }
+    Sel4SpanCloser closer{tr,          core,
+                          clane,       rscope.id(),
+                          rscope.topLevel(), tr.enabled()};
 
     // Abandon the call: if the kernel already switched to the server,
     // charge the bare return IPC before surfacing the error.
@@ -246,6 +288,7 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     }
     if (large) {
         panic_if(req_len > shared->len, "message exceeds shared buffer");
+        req::PhaseScope phase(uint32_t(Phase::Transfer));
         auto res =
             mach.mem().copy(core.id(), userCtx(*client.process()),
                             req_va, userCtx(*client.process()),
@@ -268,11 +311,13 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     }
 
     // --- Phase 1: trap. -------------------------------------------
-    auto &tr = trace::Tracer::global();
     Cycles trap_start = core.now();
-    trapEnter(core);
-    saveRestoreRegs(core, params.fastpathRegs);
-    core.spend(params.trapConst);
+    {
+        req::PhaseScope phase(uint32_t(Phase::Trap));
+        trapEnter(core);
+        saveRestoreRegs(core, params.fastpathRegs);
+        core.spend(params.trapConst);
+    }
     phases.trap = core.now() - trap_start;
     if (tr.enabled()) {
         tr.begin("sel4", "trap", trap_start.value(), core.id());
@@ -282,6 +327,7 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     // --- Phase 2: IPC logic (capability fetch + checks). ----------
     t0 = core.now();
     {
+        req::PhaseScope phase(uint32_t(Phase::IpcLogic));
         // The cap lookup reads the client's cnode slot and the
         // endpoint object, both in kernel memory.
         uint64_t scratch[2];
@@ -305,6 +351,7 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     // while still in the kernel (slow path).
     t0 = core.now();
     if (medium) {
+        req::PhaseScope phase(uint32_t(Phase::Transfer));
         auto res = mach.mem().copy(
             core.id(), userCtx(*client.process()), req_va,
             userCtx(*ep.server->process()), ep.scratchVa, req_len);
@@ -321,19 +368,22 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
 
     // --- Phase 3: process switch. ---------------------------------
     t0 = core.now();
-    if (cross_core) {
-        crossCoreCalls.inc();
-        hw::Core &scre = mach.core(ep.server->sched.homeCore);
-        mach.sendIpi(core.id(), scre.id());
-        scre.spend(costs.remoteWake);
-        core.spend(costs.schedule);
+    {
+        req::PhaseScope phase(uint32_t(Phase::ProcessSwitch));
+        if (cross_core) {
+            crossCoreCalls.inc();
+            hw::Core &scre = mach.core(ep.server->sched.homeCore);
+            mach.sendIpi(core.id(), scre.id());
+            scre.spend(costs.remoteWake);
+            core.spend(costs.schedule);
+        }
+        core.spend(params.switchConst);
+        if (!mach.config().mem.taggedTlb) {
+            core.spend(mach.config().core.tlbFlush);
+            mach.mem().flushTlb(core.id());
+        }
+        setCurrent(core.id(), ep.server);
     }
-    core.spend(params.switchConst);
-    if (!mach.config().mem.taggedTlb) {
-        core.spend(mach.config().core.tlbFlush);
-        mach.mem().flushTlb(core.id());
-    }
-    setCurrent(core.id(), ep.server);
     phases.processSwitch = core.now() - t0;
     if (tr.enabled()) {
         tr.begin("sel4", "process_switch", t0.value(), core.id());
@@ -342,9 +392,12 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
 
     // --- Phase 4: restore the server's context, back to user. -----
     t0 = core.now();
-    saveRestoreRegs(core, params.fastpathRegs);
-    core.spend(params.restoreConst);
-    trapExit(core);
+    {
+        req::PhaseScope phase(uint32_t(Phase::Restore));
+        saveRestoreRegs(core, params.fastpathRegs);
+        core.spend(params.restoreConst);
+        trapExit(core);
+    }
     phases.restore = core.now() - t0;
     if (tr.enabled()) {
         tr.begin("sel4", "restore", t0.value(), core.id());
@@ -359,6 +412,7 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
         handler_core.syncTo(core.now());
     t0 = handler_core.now();
     if (large && mode == LongMsgMode::TwoCopy) {
+        req::PhaseScope phase(uint32_t(Phase::Transfer));
         auto res = mach.mem().copy(
             handler_core.id(), userCtx(*ep.server->process()),
             shared->serverVa, userCtx(*ep.server->process()),
@@ -385,6 +439,7 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
                  start;
 
     // --- The handler runs in the server's address space. ----------
+    uint32_t hlane = req::threadLane(uint32_t(ep.server->id()));
     if (cross_core) {
         Sel4ServerCall remote(*this, handler_core, *ep.server);
         remote.client = &client;
@@ -399,8 +454,18 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
         remote.sharedVa = call_ctx.sharedVa;
         remote.replySharedVa = call_ctx.replySharedVa;
         Cycles h0 = handler_core.now();
-        ep.handler(remote);
+        {
+            req::PhaseScope phase(uint32_t(Phase::Handler));
+            ep.handler(remote);
+        }
         out.handlerCycles = handler_core.now() - h0;
+        if (tr.enabled()) {
+            tr.begin("sel4", "handler", h0.value(), hlane);
+            tr.flow(trace::EventKind::FlowStep, "sel4", "req",
+                    rscope.id(), h0.value(), hlane);
+            tr.end("sel4", "handler", handler_core.now().value(),
+                   hlane);
+        }
         call_ctx.replyLen = remote.replyLen;
         call_ctx.replyInBuffer = remote.replyInBuffer;
         call_ctx.failStatus = remote.failStatus;
@@ -411,8 +476,17 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
         core.spend(costs.remoteWake);
     } else {
         Cycles h0 = core.now();
-        ep.handler(call_ctx);
+        {
+            req::PhaseScope phase(uint32_t(Phase::Handler));
+            ep.handler(call_ctx);
+        }
         out.handlerCycles = core.now() - h0;
+        if (tr.enabled()) {
+            tr.begin("sel4", "handler", h0.value(), hlane);
+            tr.flow(trace::EventKind::FlowStep, "sel4", "req",
+                    rscope.id(), h0.value(), hlane);
+            tr.end("sel4", "handler", core.now().value(), hlane);
+        }
     }
 
     // A handler-flagged failure (nested call went wrong, message
@@ -425,6 +499,7 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     uint64_t reply_len = call_ctx.replyLen;
     panic_if(reply_len > reply_cap, "reply overflows client buffer");
     if (reply_len > 0) {
+        req::PhaseScope phase(uint32_t(Phase::Transfer));
         if (!call_ctx.replyInBuffer) {
             // Reply travelled in registers.
             auto res = userWrite(core, *client.process(), reply_va,

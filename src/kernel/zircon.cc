@@ -8,6 +8,33 @@
 
 namespace xpc::kernel {
 
+namespace {
+
+/** Closes the "zircon.channel_call" span (and the flow arc for the
+ *  chain's top-level call) on every exit path, aborts included. */
+struct ZirconSpanCloser
+{
+    trace::Tracer &tr;
+    hw::Core &core;
+    uint32_t lane;
+    uint64_t flowId;
+    bool top;
+    bool active;
+
+    ~ZirconSpanCloser()
+    {
+        if (!active)
+            return;
+        uint64_t now = core.now().value();
+        if (top)
+            tr.flow(trace::EventKind::FlowEnd, "zircon", "req",
+                    flowId, now, lane);
+        tr.end("zircon", "channel_call", now, lane);
+    }
+};
+
+} // namespace
+
 ZirconKernel::ZirconKernel(hw::Machine &machine) : Kernel(machine)
 {
     costs.schedule = params.schedule;
@@ -107,7 +134,24 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
         }
     }
 
+    // Bind the hop to its request chain and bracket the whole channel
+    // round-trip on the client's lane (the old post-hoc span could
+    // not cover abort unwinds; the closer can).
+    req::RequestScope rscope;
+    auto &tr = trace::Tracer::global();
+    uint32_t clane = req::threadLane(uint32_t(client.id()));
+
     Cycles start = core.now();
+    if (tr.enabled()) {
+        tr.begin("zircon", "channel_call", start.value(), clane);
+        tr.flow(rscope.topLevel() ? trace::EventKind::FlowStart
+                                  : trace::EventKind::FlowStep,
+                "zircon", "req", rscope.id(), start.value(), clane);
+    }
+    ZirconSpanCloser closer{tr,          core,
+                            clane,       rscope.id(),
+                            rscope.topLevel(), tr.enabled()};
+
     bool cross_core = ch.server->sched.homeCore != core.id();
     hw::Core &scre =
         cross_core ? mach.core(ch.server->sched.homeCore) : core;
@@ -137,6 +181,7 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
     // --- zx_channel_write: copy in (user -> kernel). --------------
     chargeSyscall(core);
     {
+        req::PhaseScope phase(uint32_t(Phase::Transfer));
         std::vector<uint8_t> stage(req_len);
         if (req_len > 0) {
             auto res = userRead(core, *client.process(), req_va,
@@ -150,21 +195,25 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
 
     // --- Wake the server; the client blocks on the reply. ---------
     server_woken = true;
-    if (cross_core) {
-        mach.sendIpi(core.id(), scre.id());
-        scre.spend(costs.remoteWake);
-        scre.syncTo(core.now());
-    } else {
-        core.spend(params.schedule);
-        contextSwitches.inc();
-        setCurrent(core.id(), ch.server);
+    {
+        req::PhaseScope phase(uint32_t(Phase::ProcessSwitch));
+        if (cross_core) {
+            mach.sendIpi(core.id(), scre.id());
+            scre.spend(costs.remoteWake);
+            scre.syncTo(core.now());
+        } else {
+            core.spend(params.schedule);
+            contextSwitches.inc();
+            setCurrent(core.id(), ch.server);
+        }
+        core.spend(params.portWait);
     }
-    core.spend(params.portWait);
 
     // --- zx_channel_read on the server: copy out (kernel->user). --
     chargeSyscall(scre);
     scre.spend(params.portWait);
     if (req_len > 0) {
+        req::PhaseScope phase(uint32_t(Phase::Transfer));
         std::vector<uint8_t> stage(req_len);
         scre.spend(mach.mem().readPhys(scre.id(), ch.kernelBuf,
                                        stage.data(), req_len));
@@ -184,12 +233,19 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
     call_ctx.replyCapacity = std::min(reply_cap, params.maxMsgBytes);
     call_ctx.reqVa = ch.serverReqVa;
     call_ctx.replyVa = ch.serverReplyVa;
+    uint32_t hlane = req::threadLane(uint32_t(ch.server->id()));
     Cycles h0 = scre.now();
     {
-        trace::Span span(scre, "zircon", "handler");
+        req::PhaseScope phase(uint32_t(Phase::Handler));
         ch.handler(call_ctx);
     }
     out.handlerCycles = scre.now() - h0;
+    if (tr.enabled()) {
+        tr.begin("zircon", "handler", h0.value(), hlane);
+        tr.flow(trace::EventKind::FlowStep, "zircon", "req",
+                rscope.id(), h0.value(), hlane);
+        tr.end("zircon", "handler", scre.now().value(), hlane);
+    }
 
     if (call_ctx.failStatus != CallStatus::Ok)
         return abortCall(call_ctx.failStatus);
@@ -198,6 +254,7 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
     uint64_t reply_len = call_ctx.replyLen;
     chargeSyscall(scre);
     if (reply_len > 0) {
+        req::PhaseScope phase(uint32_t(Phase::Transfer));
         std::vector<uint8_t> stage(reply_len);
         auto res = userRead(scre, *ch.server->process(),
                             ch.serverReplyVa, stage.data(), reply_len);
@@ -207,19 +264,23 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
                                         stage.data(), reply_len));
     }
 
-    if (cross_core) {
-        mach.sendIpi(scre.id(), core.id());
-        core.syncTo(scre.now());
-        core.spend(costs.remoteWake);
-    } else {
-        core.spend(params.schedule);
-        contextSwitches.inc();
-        setCurrent(core.id(), &client);
+    {
+        req::PhaseScope phase(uint32_t(Phase::ProcessSwitch));
+        if (cross_core) {
+            mach.sendIpi(scre.id(), core.id());
+            core.syncTo(scre.now());
+            core.spend(costs.remoteWake);
+        } else {
+            core.spend(params.schedule);
+            contextSwitches.inc();
+            setCurrent(core.id(), &client);
+        }
     }
     server_woken = false;
 
     chargeSyscall(core);
     if (reply_len > 0) {
+        req::PhaseScope phase(uint32_t(Phase::Transfer));
         std::vector<uint8_t> stage(reply_len);
         core.spend(mach.mem().readPhys(core.id(), ch.kernelBuf,
                                        stage.data(), reply_len));
@@ -235,11 +296,6 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
     phaseStats.record(Phase::OneWay, out.oneWay);
     phaseStats.record(Phase::Handler, out.handlerCycles);
     phaseStats.record(Phase::RoundTrip, out.roundTrip);
-    auto &tr = trace::Tracer::global();
-    if (tr.enabled()) {
-        tr.begin("zircon", "channel_call", start.value(), core.id());
-        tr.end("zircon", "channel_call", core.now().value(), core.id());
-    }
     return out;
 }
 

@@ -26,6 +26,21 @@ injectedFault(VAddr vaddr, Cycles latency)
 
 } // namespace
 
+MemAttribution::MemAttribution(StatGroup *parent)
+{
+    group.setParent(parent);
+    auto reg = [&](const std::string &prefix, Row &r) {
+        group.addCounter(prefix + ".accesses", &r.accesses);
+        group.addCounter(prefix + ".cycles", &r.cycles);
+        group.addCounter(prefix + ".l1_misses", &r.l1Misses);
+        group.addCounter(prefix + ".tlb_walks", &r.tlbWalks);
+        group.addCounter(prefix + ".walk_cycles", &r.walkCycles);
+    };
+    for (uint32_t i = 0; i < phaseCount; i++)
+        reg(phaseName(Phase(i)), rows[i]);
+    reg("unattributed", rows[phaseCount]);
+}
+
 MemSystem::MemSystem(PhysMem &phys, const MemParams &params,
                      uint32_t ncores)
     : physMem(phys), memParams(params)
@@ -98,9 +113,11 @@ MemSystem::translate(CoreId core, const TransContext &ctx, VAddr vaddr,
         res.cycles += memParams.walkOverhead;
         for (int i = 0; i < walk.levels; i++)
             res.cycles += l1(core).access(walk.pteAddrs[i], 8, false);
+        attr.walk(res.cycles.value());
         if (trace::Tracer::global().enabled())
-            trace::Tracer::global().instantNow("mem",
-                                               "tlb_miss_fill", core);
+            trace::Tracer::global().instantNow("mem", "tlb_miss_fill",
+                                               core, {},
+                                               res.cycles.value());
         if (!walk.valid) {
             res.fault = FaultKind::PageFault;
             res.faultAddr = vaddr;
@@ -135,9 +152,11 @@ MemSystem::translate(CoreId core, const TransContext &ctx, VAddr vaddr,
     res.cycles += memParams.walkOverhead;
     for (int i = 0; i < walk.levels; i++)
         res.cycles += l1(core).access(walk.pteAddrs[i], 8, false);
+    attr.walk(res.cycles.value());
     if (trace::Tracer::global().enabled())
         trace::Tracer::global().instantNow("mem", "tlb_miss_fill",
-                                           core);
+                                           core, {},
+                                           res.cycles.value());
 
     if (!walk.valid) {
         res.fault = FaultKind::PageFault;
@@ -182,12 +201,14 @@ MemSystem::read(CoreId core, const TransContext &ctx, VAddr vaddr,
             return total;
         }
         uint64_t miss0 = l1(core).misses.value();
-        total.cycles += l1(core).access(paddr, chunk, false);
-        if (trace::Tracer::global().enabled() &&
-            l1(core).misses.value() != miss0)
+        Cycles data = l1(core).access(paddr, chunk, false);
+        data += issueCost(chunk);
+        total.cycles += data;
+        bool missed = l1(core).misses.value() != miss0;
+        attr.access(data.value(), missed);
+        if (missed && trace::Tracer::global().enabled())
             trace::Tracer::global().instantNow("mem", "l1_miss_fill",
-                                               core);
-        total.cycles += issueCost(chunk);
+                                               core, {}, data.value());
         physMem.read(paddr, out, chunk);
         vaddr += chunk;
         out += chunk;
@@ -217,12 +238,14 @@ MemSystem::write(CoreId core, const TransContext &ctx, VAddr vaddr,
             return total;
         }
         uint64_t miss0 = l1(core).misses.value();
-        total.cycles += l1(core).access(paddr, chunk, true);
-        if (trace::Tracer::global().enabled() &&
-            l1(core).misses.value() != miss0)
+        Cycles data = l1(core).access(paddr, chunk, true);
+        data += issueCost(chunk);
+        total.cycles += data;
+        bool missed = l1(core).misses.value() != miss0;
+        attr.access(data.value(), missed);
+        if (missed && trace::Tracer::global().enabled())
             trace::Tracer::global().instantNow("mem", "l1_miss_fill",
-                                               core);
-        total.cycles += issueCost(chunk);
+                                               core, {}, data.value());
         physMem.write(paddr, in, chunk);
         vaddr += chunk;
         in += chunk;
@@ -266,8 +289,10 @@ MemSystem::copy(CoreId core, const TransContext &src_ctx, VAddr src,
 Cycles
 MemSystem::readPhys(CoreId core, PAddr paddr, void *dst, uint64_t len)
 {
+    uint64_t miss0 = l1(core).misses.value();
     Cycles c = l1(core).access(paddr, len, false);
     c += issueCost(len);
+    attr.access(c.value(), l1(core).misses.value() != miss0);
     physMem.read(paddr, dst, len);
     return c;
 }
@@ -276,8 +301,10 @@ Cycles
 MemSystem::writePhys(CoreId core, PAddr paddr, const void *src,
                      uint64_t len)
 {
+    uint64_t miss0 = l1(core).misses.value();
     Cycles c = l1(core).access(paddr, len, true);
     c += issueCost(len);
+    attr.access(c.value(), l1(core).misses.value() != miss0);
     physMem.write(paddr, src, len);
     return c;
 }

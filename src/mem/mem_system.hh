@@ -23,6 +23,7 @@
 #include "mem/page_table.hh"
 #include "mem/phys_mem.hh"
 #include "mem/tlb.hh"
+#include "sim/phase.hh"
 #include "sim/types.hh"
 
 namespace xpc {
@@ -134,6 +135,68 @@ struct TransContext
     bool user = true;
 };
 
+/**
+ * Memory-hierarchy attribution by call phase: every charged access is
+ * also credited to whatever Phase was active when it happened (via
+ * req::RequestContext), so benches and the critical-path profiler can
+ * answer "how many of this phase's cycles were TLB walks?". Accesses
+ * outside any phase land in the trailing "unattributed" row. Purely
+ * observational - it never adds cycles.
+ */
+class MemAttribution
+{
+  public:
+    /** One phase's share of the memory traffic. */
+    struct Row
+    {
+        Counter accesses;      ///< charged data accesses
+        Counter cycles;        ///< data-movement cycles (incl. issue)
+        Counter l1Misses;      ///< accesses that missed L1
+        Counter tlbWalks;      ///< page walks triggered
+        Counter walkCycles;    ///< cycles spent inside those walks
+    };
+
+    explicit MemAttribution(StatGroup *parent);
+
+    /** Credit a charged data access to the active phase. */
+    void
+    access(uint64_t cycles, bool l1_missed)
+    {
+        Row &r = active();
+        r.accesses.inc();
+        r.cycles.inc(cycles);
+        if (l1_missed)
+            r.l1Misses.inc();
+    }
+
+    /** Credit a TLB-miss page walk to the active phase. */
+    void
+    walk(uint64_t cycles)
+    {
+        Row &r = active();
+        r.tlbWalks.inc();
+        r.walkCycles.inc(cycles);
+    }
+
+    /** The row for phase @p i (0..phaseCount-1). */
+    const Row &row(uint32_t i) const { return rows[i]; }
+    /** Traffic that happened outside any phase scope. */
+    const Row &unattributed() const { return rows[phaseCount]; }
+
+    StatGroup &statGroup() { return group; }
+
+  private:
+    Row &
+    active()
+    {
+        uint32_t p = req::RequestContext::global().currentPhase();
+        return rows[p < phaseCount ? p : phaseCount];
+    }
+
+    StatGroup group{"attr"};
+    Row rows[phaseCount + 1];
+};
+
 /** Per-machine memory system: per-core L1D + TLB, shared L2, DRAM. */
 class MemSystem
 {
@@ -189,6 +252,8 @@ class MemSystem
 
     /** Registry node covering the TLBs and the cache hierarchy. */
     StatGroup stats{"mem"};
+    /** Per-phase attribution of the traffic above ("mem.attr"). */
+    MemAttribution attr{&stats};
 
   private:
     PhysMem &physMem;

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Per-request critical-path reconstruction over the trace ring.
+ *
+ * The simulator's calls are synchronous: one client request is a
+ * single chain of nested spans across lanes (client, servers, engine,
+ * kernel phases), all stamped with the same RequestId by the tracer.
+ * The analyzer rebuilds those spans into intervals, then walks the
+ * request's time window attributing every cycle to the *innermost*
+ * span active at that instant - so the per-span cycle totals sum to
+ * exactly the request's end-to-end simulated cycles (the acceptance
+ * invariant of the profiler; cycles nobody claimed land in the
+ * "(untracked)" bucket rather than vanishing).
+ *
+ * Wraparound and crash unwinds degrade gracefully: a span whose
+ * Begin was overwritten is clamped to the snapshot's start, a span
+ * that never Ended (fault-injected kill, trace cut mid-call) is
+ * clamped to the request's last event, and the report is marked
+ * incomplete instead of lying.
+ */
+
+#ifndef XPC_SIM_CRITPATH_HH
+#define XPC_SIM_CRITPATH_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/request.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace xpc::critpath {
+
+/** One slice of a request's critical path. */
+struct Segment
+{
+    const char *cat = "";
+    const char *name = "";
+    uint32_t tid = 0;      ///< lane the cycles were spent on
+    uint64_t begin = 0;    ///< first cycle of the slice
+    uint64_t cycles = 0;   ///< cycles attributed to it
+};
+
+/** Memory-hierarchy events attributed to the request. */
+struct MemRollup
+{
+    uint64_t l1Fills = 0;
+    uint64_t l1FillCycles = 0;
+    uint64_t tlbWalks = 0;
+    uint64_t tlbWalkCycles = 0;
+};
+
+/** Everything reconstructed about one request. */
+struct RequestReport
+{
+    req::RequestId id = 0;
+    uint64_t startTs = 0;
+    uint64_t endTs = 0;
+    /** False when spans were clamped (ring wraparound, a call that
+     *  never returned) - totals are then lower bounds. */
+    bool complete = true;
+    /** Distinct lanes the request's spans and flow arcs touched. */
+    uint32_t lanes = 0;
+    /** True when the flow arc has both its start and end anchor. */
+    bool flowClosed = false;
+    /** Time-ordered critical path (consecutive same-span merged). */
+    std::vector<Segment> path;
+    /** Per-span-name cycle totals, largest first. */
+    std::vector<std::pair<std::string, uint64_t>> spanCycles;
+    MemRollup mem;
+
+    uint64_t total() const { return endTs - startTs; }
+    /** Sum of spanCycles - equals total() by construction. */
+    uint64_t attributed() const;
+};
+
+/** Reconstruct every request found in @p events (snapshot order =
+ *  record order, as returned by Tracer::events()). */
+std::vector<RequestReport>
+analyze(const std::vector<trace::TraceEvent> &events);
+
+/** The report for request @p id, if present. */
+const RequestReport *
+find(const std::vector<RequestReport> &reports, req::RequestId id);
+
+/** Multi-line human-readable report for one request. Lane names
+ *  resolve through @p tracer (pass Tracer::global()). */
+std::string formatReport(const RequestReport &r,
+                         const trace::Tracer &tracer);
+
+/** xpctop-style aggregate: per-span cycles over all requests, hottest
+ *  first, with request count and p50/p99 of end-to-end cycles. */
+std::string formatTop(const std::vector<RequestReport> &reports);
+
+/**
+ * Aggregates per-request totals and per-span attributions into
+ * Distributions registered under one StatGroup ("critpath"), so
+ * benches export p50/p99 through the registry and BENCH_*.json.
+ */
+class CritPathStats
+{
+  public:
+    explicit CritPathStats(StatGroup *parent = nullptr);
+
+    void add(const RequestReport &r);
+
+    void
+    addAll(const std::vector<RequestReport> &reports)
+    {
+        for (const RequestReport &r : reports)
+            add(r);
+    }
+
+    StatGroup &statGroup() { return group; }
+    const Distribution &total() const { return totalCycles; }
+    /** Per-span distribution (nullptr if the span never appeared). */
+    const Distribution *span(const std::string &name) const;
+    const std::map<std::string, std::unique_ptr<Distribution>> &
+    spans() const
+    {
+        return perSpan;
+    }
+
+  private:
+    StatGroup group{"critpath"};
+    Distribution totalCycles;
+    std::map<std::string, std::unique_ptr<Distribution>> perSpan;
+};
+
+} // namespace xpc::critpath
+
+#endif // XPC_SIM_CRITPATH_HH

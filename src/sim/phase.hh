@@ -15,6 +15,7 @@
 #ifndef XPC_SIM_PHASE_HH
 #define XPC_SIM_PHASE_HH
 
+#include "sim/request.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
@@ -96,6 +97,9 @@ class PhaseTimer
         : coreRef(core), phaseStats(stats), phase_(phase),
           category(cat), startTs(core.now())
     {
+        // Bind the phase so memory traffic inside the probe is
+        // attributed to it (sim/request.hh).
+        req::RequestContext::global().pushPhase(uint32_t(phase_));
         trace::Tracer &t = trace::Tracer::global();
         if (t.enabled()) {
             traced = true;
@@ -115,6 +119,7 @@ class PhaseTimer
     {
         if (!stopped) {
             stopped = true;
+            req::RequestContext::global().popPhase();
             elapsed = coreRef.now() - startTs;
             phaseStats.record(phase_, elapsed);
             if (traced)

@@ -1,0 +1,12 @@
+#include "request.hh"
+
+namespace xpc::req {
+
+RequestContext &
+RequestContext::global()
+{
+    static RequestContext ctx;
+    return ctx;
+}
+
+} // namespace xpc::req

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Request-scoped causal context: the process-global cursor that says
+ * "which cross-process call chain is executing right now, and in
+ * which phase".
+ *
+ * Every top-level call (any transport, either kernel, or the raw XPC
+ * runtime) mints a RequestId and binds it for the call's dynamic
+ * extent with a RequestScope; nested calls - handover via seg-mask,
+ * scratch calls, kernel-mediated hops - inherit the active id, so one
+ * client request keeps a single identity across every process it
+ * migrates through. The tracer stamps the active (request, phase)
+ * pair onto every event it records, and the memory system charges
+ * cache/TLB traffic to the same pair, which is what lets the
+ * critical-path profiler (sim/critpath.hh) say "request #42 spent 61%
+ * of its cycles on relay-seg TLB walks".
+ *
+ * The context is purely observational: binding or minting never
+ * spends simulated cycles, so cycle output is byte-identical whether
+ * anyone looks at it or not.
+ */
+
+#ifndef XPC_SIM_REQUEST_HH
+#define XPC_SIM_REQUEST_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xpc::req {
+
+/** Identity of one top-level cross-process call chain; 0 = none. */
+using RequestId = uint64_t;
+
+/** Sentinel phase index: no phase scope is active. */
+inline constexpr uint32_t phaseNone = 0xffffffffu;
+
+/** The process-wide request/phase cursor. */
+class RequestContext
+{
+  public:
+    static RequestContext &global();
+
+    /** The request bound to the executing call chain (0 if none). */
+    RequestId
+    current() const
+    {
+        return reqs.empty() ? 0 : reqs.back();
+    }
+
+    /** Innermost active phase index (phaseNone if none). */
+    uint32_t
+    currentPhase() const
+    {
+        return phases.empty() ? phaseNone : phases.back();
+    }
+
+    /** Requests minted so far (ids are 1..minted()). */
+    uint64_t minted() const { return lastId; }
+
+    /** Nesting depth of the active call chain (0 = idle). */
+    size_t depth() const { return reqs.size(); }
+
+    void pushPhase(uint32_t phase) { phases.push_back(phase); }
+
+    void
+    popPhase()
+    {
+        if (!phases.empty())
+            phases.pop_back();
+    }
+
+    /** Drop all bindings and restart id numbering (tests, examples
+     *  that want the traced request to be #1). */
+    void
+    reset()
+    {
+        reqs.clear();
+        phases.clear();
+        lastId = 0;
+    }
+
+  private:
+    friend class RequestScope;
+
+    RequestId mint() { return ++lastId; }
+
+    std::vector<RequestId> reqs;
+    std::vector<uint32_t> phases;
+    uint64_t lastId = 0;
+};
+
+/**
+ * RAII binding of a call to a request. The outermost scope on the
+ * stack mints a fresh id; nested scopes (handover calls, kernel hops
+ * made from inside a handler) inherit it, keeping the whole chain
+ * under one identity.
+ */
+class RequestScope
+{
+  public:
+    RequestScope()
+    {
+        RequestContext &c = RequestContext::global();
+        top = c.reqs.empty();
+        id_ = top ? c.mint() : c.reqs.back();
+        c.reqs.push_back(id_);
+    }
+
+    ~RequestScope() { RequestContext::global().reqs.pop_back(); }
+
+    RequestScope(const RequestScope &) = delete;
+    RequestScope &operator=(const RequestScope &) = delete;
+
+    RequestId id() const { return id_; }
+    /** True when this scope minted the id (start of the chain). */
+    bool topLevel() const { return top; }
+
+  private:
+    RequestId id_ = 0;
+    bool top = false;
+};
+
+/** RAII phase binding; memory traffic inside is charged to it. */
+class PhaseScope
+{
+  public:
+    explicit PhaseScope(uint32_t phase_index)
+    {
+        RequestContext::global().pushPhase(phase_index);
+    }
+
+    ~PhaseScope() { RequestContext::global().popPhase(); }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+};
+
+/**
+ * Trace lane (Chrome tid) of a logical kernel thread. Core lanes use
+ * the core id directly (small numbers); thread lanes are offset so
+ * the migrating-thread model still renders client and servers as
+ * separate, named tracks even though they share core 0.
+ */
+inline constexpr uint32_t threadLaneBase = 1000;
+
+inline uint32_t
+threadLane(uint32_t thread_id)
+{
+    return threadLaneBase + thread_id;
+}
+
+} // namespace xpc::req
+
+#endif // XPC_SIM_REQUEST_HH

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <ostream>
 
+#include "phase.hh"
+
 namespace xpc::trace {
 
 Tracer::Tracer()
@@ -17,6 +19,7 @@ Tracer::Tracer()
             cap = size_t(n);
     }
     ring.resize(cap);
+    texts.resize(textCapacity);
 }
 
 Tracer &
@@ -32,6 +35,7 @@ Tracer::setCapacity(size_t events)
     cap = events > 0 ? events : 1;
     ring.assign(cap, TraceEvent{});
     nrec = 0;
+    ntext = 0;
 }
 
 void
@@ -39,14 +43,20 @@ Tracer::clear()
 {
     ring.assign(cap, TraceEvent{});
     nrec = 0;
+    ntext = 0;
     lastTs.fill(0);
 }
 
 void
-Tracer::push(TraceEvent ev)
+Tracer::push(TraceEvent &ev)
 {
-    lastTs[ev.tid % lastTs.size()] = ev.ts;
-    ring[nrec % cap] = std::move(ev);
+    // Stamp the causal context: which request chain, which phase.
+    const req::RequestContext &ctx = req::RequestContext::global();
+    ev.req = ctx.current();
+    ev.phase = ctx.currentPhase();
+    if (ev.tid < lastTs.size())
+        lastTs[ev.tid] = ev.ts;
+    ring[nrec % cap] = ev;
     nrec++;
 }
 
@@ -62,7 +72,7 @@ Tracer::begin(const char *cat, const char *name, uint64_t ts,
     ev.cat = cat;
     ev.name = name;
     ev.kind = EventKind::Begin;
-    push(std::move(ev));
+    push(ev);
 }
 
 void
@@ -77,7 +87,7 @@ Tracer::end(const char *cat, const char *name, uint64_t ts,
     ev.cat = cat;
     ev.name = name;
     ev.kind = EventKind::End;
-    push(std::move(ev));
+    push(ev);
 }
 
 void
@@ -92,8 +102,12 @@ Tracer::instant(const char *cat, const char *name, uint64_t ts,
     ev.cat = cat;
     ev.name = name;
     ev.kind = EventKind::Instant;
-    ev.text = std::move(text);
-    push(std::move(ev));
+    if (!text.empty()) {
+        texts[ntext % textCapacity] = std::move(text);
+        ntext++;
+        ev.textRef = uint32_t(ntext); // 1-based sequence
+    }
+    push(ev);
 }
 
 void
@@ -109,14 +123,44 @@ Tracer::counter(const char *cat, const char *name, uint64_t value,
     ev.name = name;
     ev.arg = value;
     ev.kind = EventKind::Counter;
-    push(std::move(ev));
+    push(ev);
+}
+
+void
+Tracer::flow(EventKind kind, const char *cat, const char *name,
+             uint64_t flow_id, uint64_t ts, uint32_t tid)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.ts = ts;
+    ev.tid = tid;
+    ev.cat = cat;
+    ev.name = name;
+    ev.arg = flow_id;
+    ev.kind = kind;
+    push(ev);
 }
 
 void
 Tracer::instantNow(const char *cat, const char *name, uint32_t tid,
-                   std::string text)
+                   std::string text, uint64_t arg)
 {
-    instant(cat, name, lastTime(tid), tid, std::move(text));
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.ts = lastTime(tid);
+    ev.tid = tid;
+    ev.cat = cat;
+    ev.name = name;
+    ev.arg = arg;
+    ev.kind = EventKind::Instant;
+    if (!text.empty()) {
+        texts[ntext % textCapacity] = std::move(text);
+        ntext++;
+        ev.textRef = uint32_t(ntext);
+    }
+    push(ev);
 }
 
 uint64_t
@@ -147,6 +191,26 @@ Tracer::events() const
     for (uint64_t i = first; i < nrec; i++)
         out.push_back(ring[i % cap]);
     return out;
+}
+
+const std::string &
+Tracer::textOf(const TraceEvent &ev) const
+{
+    static const std::string empty;
+    if (ev.textRef == 0)
+        return empty;
+    uint64_t seq = ev.textRef; // 1-based
+    if (seq > ntext || ntext - seq >= textCapacity)
+        return empty; // slot has been overwritten since
+    return texts[(seq - 1) % textCapacity];
+}
+
+void
+Tracer::setTrackName(uint32_t tid, std::string name)
+{
+    if (!compiledIn)
+        return;
+    laneNames[tid] = std::move(name);
 }
 
 namespace {
@@ -199,8 +263,21 @@ phaseChar(EventKind kind)
         return 'i';
       case EventKind::Counter:
         return 'C';
+      case EventKind::FlowStart:
+        return 's';
+      case EventKind::FlowStep:
+        return 't';
+      case EventKind::FlowEnd:
+        return 'f';
     }
     return 'i';
+}
+
+bool
+isFlow(EventKind kind)
+{
+    return kind == EventKind::FlowStart ||
+           kind == EventKind::FlowStep || kind == EventKind::FlowEnd;
 }
 
 } // namespace
@@ -210,21 +287,51 @@ Tracer::exportChromeJson(std::ostream &os) const
 {
     os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
     bool first_ev = true;
-    for (const TraceEvent &ev : events()) {
+    auto sep = [&]() {
         if (!first_ev)
             os << ",";
         first_ev = false;
-        os << "\n{\"name\":\"" << jsonEscape(ev.name) << "\""
+        os << "\n";
+    };
+    // Lane metadata first: names registered at wiring time label the
+    // client/server tracks in the Perfetto UI.
+    for (const auto &[tid, name] : laneNames) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0"
+           << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+           << jsonEscape(name) << "\"}}";
+    }
+    for (const TraceEvent &ev : events()) {
+        sep();
+        os << "{\"name\":\"" << jsonEscape(ev.name) << "\""
            << ",\"cat\":\"" << jsonEscape(ev.cat) << "\""
            << ",\"ph\":\"" << phaseChar(ev.kind) << "\""
            << ",\"ts\":" << ev.ts << ",\"pid\":0,\"tid\":" << ev.tid;
         if (ev.kind == EventKind::Instant)
             os << ",\"s\":\"t\"";
+        if (isFlow(ev.kind)) {
+            os << ",\"id\":" << ev.arg;
+            if (ev.kind == EventKind::FlowEnd)
+                os << ",\"bp\":\"e\""; // bind to the enclosing slice
+        }
+        // args: counter value / text payload / causal stamps.
+        std::string args;
+        auto field = [&](const std::string &f) {
+            args += (args.empty() ? "" : ",") + f;
+        };
         if (ev.kind == EventKind::Counter)
-            os << ",\"args\":{\"value\":" << ev.arg << "}";
-        else if (!ev.text.empty())
-            os << ",\"args\":{\"msg\":\"" << jsonEscape(ev.text)
-               << "\"}";
+            field("\"value\":" + std::to_string(ev.arg));
+        if (const std::string &text = textOf(ev); !text.empty())
+            field("\"msg\":\"" + jsonEscape(text) + "\"");
+        if (ev.kind == EventKind::Instant && ev.arg != 0)
+            field("\"v\":" + std::to_string(ev.arg));
+        if (!isFlow(ev.kind) && ev.req != 0)
+            field("\"req\":" + std::to_string(ev.req));
+        if (ev.phase != req::phaseNone && ev.phase < phaseCount)
+            field(std::string("\"phase\":\"") +
+                  phaseName(Phase(ev.phase)) + "\"");
+        if (!args.empty())
+            os << ",\"args\":{" << args << "}";
         os << "}";
     }
     os << "\n]}\n";

@@ -2,19 +2,26 @@
  * @file
  * Low-overhead event tracing keyed by simulated cycles.
  *
- * The Tracer records begin/end spans, instants and counter samples
- * into a fixed-capacity ring buffer (oldest events are overwritten)
- * and exports them as Chrome/Perfetto `trace_event` JSON, with one
- * simulated cycle mapped to one microsecond of trace time. Every
- * record call is guarded by a single inline enabled() check, so the
- * tracer costs one predictable branch when off; it is off by default
- * and turned on either programmatically or by setting XPC_TRACE=1 in
- * the environment. Building with -DXPC_TRACING_DISABLED compiles the
- * guard to a constant false and dead-codes every probe.
+ * The Tracer records begin/end spans, instants, counter samples and
+ * causal flow events into a fixed-capacity ring buffer (oldest events
+ * are overwritten) and exports them as Chrome/Perfetto `trace_event`
+ * JSON, with one simulated cycle mapped to one microsecond of trace
+ * time. Every record call is guarded by a single inline enabled()
+ * check, so the tracer costs one predictable branch when off; it is
+ * off by default and turned on either programmatically or by setting
+ * XPC_TRACE=1 in the environment. Building with -DXPC_TRACING_DISABLED
+ * compiles the guard to a constant false and dead-codes every probe.
  *
  * Timestamps are *simulated* cycles supplied by the caller (usually
  * hw::Core::now()), so tracing never perturbs measured latencies:
  * recording an event does not spend core cycles.
+ *
+ * Ring slots are trivially copyable: dynamic payloads (log record
+ * text) live in a small side ring of strings referenced by index, so
+ * the span/instant fast path never allocates. Every event is stamped
+ * with the active request id and phase (sim/request.hh), which is
+ * what ties a span on the file server's lane to the client request
+ * that caused it.
  */
 
 #ifndef XPC_SIM_TRACE_HH
@@ -23,9 +30,12 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "sim/request.hh"
 #include "sim/types.hh"
 
 namespace xpc::trace {
@@ -33,10 +43,13 @@ namespace xpc::trace {
 /** Chrome trace_event phase of one record. */
 enum class EventKind : uint8_t
 {
-    Begin,   ///< "B": span opens
-    End,     ///< "E": span closes
-    Instant, ///< "i": point event
-    Counter, ///< "C": sampled counter value
+    Begin,     ///< "B": span opens
+    End,       ///< "E": span closes
+    Instant,   ///< "i": point event
+    Counter,   ///< "C": sampled counter value
+    FlowStart, ///< "s": a causal flow arc begins here
+    FlowStep,  ///< "t": the flow passes through this slice
+    FlowEnd,   ///< "f": the flow terminates here
 };
 
 /** One recorded event. cat/name must be string literals (or other
@@ -44,14 +57,24 @@ enum class EventKind : uint8_t
 struct TraceEvent
 {
     uint64_t ts = 0;  ///< simulated cycles
-    uint64_t arg = 0; ///< counter value (Counter events)
+    uint64_t arg = 0; ///< counter value / flow id / payload cycles
     const char *cat = "";
     const char *name = "";
-    uint32_t tid = 0; ///< core id
+    /** Request bound when the event was recorded (0 = none). */
+    uint64_t req = 0;
+    uint32_t tid = 0; ///< lane: core id, or req::threadLane(thread)
+    /** Phase bound when recorded (req::phaseNone = none). */
+    uint32_t phase = req::phaseNone;
+    /** 1-based sequence into the text side ring (0 = no text). */
+    uint32_t textRef = 0;
     EventKind kind = EventKind::Instant;
-    /** Optional dynamic payload (log records); exported as args.msg. */
-    std::string text;
 };
+
+// The ring assignment must never allocate (satellite: no std::string
+// in the hot slot; log text goes through the side ring instead).
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent must stay trivially copyable: the span fast "
+              "path may not allocate");
 
 /** Ring-buffer tracer; one global instance per process. */
 class Tracer
@@ -62,6 +85,9 @@ class Tracer
 #else
     static constexpr bool compiledIn = true;
 #endif
+
+    /** Capacity of the text side ring (log payloads retained). */
+    static constexpr size_t textCapacity = 1024;
 
     /** The process-wide tracer. First use reads XPC_TRACE ("0" or
      *  unset = disabled) and XPC_TRACE_BUF (capacity in events). */
@@ -74,7 +100,7 @@ class Tracer
     void setCapacity(size_t events);
     size_t capacity() const { return cap; }
 
-    /** Drop all recorded events (capacity unchanged). */
+    /** Drop all recorded events (capacity and track names kept). */
     void clear();
 
     void begin(const char *cat, const char *name, uint64_t ts,
@@ -87,12 +113,23 @@ class Tracer
                  uint64_t ts, uint32_t tid);
 
     /**
+     * Causal flow event: the "s"/"t"/"f" arc that Perfetto draws
+     * across lanes. Events with the same (cat, name, flow_id) chain
+     * into one arc, each binding to the slice enclosing @p ts on its
+     * lane. @p kind must be FlowStart, FlowStep or FlowEnd.
+     */
+    void flow(EventKind kind, const char *cat, const char *name,
+              uint64_t flow_id, uint64_t ts, uint32_t tid);
+
+    /**
      * Instant stamped with the last timestamp seen on @p tid: used by
      * layers that observe an event but do not own a cycle clock (the
-     * memory system, the log sinks, the fault injector).
+     * memory system, the log sinks, the fault injector). @p arg
+     * carries an optional payload (e.g. miss-fill cycles), exported
+     * as args.v.
      */
     void instantNow(const char *cat, const char *name, uint32_t tid,
-                    std::string text = {});
+                    std::string text = {}, uint64_t arg = 0);
 
     /** Most recent timestamp recorded for @p tid (0 if none). */
     uint64_t lastTime(uint32_t tid) const;
@@ -107,6 +144,25 @@ class Tracer
     /** Snapshot of the retained events, oldest first. */
     std::vector<TraceEvent> events() const;
 
+    /**
+     * Resolve an event's dynamic text from the side ring. Returns ""
+     * when the event carries none or the slot has since been
+     * overwritten (the side ring wraps independently).
+     */
+    const std::string &textOf(const TraceEvent &ev) const;
+
+    /**
+     * Name a lane for the export (Perfetto thread_name metadata).
+     * Wiring-time registration; survives clear() and works while
+     * tracing is disabled so lanes named during setup still label a
+     * later trace.
+     */
+    void setTrackName(uint32_t tid, std::string name);
+    const std::map<uint32_t, std::string> &trackNames() const
+    {
+        return laneNames;
+    }
+
     /** Write Chrome trace_event JSON ({"traceEvents": [...]}). */
     void exportChromeJson(std::ostream &os) const;
     /** Same, to a file. @return false if the file could not open. */
@@ -115,13 +171,17 @@ class Tracer
   private:
     Tracer();
 
-    void push(TraceEvent ev);
+    void push(TraceEvent &ev);
 
     bool on = false;
     size_t cap = 1 << 16;
     std::vector<TraceEvent> ring;
     uint64_t nrec = 0;
     std::array<uint64_t, 256> lastTs{};
+    /** Side ring for dynamic payloads; texts[i % textCapacity]. */
+    std::vector<std::string> texts;
+    uint64_t ntext = 0;
+    std::map<uint32_t, std::string> laneNames;
 };
 
 /**

@@ -215,7 +215,7 @@ TEST_F(TraceTest, LogRecordsInterleaveIntoTraceWhenEnabled)
     EXPECT_EQ(ev.kind, trace::EventKind::Instant);
     EXPECT_STREQ(ev.cat, "log");
     EXPECT_STREQ(ev.name, "warn");
-    EXPECT_EQ(ev.text, "tlb shootdown fallback");
+    EXPECT_EQ(t.textOf(ev), "tlb shootdown fallback");
 }
 
 TEST_F(TraceTest, PhaseTimerRecordsStatsAndSpan)

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Per-request critical-path profiler over an XPC simulator trace.
+
+Usage:
+    critpath.py [--req ID] [--top] [--check] TRACE.json
+
+TRACE.json is the Chrome/Perfetto trace_event file written by
+trace::Tracer::exportChromeJson (e.g. by `XPC_TRACE=1
+examples/web_chain`). Every span the simulator records is stamped with
+the request chain that caused it ("args":{"req":N}); this tool
+rebuilds each request's span tree and attributes every cycle of the
+request's end-to-end window to the innermost span active at that
+instant, exactly like the in-simulator analyzer (src/sim/critpath.cc).
+
+The invariant this enforces: the per-span cycle totals of one request
+sum to exactly its end-to-end simulated cycles. Gaps no span claims
+are reported as "(untracked)" rather than dropped. --check exits
+non-zero if any request violates the invariant (it should never).
+
+Timestamps are simulated cycles (exported 1 cycle = 1 us).
+
+Exit status: 0 = ok, 1 = --check failed, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"critpath: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+    return events
+
+
+def lane_names(events):
+    names = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            names[ev["tid"]] = ev.get("args", {}).get("name", "")
+    return names
+
+
+class Request:
+    def __init__(self, rid):
+        self.id = rid
+        self.intervals = []   # (begin, end, name, tid, seq, clamped)
+        self.open = []        # [tid, cat, name, begin, seq]
+        self.lanes = set()
+        self.flow_start = False
+        self.flow_end = False
+        self.last_ts = 0
+        self.clamped = False
+        self.mem = defaultdict(int)
+
+
+def build(events):
+    """Pair B/E spans per request in record order."""
+    reqs = {}
+    window_start = min((e["ts"] for e in events if "ts" in e),
+                       default=0)
+
+    def req_of(ev):
+        args = ev.get("args", {})
+        ph = ev.get("ph")
+        if ph in ("s", "t", "f"):
+            return ev.get("id", 0)
+        return args.get("req", 0)
+
+    for seq, ev in enumerate(events):
+        ph = ev.get("ph")
+        rid = req_of(ev)
+        if not rid or ph == "M":
+            continue
+        r = reqs.setdefault(rid, Request(rid))
+        ts = ev.get("ts", 0)
+        r.last_ts = max(r.last_ts, ts)
+        tid = ev.get("tid", 0)
+        key = (tid, ev.get("cat", ""), ev.get("name", ""))
+        if ph == "B":
+            r.open.append([key, ts, seq])
+            r.lanes.add(tid)
+        elif ph == "E":
+            for i in range(len(r.open) - 1, -1, -1):
+                if r.open[i][0] == key:
+                    _, begin, bseq = r.open.pop(i)
+                    r.intervals.append(
+                        (begin, ts, key[2], tid, bseq, False))
+                    break
+            else:
+                # Begin lost to ring wraparound: clamp to the window.
+                r.intervals.append(
+                    (window_start, ts, key[2], tid, -1, True))
+                r.clamped = True
+            r.lanes.add(tid)
+        elif ph == "s":
+            r.flow_start = True
+            r.lanes.add(tid)
+        elif ph == "f":
+            r.flow_end = True
+            r.lanes.add(tid)
+        elif ph == "t":
+            r.lanes.add(tid)
+        elif ph == "i" and ev.get("cat") == "mem":
+            name = ev.get("name", "")
+            if name in ("tlb_miss_fill", "l1_miss_fill"):
+                r.mem[name] += 1
+                r.mem[name + ".cycles"] += ev.get("args", {}).get(
+                    "v", 0)
+
+    for r in reqs.values():
+        for key, begin, bseq in r.open:
+            # A span that never closed (crash, trace cut mid-call).
+            end = max(r.last_ts, begin)
+            r.intervals.append((begin, end, key[2], key[0], bseq, True))
+            r.clamped = True
+        r.open = []
+    return reqs
+
+
+def sweep(r):
+    """Attribute every slice of the request window to the innermost
+    active span. Returns (path, totals, start, end)."""
+    if not r.intervals:
+        return [], {}, 0, 0
+    start = min(iv[0] for iv in r.intervals)
+    end = max(iv[1] for iv in r.intervals)
+    cuts = sorted({ts for iv in r.intervals for ts in (iv[0], iv[1])})
+    totals = defaultdict(int)
+    path = []
+    for lo, hi in zip(cuts, cuts[1:]):
+        # innermost: latest begin, then earliest end, then latest seq
+        best = None
+        for begin, iend, name, tid, seq, _ in r.intervals:
+            if begin > lo or iend < hi:
+                continue
+            cand = (begin, -iend, seq, name, tid)
+            if best is None or cand > best:
+                best = cand
+        if best is None:
+            name, tid = "(untracked)", 0
+        else:
+            name, tid = best[3], best[4]
+        totals[name] += hi - lo
+        if path and path[-1][0] == name and path[-1][1] == tid:
+            path[-1][3] += hi - lo
+        else:
+            path.append([name, tid, lo, hi - lo])
+    return path, dict(totals), start, end
+
+
+def lane_label(names, tid):
+    if tid in names:
+        return names[tid]
+    return f"thread{tid - 1000}" if tid >= 1000 else f"core{tid}"
+
+
+def report_request(r, names):
+    path, totals, start, end = sweep(r)
+    total = end - start
+    attributed = sum(totals.values())
+    flags = []
+    if r.flow_start and r.flow_end:
+        flags.append("flow closed")
+    if r.clamped:
+        flags.append("INCOMPLETE (spans clamped)")
+    extra = (", " + ", ".join(flags)) if flags else ""
+    print(f"request #{r.id}: {total} cycles, "
+          f"{len(r.lanes)} lane(s){extra}")
+    print("  critical path:")
+    for name, tid, begin, cycles in path:
+        print(f"    {begin:>10}  +{cycles:<8} "
+              f"{lane_label(names, tid):<12} {name}")
+    print("  by span:")
+    for name, cycles in sorted(totals.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * cycles / total if total else 0.0
+        print(f"    {name:<16} {cycles:>10}  {share:5.1f}%")
+    if r.mem:
+        tw = r.mem.get("tlb_miss_fill", 0)
+        twc = r.mem.get("tlb_miss_fill.cycles", 0)
+        l1 = r.mem.get("l1_miss_fill", 0)
+        l1c = r.mem.get("l1_miss_fill.cycles", 0)
+        print(f"  memory: {tw} TLB walk(s) ({twc} cyc), "
+              f"{l1} L1 fill(s) ({l1c} cyc)")
+    ok = attributed == total
+    print(f"  attribution check: {attributed} / {total} cycles "
+          f"({'exact' if ok else 'MISMATCH'})")
+    return ok
+
+
+def report_top(reqs):
+    """xpctop-style aggregate across every request."""
+    span_totals = defaultdict(int)
+    durations = []
+    for r in reqs.values():
+        _, totals, start, end = sweep(r)
+        durations.append(end - start)
+        for name, cycles in totals.items():
+            span_totals[name] += cycles
+    durations.sort()
+    grand = sum(span_totals.values())
+
+    def quantile(q):
+        if not durations:
+            return 0
+        return durations[min(len(durations) - 1,
+                             int(q * len(durations)))]
+
+    print(f"critpath top: {len(reqs)} request(s), end-to-end "
+          f"p50 {quantile(0.5)} / p99 {quantile(0.99)} cycles")
+    for name, cycles in sorted(span_totals.items(),
+                               key=lambda kv: -kv[1]):
+        share = 100.0 * cycles / grand if grand else 0.0
+        print(f"  {name:<16} {cycles:>12}  {share:5.1f}%")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Critical-path profiler for XPC simulator traces.")
+    ap.add_argument("trace", help="Chrome trace_event JSON file")
+    ap.add_argument("--req", type=int, default=None,
+                    help="report only this request id")
+    ap.add_argument("--top", action="store_true",
+                    help="print only the aggregate (xpctop) view")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 unless every request's span cycles "
+                         "sum to its end-to-end cycles")
+    args = ap.parse_args()
+
+    events = load_events(args.trace)
+    names = lane_names(events)
+    reqs = build(events)
+    reqs = {rid: r for rid, r in reqs.items() if r.intervals}
+    if not reqs:
+        print("critpath: no request-stamped spans in the trace",
+              file=sys.stderr)
+        sys.exit(2)
+    if args.req is not None:
+        if args.req not in reqs:
+            print(f"critpath: request {args.req} not in the trace "
+                  f"(have: {sorted(reqs)})", file=sys.stderr)
+            sys.exit(2)
+        reqs = {args.req: reqs[args.req]}
+
+    all_ok = True
+    if args.top:
+        report_top(reqs)
+    else:
+        for rid in sorted(reqs):
+            all_ok = report_request(reqs[rid], names) and all_ok
+        if len(reqs) > 1:
+            print()
+            report_top(reqs)
+    if args.check and not all_ok:
+        print("critpath: attribution mismatch", file=sys.stderr)
+        sys.exit(1)
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -17,11 +17,17 @@ shrink, everything else (cycles, latency, us, ms) regresses when it
 grows. Keys present on only one side are reported but are not
 failures, so adding a metric does not break the gate.
 
+Non-finite values (NaN/Infinity leak through from empty
+distributions; Python's json accepts those tokens) are skipped with a
+warning rather than compared: NaN != NaN would otherwise count every
+empty-stat entry as a change, and inf deltas are meaningless.
+
 Exit status: 0 = no regression, 1 = regression, 2 = usage/IO error.
 """
 
 import argparse
 import json
+import math
 import os
 import sys
 
@@ -29,13 +35,18 @@ HIGHER_IS_BETTER = ("ops", "mbps", "rps", "per_sec", "throughput",
                     "speedup", "normalized", "share")
 
 
-def flatten(report):
+def flatten(report, origin="?"):
     """Numeric leaves of the comparable sections, as {path: value}."""
     out = {}
     for section in ("metrics", "phases"):
         for key, val in report.get(section, {}).items():
             if isinstance(val, (int, float)) and val is not True \
                     and val is not False:
+                if not math.isfinite(val):
+                    print(f"stats_diff: warning: skipping non-finite "
+                          f"{section}.{key} = {val} in {origin}",
+                          file=sys.stderr)
+                    continue
                 out[f"{section}.{key}"] = float(val)
     return out
 
@@ -115,8 +126,8 @@ def main():
     failed = False
     for name, base_path, cur_path in pair_up(args.baseline,
                                              args.current):
-        regs, imps, miss = compare(flatten(load(base_path)),
-                                   flatten(load(cur_path)),
+        regs, imps, miss = compare(flatten(load(base_path), base_path),
+                                   flatten(load(cur_path), cur_path),
                                    args.threshold)
         if regs:
             failed = True
