@@ -1,0 +1,19 @@
+#include "breaker.hh"
+
+namespace xpc::core {
+
+const char *
+breakerStateName(CircuitBreaker::State state)
+{
+    switch (state) {
+      case CircuitBreaker::State::Closed:
+        return "closed";
+      case CircuitBreaker::State::Open:
+        return "open";
+      case CircuitBreaker::State::HalfOpen:
+        return "half-open";
+    }
+    return "unknown";
+}
+
+} // namespace xpc::core

@@ -53,12 +53,19 @@ System::System(const SystemOptions &options) : opts(options)
       }
     }
 
+    XpcRuntimeOptions runtime_opts = opts.runtimeOpts;
+    if (opts.deadlineCycles.value() != 0) {
+        kernelPtr->callDeadline = opts.deadlineCycles;
+        if (runtime_opts.deadlineCycles.value() == 0)
+            runtime_opts.deadlineCycles = opts.deadlineCycles;
+    }
+
     enginePtr =
         std::make_unique<engine::XpcEngine>(*mach, opts.engineOpts);
     managerPtr =
         std::make_unique<kernel::XpcManager>(*kernelPtr, *enginePtr);
     runtimePtr = std::make_unique<XpcRuntime>(*kernelPtr, *managerPtr,
-                                              opts.runtimeOpts);
+                                              runtime_opts);
 
     switch (opts.flavor) {
       case SystemFlavor::Sel4TwoCopy:

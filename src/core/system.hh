@@ -39,6 +39,13 @@ struct SystemOptions
     SystemFlavor flavor = SystemFlavor::Sel4Xpc;
     engine::XpcEngineOptions engineOpts{};
     XpcRuntimeOptions runtimeOpts{};
+    /**
+     * Per-request deadline budget applied to every transport in the
+     * system (kernel IPC and the XPC runtime alike); 0 = off. A
+     * non-zero runtimeOpts.deadlineCycles takes precedence on the
+     * XPC path.
+     */
+    Cycles deadlineCycles{0};
 
     SystemOptions() : machine(hw::rocketU500()) {}
 };

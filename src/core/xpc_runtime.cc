@@ -15,6 +15,9 @@ XpcRuntime::XpcRuntime(kernel::Kernel &kernel,
 {
     stats.addCounter("calls", &calls);
     stats.addCounter("context_exhausted", &contextExhausted);
+    stats.addCounter("deadline_expired", &deadlineExpired);
+    stats.addCounter("deadline_revocations", &deadlineRevocations);
+    stats.addCounter("late_writes_blocked", &lateWritesBlocked);
 }
 
 uint64_t
@@ -92,6 +95,13 @@ XpcRuntime::segWrite(hw::Core &core, uint64_t off, const void *src,
                      uint64_t len)
 {
     mem::SegWindow window = engine::XpcEngine::effectiveSeg(core.csrs);
+    if (!window.valid) {
+        // The segment under this thread was revoked (deadline-expiry
+        // cleanup, injected revocation): the store faults on the
+        // scrubbed seg-reg instead of landing in reclaimed frames.
+        lateWritesBlocked.inc();
+        return false;
+    }
     panic_if(!window.covers(window.vaBase + off, len),
              "segWrite outside the active relay segment");
     mem::TransContext ctx;
@@ -117,6 +127,11 @@ XpcRuntime::segRead(hw::Core &core, uint64_t off, void *dst,
                     uint64_t len)
 {
     mem::SegWindow window = engine::XpcEngine::effectiveSeg(core.csrs);
+    if (!window.valid) {
+        // Revoked segment: loads fault; the caller sees zeros.
+        std::memset(dst, 0, len);
+        return false;
+    }
     panic_if(!window.covers(window.vaBase + off, len),
              "segRead outside the active relay segment");
     mem::TransContext ctx;
@@ -143,6 +158,13 @@ XpcServerCall::readMsg(uint64_t off, void *dst, uint64_t len)
 {
     mem::SegWindow window =
         engine::XpcEngine::effectiveSeg(coreRef.csrs);
+    if (!window.valid) {
+        // The segment was revoked out from under this invocation:
+        // the access faults (paper 4.4) and the call is poisoned.
+        std::memset(dst, 0, len);
+        fail(kernel::CallStatus::SegRevoked);
+        return;
+    }
     panic_if(!window.covers(window.vaBase + off, len),
              "readMsg outside the relay segment");
     mem::TransContext ctx;
@@ -165,6 +187,12 @@ XpcServerCall::writeMsg(uint64_t off, const void *src, uint64_t len)
 {
     mem::SegWindow window =
         engine::XpcEngine::effectiveSeg(coreRef.csrs);
+    if (!window.valid) {
+        // Late write through a revoked mapping: faults, never lands.
+        runtime.lateWritesBlocked.inc();
+        fail(kernel::CallStatus::SegRevoked);
+        return;
+    }
     panic_if(!window.covers(window.vaBase + off, len),
              "writeMsg outside the relay segment");
     mem::TransContext ctx;
@@ -256,9 +284,16 @@ struct CallSpanCloser
     uint64_t flowId;
     bool top;
     bool active;
+    /** Filled by the time doCall returns; stamped as the request's
+     *  terminal outcome (critpath.py --top groups requests by it). */
+    const XpcCallOutcome *out = nullptr;
 
     ~CallSpanCloser()
     {
+        if (top && out) {
+            tr.instantNow("xpc", "outcome", lane,
+                          kernel::callStatusName(out->status));
+        }
         if (!active)
             return;
         uint64_t now = core.now().value();
@@ -284,6 +319,16 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
     // fresh id, nested handover calls inherit the active one. Every
     // trace event and memory access below is stamped with it.
     req::RequestScope rscope;
+
+    // Deadline: the top-level call mints an absolute one from the
+    // configured budget; nested hops inherit the enclosing deadline
+    // (the scope can only tighten, never extend it). 0 = none.
+    req::DeadlineScope dscope(
+        rscope.topLevel() && opts.deadlineCycles.value() != 0
+            ? (core.now() + opts.deadlineCycles).value()
+            : 0);
+    const uint64_t deadline =
+        req::RequestContext::global().currentDeadline();
 
     // Fault injection: one lookup per call decides what (if anything)
     // goes wrong, and at which Table-1 phase it strikes.
@@ -346,7 +391,16 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
     }
     CallSpanCloser closer{tr,          core,
                           caller_lane, rscope.id(),
-                          rscope.topLevel(), tr.enabled()};
+                          rscope.topLevel(), tr.enabled(),
+                          &out};
+
+    if (deadline != 0 && core.now().value() >= deadline) {
+        // Already out of budget (an upstream hop burned it all):
+        // reject before issuing the xcall at all.
+        deadlineExpired.inc();
+        out.status = CallStatus::DeadlineExpired;
+        return out;
+    }
 
     engine::XcallResult xc;
     {
@@ -414,6 +468,8 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
     // In-handler faults strike while the callee owns the core.
     bool skip_handler = false;
     bool hang_injected = false;
+    bool stall_injected = false;
+    uint32_t slow_factor = 1;
     bool server_died = false;
     if (fault && fault->phase == FaultPhase::InHandler) {
         switch (fault->op) {
@@ -444,6 +500,23 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
             if (xpcManager.corruptTopLinkage(core))
                 inj->recordFired(*fault);
             break;
+          case FaultOp::StallServer:
+            // A stalled server busy-loops and never replies. With a
+            // deadline armed it burns the whole budget; with only a
+            // watchdog it degrades to a hang. With neither, firing
+            // it would wedge the caller forever - skip.
+            if (deadline != 0) {
+                stall_injected = true;
+                inj->recordFired(*fault);
+            } else if (opts.timeoutCycles.value() != 0) {
+                hang_injected = true;
+                inj->recordFired(*fault);
+            }
+            break;
+          case FaultOp::SlowServer:
+            slow_factor = fault->arg > 1 ? fault->arg : 2;
+            inj->recordFired(*fault);
+            break;
           default:
             break;
         }
@@ -452,10 +525,22 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
     Cycles h0 = core.now();
     {
         req::PhaseScope phase(uint32_t(Phase::Handler));
-        if (hang_injected)
+        if (hang_injected) {
             call_ctx.hang(opts.timeoutCycles + Cycles(1000));
-        else if (!skip_handler)
+        } else if (stall_injected) {
+            // Busy-loop well past the deadline; no reply is written.
+            uint64_t now = core.now().value();
+            call_ctx.hang(Cycles(
+                (deadline > now ? deadline - now : 0) + 1000));
+        } else if (!skip_handler) {
             state.handler(call_ctx);
+            if (slow_factor > 1) {
+                // Slow server: the handler ran at slow_factor x its
+                // normal cost; charge the extra shares here so the
+                // overrun is attributed to the handler phase.
+                core.spend((core.now() - h0) * (slow_factor - 1));
+            }
+        }
     }
     out.handlerCycles = core.now() - h0;
     if (tr.enabled()) {
@@ -469,6 +554,41 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
         tr.flow(trace::EventKind::FlowStep, "xpc", "req", rscope.id(),
                 h0.value(), hlane);
         tr.end("xpc", "handler", core.now().value(), hlane);
+    }
+
+    if (!server_died && deadline != 0 &&
+        core.now().value() >= deadline) {
+        // The deadline expired while the callee owned the core. The
+        // caller gives up *now*: paper-faithful cleanup is the 6.1
+        // timeout unwind plus 4.4 segment revocation, so a server
+        // that is still chewing on the request can never write the
+        // reclaimed segment behind the caller's back.
+        state.busy--;
+        uint64_t held_seg = core.csrs.segId;
+        if (held_seg != 0 && xpcManager.segById(held_seg)) {
+            // Revoke while the server's seg-reg still names the
+            // segment: this scrubs the seg-reg of every core holding
+            // it and invalidates the seg-list slots.
+            xpcManager.revokeRelaySeg(held_seg);
+            deadlineRevocations.inc();
+            if (stall_injected || call_ctx.hung) {
+                // The stalled server eventually resumes and issues
+                // its reply store through the mapping it held. The
+                // revocation scrubbed that seg-reg, so the store
+                // faults instead of landing in reclaimed frames.
+                mem::SegWindow late =
+                    engine::XpcEngine::effectiveSeg(core.csrs);
+                if (!late.valid)
+                    lateWritesBlocked.inc();
+            }
+        }
+        xpcManager.forceUnwind(core, /*even_if_invalid=*/true);
+        deadlineExpired.inc();
+        tr.instantNow("runtime", "deadline_expired", caller_lane);
+        out.ok = false;
+        out.status = CallStatus::DeadlineExpired;
+        out.roundTrip = core.now() - start;
+        return out;
     }
 
     if (call_ctx.hung && opts.timeoutCycles.value() != 0 &&

@@ -49,6 +49,17 @@ struct XpcRuntimeOptions
     /** Callee budget before the kernel's timeout unwinds the call;
      *  0 = infinite (the common real-world setting, paper 6.1). */
     Cycles timeoutCycles{0};
+    /**
+     * Per-request deadline budget; 0 = off (the default - cycle
+     * output is then byte-identical to a build without deadlines).
+     * Each top-level call mints an absolute deadline of now +
+     * deadlineCycles; nested handover calls inherit it (they can
+     * only tighten it, see req::DeadlineScope). On expiry the
+     * runtime performs the paper's timeout cleanup - link-stack
+     * unwind (4.2/6.1) plus relay-seg revocation (4.4) - so a
+     * stalled server can never write the reclaimed segment.
+     */
+    Cycles deadlineCycles{0};
 };
 
 /** Outcome of one xpcCall. */
@@ -210,6 +221,12 @@ class XpcRuntime
 
     Counter calls;
     Counter contextExhausted;
+    /** Calls cut short because their deadline expired. */
+    Counter deadlineExpired;
+    /** Relay segments revoked by deadline-expiry cleanup. */
+    Counter deadlineRevocations;
+    /** Late server writes that faulted on a revoked segment. */
+    Counter lateWritesBlocked;
 
     /** Registry node; attached to the system's group. */
     StatGroup stats{"runtime"};

@@ -21,6 +21,7 @@ Kernel::Kernel(hw::Machine &machine)
 {
     stats.addCounter("traps", &traps);
     stats.addCounter("context_switches", &contextSwitches);
+    stats.addCounter("deadline_expired", &deadlineExpired);
 }
 
 Process &
@@ -152,6 +153,12 @@ callStatusName(CallStatus status)
         return "engine-fault";
       case CallStatus::NestedFailure:
         return "nested-failure";
+      case CallStatus::Overloaded:
+        return "overloaded";
+      case CallStatus::DeadlineExpired:
+        return "deadline-expired";
+      case CallStatus::BreakerOpen:
+        return "breaker-open";
     }
     return "unknown";
 }

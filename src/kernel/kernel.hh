@@ -45,6 +45,12 @@ enum class CallStatus
     EngineFault,
     /** A nested (handover) call the handler issued failed. */
     NestedFailure,
+    /** The server shed the request at admission (load shedding). */
+    Overloaded,
+    /** The request's deadline expired before a reply was produced. */
+    DeadlineExpired,
+    /** The client-side circuit breaker is open; call not attempted. */
+    BreakerOpen,
 };
 
 const char *callStatusName(CallStatus status);
@@ -96,6 +102,19 @@ class Kernel
 
     hw::Machine &machine() { return mach; }
     KernelCosts costs;
+
+    /**
+     * Per-call deadline budget for top-level kernel IPC (0 = off,
+     * the default). When set, every outermost call mints an absolute
+     * deadline of now + callDeadline; nested hops inherit the
+     * tightest enclosing deadline and the kernel aborts the call
+     * with CallStatus::DeadlineExpired once the cycle clock passes
+     * it, instead of letting a stalled server block the caller.
+     */
+    Cycles callDeadline{0};
+
+    /** Calls aborted because their deadline expired. */
+    Counter deadlineExpired;
 
     Process &createProcess(const std::string &name);
     Thread &createThread(Process &process, CoreId home_core);

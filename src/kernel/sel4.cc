@@ -20,9 +20,16 @@ struct Sel4SpanCloser
     uint64_t flowId;
     bool top;
     bool active;
+    /** The request's terminal outcome, stamped as an instant for
+     *  critpath.py's --top outcome column. */
+    const Sel4CallOutcome *out = nullptr;
 
     ~Sel4SpanCloser()
     {
+        if (top && out) {
+            tr.instantNow("sel4", "outcome", lane,
+                          callStatusName(out->status));
+        }
         if (!active)
             return;
         uint64_t now = core.now().value();
@@ -206,20 +213,31 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     }
 
     // Chaos hook: a scheduled copy fault arms a one-shot memory
-    // fault that the next copy on this call path consumes.
-    if (FaultInjector *inj = mach.faultInjector();
-        inj && inj->enabled) {
+    // fault that the next copy on this call path consumes; stall and
+    // slowdown faults strike later, around the handler.
+    FaultInjector *inj = mach.faultInjector();
+    const FaultEvent *fault = nullptr;
+    if (inj && inj->enabled) {
         uint64_t seq = inj->beginCall();
-        const FaultEvent *ev = inj->eventAt(seq);
-        if (ev && ev->op == FaultOp::CopyFault) {
+        fault = inj->eventAt(seq);
+        if (fault && fault->op == FaultOp::CopyFault) {
             inj->armMemFault();
-            inj->recordFired(*ev);
+            inj->recordFired(*fault);
         }
     }
 
     // One seL4 IPC is one hop of a request chain: mint (or inherit)
     // the request id and bracket the whole call on the client's lane.
     req::RequestScope rscope;
+
+    // Deadline: minted from the kernel's per-call budget at the top
+    // of a chain, inherited (absolute) by every nested hop.
+    req::DeadlineScope dscope(
+        rscope.topLevel() && callDeadline.value() != 0
+            ? (core.now() + callDeadline).value()
+            : 0);
+    const uint64_t deadline =
+        req::RequestContext::global().currentDeadline();
     auto &tr = trace::Tracer::global();
     uint32_t clane = req::threadLane(uint32_t(client.id()));
 
@@ -232,7 +250,8 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     }
     Sel4SpanCloser closer{tr,          core,
                           clane,       rscope.id(),
-                          rscope.topLevel(), tr.enabled()};
+                          rscope.topLevel(), tr.enabled(),
+                          &out};
 
     // Abandon the call: if the kernel already switched to the server,
     // charge the bare return IPC before surfacing the error.
@@ -256,6 +275,14 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
         out.roundTrip = core.now() - start;
         return out;
     };
+
+    if (deadline != 0 && core.now().value() >= deadline) {
+        // Out of budget before the syscall even traps: an upstream
+        // hop burned the whole deadline. Reject instead of calling.
+        deadlineExpired.inc();
+        return abortCall(CallStatus::DeadlineExpired);
+    }
+
     Sel4Phases phases;
     bool cross_core = ep.server->sched.homeCore != core.id();
     bool medium = req_len > params.regMsgMax &&
@@ -439,6 +466,32 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
                  start;
 
     // --- The handler runs in the server's address space. ----------
+    // Stall / slowdown faults strike here, while the server owns the
+    // request. A stall only fires when a deadline is armed - without
+    // a budget to exceed it would wedge the caller forever.
+    bool stall_injected = false;
+    uint32_t slow_factor = 1;
+    if (fault && fault->op == FaultOp::StallServer && deadline != 0) {
+        stall_injected = true;
+        inj->recordFired(*fault);
+    } else if (fault && fault->op == FaultOp::SlowServer) {
+        slow_factor = fault->arg > 1 ? fault->arg : 2;
+        inj->recordFired(*fault);
+    }
+    auto run_handler = [&](hw::Core &hcore, Sel4ServerCall &ctx) {
+        if (stall_injected) {
+            // Busy-loop past the deadline; no reply is produced.
+            uint64_t now = hcore.now().value();
+            hcore.spend(Cycles(
+                (deadline > now ? deadline - now : 0) + 1000));
+            return;
+        }
+        Cycles h0 = hcore.now();
+        ep.handler(ctx);
+        if (slow_factor > 1)
+            hcore.spend((hcore.now() - h0) * (slow_factor - 1));
+    };
+
     uint32_t hlane = req::threadLane(uint32_t(ep.server->id()));
     if (cross_core) {
         Sel4ServerCall remote(*this, handler_core, *ep.server);
@@ -456,7 +509,7 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
         Cycles h0 = handler_core.now();
         {
             req::PhaseScope phase(uint32_t(Phase::Handler));
-            ep.handler(remote);
+            run_handler(handler_core, remote);
         }
         out.handlerCycles = handler_core.now() - h0;
         if (tr.enabled()) {
@@ -478,7 +531,7 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
         Cycles h0 = core.now();
         {
             req::PhaseScope phase(uint32_t(Phase::Handler));
-            ep.handler(call_ctx);
+            run_handler(core, call_ctx);
         }
         out.handlerCycles = core.now() - h0;
         if (tr.enabled()) {
@@ -487,6 +540,16 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
                     rscope.id(), h0.value(), hlane);
             tr.end("sel4", "handler", core.now().value(), hlane);
         }
+    }
+
+    if (deadline != 0 && core.now().value() >= deadline) {
+        // The deadline expired while the server held the request
+        // (stalled, slow, or genuinely long handler). The kernel
+        // unwinds back to the client and discards whatever partial
+        // reply exists - the caller already gave up on it.
+        deadlineExpired.inc();
+        tr.instantNow("sel4", "deadline_expired", clane);
+        return abortCall(CallStatus::DeadlineExpired);
     }
 
     // A handler-flagged failure (nested call went wrong, message

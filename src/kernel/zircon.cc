@@ -20,9 +20,16 @@ struct ZirconSpanCloser
     uint64_t flowId;
     bool top;
     bool active;
+    /** The request's terminal outcome, stamped as an instant for
+     *  critpath.py's --top outcome column. */
+    const ZirconCallOutcome *out = nullptr;
 
     ~ZirconSpanCloser()
     {
+        if (top && out) {
+            tr.instantNow("zircon", "outcome", lane,
+                          callStatusName(out->status));
+        }
         if (!active)
             return;
         uint64_t now = core.now().value();
@@ -125,12 +132,14 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
              (unsigned long)req_len);
     channelMsgs.inc();
 
-    if (FaultInjector *inj = mach.faultInjector(); inj && inj->enabled) {
+    FaultInjector *inj = mach.faultInjector();
+    const FaultEvent *fault = nullptr;
+    if (inj && inj->enabled) {
         uint64_t seq = inj->beginCall();
-        const FaultEvent *ev = inj->eventAt(seq);
-        if (ev && ev->op == FaultOp::CopyFault) {
+        fault = inj->eventAt(seq);
+        if (fault && fault->op == FaultOp::CopyFault) {
             inj->armMemFault();
-            inj->recordFired(*ev);
+            inj->recordFired(*fault);
         }
     }
 
@@ -138,6 +147,15 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
     // round-trip on the client's lane (the old post-hoc span could
     // not cover abort unwinds; the closer can).
     req::RequestScope rscope;
+
+    // Deadline: minted from the kernel's per-call budget at the top
+    // of a chain, inherited (absolute) by every nested hop.
+    req::DeadlineScope dscope(
+        rscope.topLevel() && callDeadline.value() != 0
+            ? (core.now() + callDeadline).value()
+            : 0);
+    const uint64_t deadline =
+        req::RequestContext::global().currentDeadline();
     auto &tr = trace::Tracer::global();
     uint32_t clane = req::threadLane(uint32_t(client.id()));
 
@@ -150,7 +168,8 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
     }
     ZirconSpanCloser closer{tr,          core,
                             clane,       rscope.id(),
-                            rscope.topLevel(), tr.enabled()};
+                            rscope.topLevel(), tr.enabled(),
+                            &out};
 
     bool cross_core = ch.server->sched.homeCore != core.id();
     hw::Core &scre =
@@ -177,6 +196,13 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
         out.roundTrip = core.now() - start;
         return out;
     };
+
+    if (deadline != 0 && core.now().value() >= deadline) {
+        // Budget already exhausted by upstream hops: reject before
+        // the channel write.
+        deadlineExpired.inc();
+        return abortCall(CallStatus::DeadlineExpired);
+    }
 
     // --- zx_channel_write: copy in (user -> kernel). --------------
     chargeSyscall(core);
@@ -234,10 +260,30 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
     call_ctx.reqVa = ch.serverReqVa;
     call_ctx.replyVa = ch.serverReplyVa;
     uint32_t hlane = req::threadLane(uint32_t(ch.server->id()));
+    // Stall / slowdown faults strike while the server owns the
+    // request; a stall only fires when a deadline is armed.
+    bool stall_injected = false;
+    uint32_t slow_factor = 1;
+    if (fault && fault->op == FaultOp::StallServer && deadline != 0) {
+        stall_injected = true;
+        inj->recordFired(*fault);
+    } else if (fault && fault->op == FaultOp::SlowServer) {
+        slow_factor = fault->arg > 1 ? fault->arg : 2;
+        inj->recordFired(*fault);
+    }
     Cycles h0 = scre.now();
     {
         req::PhaseScope phase(uint32_t(Phase::Handler));
-        ch.handler(call_ctx);
+        if (stall_injected) {
+            // Busy-loop past the deadline; no reply is produced.
+            uint64_t now = scre.now().value();
+            scre.spend(Cycles(
+                (deadline > now ? deadline - now : 0) + 1000));
+        } else {
+            ch.handler(call_ctx);
+            if (slow_factor > 1)
+                scre.spend((scre.now() - h0) * (slow_factor - 1));
+        }
     }
     out.handlerCycles = scre.now() - h0;
     if (tr.enabled()) {
@@ -245,6 +291,14 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
         tr.flow(trace::EventKind::FlowStep, "zircon", "req",
                 rscope.id(), h0.value(), hlane);
         tr.end("zircon", "handler", scre.now().value(), hlane);
+    }
+
+    if (deadline != 0 && scre.now().value() >= deadline) {
+        // Expired while the server held the request: hop back to the
+        // client and discard the (partial) reply it gave up on.
+        deadlineExpired.inc();
+        tr.instantNow("zircon", "deadline_expired", clane);
+        return abortCall(CallStatus::DeadlineExpired);
     }
 
     if (call_ctx.failStatus != CallStatus::Ok)

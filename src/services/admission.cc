@@ -1,0 +1,85 @@
+#include "admission.hh"
+
+#include "core/transport.hh"
+#include "sim/trace.hh"
+
+namespace xpc::services {
+
+AdmissionController::AdmissionController(std::string name,
+                                         const AdmissionOptions &options)
+    : stats("admission." + name), name_(std::move(name)), opts(options)
+{
+    stats.addCounter("admitted", &admitted);
+    stats.addCounter("shed", &shed);
+    stats.addCounter("shed_fair_share", &shedFairShare);
+}
+
+void
+AdmissionController::drain(Bucket &b, uint64_t now) const
+{
+    if (now <= b.lastDrain) {
+        b.lastDrain = now;
+        return;
+    }
+    uint64_t leaked = (now - b.lastDrain) / opts.drainCycles.value();
+    b.level = b.level > leaked ? b.level - leaked : 0;
+    // Keep the remainder: advancing lastDrain only by whole drain
+    // periods keeps the bucket an exact function of the cycle clock.
+    b.lastDrain += leaked * opts.drainCycles.value();
+}
+
+bool
+AdmissionController::admit(Cycles now, uint32_t client_id)
+{
+    uint64_t t = now.value();
+    drain(global, t);
+
+    Bucket *client = nullptr;
+    if (opts.clientShare != 0 && client_id != 0) {
+        client = &perClient[client_id];
+        drain(*client, t);
+        if (client->level >= opts.clientShare) {
+            // This client already owns its fair share of the queue.
+            shedFairShare.inc();
+            shed.inc();
+            trace::Tracer::global().instantNow(
+                "admission", "shed", 0, name_ + " fair-share");
+            return false;
+        }
+    }
+    if (global.level >= opts.highWatermark) {
+        shed.inc();
+        trace::Tracer::global().instantNow("admission", "shed", 0,
+                                           name_ + " overload");
+        return false;
+    }
+    global.level++;
+    if (client)
+        client->level++;
+    admitted.inc();
+    return true;
+}
+
+uint64_t
+AdmissionController::backlogAt(Cycles now) const
+{
+    Bucket b = global;
+    drain(b, now.value());
+    return b.level;
+}
+
+bool
+admitOrShed(AdmissionController *adm, core::ServerApi &api)
+{
+    if (!adm)
+        return true;
+    kernel::Thread *caller = api.callerThread();
+    if (adm->admit(api.core().now(),
+                   caller ? uint32_t(caller->id()) : 0))
+        return true;
+    api.fail(core::TransportStatus::Overloaded);
+    api.setReplyLen(0);
+    return false;
+}
+
+} // namespace xpc::services

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Server-side admission control: a bounded pending-work queue with
+ * deterministic load shedding and per-client fair-share accounting.
+ *
+ * Each server owns (or shares) an AdmissionController and consults
+ * it at the top of its handler; a request refused admission is
+ * answered with CallStatus::Overloaded instead of being queued
+ * behind work the server cannot absorb. The queue is modelled as a
+ * leaky bucket drained by the simulated cycle clock: every admitted
+ * request adds one unit of backlog, and one unit drains every
+ * `drainCycles`. Because the drain is a pure function of the cycle
+ * clock, two same-seed runs shed exactly the same requests - the
+ * determinism the chaos soak asserts.
+ *
+ * Fair share: each client (keyed by its calling thread id) also has
+ * its own bucket; a client whose private backlog reaches
+ * `clientShare` is shed even while the global queue has room, so one
+ * aggressive client cannot starve the rest.
+ */
+
+#ifndef XPC_SERVICES_ADMISSION_HH
+#define XPC_SERVICES_ADMISSION_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace xpc::core {
+class ServerApi;
+}
+
+namespace xpc::services {
+
+struct AdmissionOptions
+{
+    /** Shed when the modelled backlog reaches this many requests. */
+    uint32_t highWatermark = 12;
+    /** One queued request drains per this many cycles. */
+    Cycles drainCycles{2000};
+    /** Per-client backlog cap (fair share); 0 disables it. */
+    uint32_t clientShare = 8;
+};
+
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(std::string name,
+                                 const AdmissionOptions &options = {});
+
+    /**
+     * Decide one request: drain the buckets to @p now, then admit
+     * (true) or shed (false). @p client_id keys the fair-share
+     * bucket (a thread id; 0 = unknown client, global bucket only).
+     */
+    bool admit(Cycles now, uint32_t client_id);
+
+    /** Modelled global backlog after draining to @p now (tests). */
+    uint64_t backlogAt(Cycles now) const;
+
+    const AdmissionOptions &options() const { return opts; }
+
+    Counter admitted;
+    /** Requests shed at the global high-watermark. */
+    Counter shed;
+    /** Requests shed by the per-client fair-share cap. */
+    Counter shedFairShare;
+
+    /** Registry node; attach it next to the owning server's. */
+    StatGroup stats;
+
+  private:
+    struct Bucket
+    {
+        uint64_t level = 0;
+        uint64_t lastDrain = 0;
+    };
+
+    /** Leak @p b down to @p now (one unit per drainCycles). */
+    void drain(Bucket &b, uint64_t now) const;
+
+    std::string name_;
+    AdmissionOptions opts;
+    Bucket global;
+    std::map<uint32_t, Bucket> perClient;
+};
+
+/**
+ * Shared handler prologue: consult @p adm (null = admission off,
+ * always admitted); a shed request fails the invocation with
+ * CallStatus::Overloaded and an empty reply. Servers call this first
+ * thing in their handler and return immediately on false.
+ */
+bool admitOrShed(AdmissionController *adm, core::ServerApi &api);
+
+} // namespace xpc::services
+
+#endif // XPC_SERVICES_ADMISSION_HH

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "services/admission.hh"
 #include "services/proto.hh"
 #include "sim/logging.hh"
 
@@ -92,6 +93,8 @@ FsServer::FsServer(core::Transport &tr, kernel::Thread &fs_thread,
 void
 FsServer::handle(core::ServerApi &api)
 {
+    if (!admitOrShed(admission, api))
+        return;
     blockIo.core = &api.core();
     blockIo.inHandler = true;
 

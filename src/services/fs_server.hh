@@ -16,6 +16,8 @@
 
 namespace xpc::services {
 
+class AdmissionController;
+
 /** xv6fs served over IPC. */
 class FsServer
 {
@@ -30,6 +32,9 @@ class FsServer
 
     core::ServiceId id() const { return svcId; }
     fs::Xv6Fs &fsImpl() { return filesystem; }
+
+    /** Attach admission control (null = off, the default). */
+    void setAdmission(AdmissionController *adm) { admission = adm; }
 
     /** Client-wrapper return value when the IPC itself failed (as
      *  opposed to an FS-level error like fsNoEnt). */
@@ -90,6 +95,7 @@ class FsServer
     core::ServiceId svcId = 0;
     IpcBlockIo blockIo;
     fs::Xv6Fs filesystem;
+    AdmissionController *admission = nullptr;
 
     void handle(core::ServerApi &api);
 };

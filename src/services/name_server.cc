@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "services/admission.hh"
 #include "services/proto.hh"
 #include "sim/logging.hh"
 
@@ -44,6 +45,8 @@ NameServer::publish(const std::string &name, core::ServiceId svc,
 void
 NameServer::handle(core::ServerApi &api)
 {
+    if (!admitOrShed(admission, api))
+        return;
     lookups.inc();
     // Request: a NUL-terminated service name.
     char raw[fsMaxPath + 1] = {};

@@ -22,6 +22,8 @@
 
 namespace xpc::services {
 
+class AdmissionController;
+
 /** The name-server service. */
 class NameServer
 {
@@ -55,6 +57,9 @@ class NameServer
                            kernel::Thread &client, core::ServiceId ns,
                            const std::string &name);
 
+    /** Attach admission control (null = off, the default). */
+    void setAdmission(AdmissionController *adm) { admission = adm; }
+
     Counter lookups;
     Counter misses;
 
@@ -63,6 +68,7 @@ class NameServer
     kernel::Thread &serverThread;
     core::ServiceId svcId = 0;
     std::map<std::string, core::ServiceId> names;
+    AdmissionController *admission = nullptr;
 
     void handle(core::ServerApi &api);
 };

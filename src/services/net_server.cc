@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "services/admission.hh"
 #include "services/proto.hh"
 #include "sim/logging.hh"
 
@@ -80,6 +81,8 @@ NetStackServer::xmitFrame(hw::Core &core, bool in_handler,
 void
 NetStackServer::handle(core::ServerApi &api)
 {
+    if (!admitOrShed(admission, api))
+        return;
     uint8_t hdr_raw[sizeof(FsMsg)];
     api.readRequest(0, hdr_raw, sizeof(hdr_raw));
     FsMsg req = unpackFrom<FsMsg>(hdr_raw);
@@ -159,7 +162,8 @@ netCall(core::Transport &tr, hw::Core &core, kernel::Thread &client,
     auto r = tr.call(core, client, svc, uint64_t(op),
                      fsDataOffset + payload_len,
                      fsDataOffset + reply_data_cap);
-    panic_if(!r.ok, "net call failed");
+    if (!r.ok)
+        return NetStackServer::callFailed;
     uint8_t reply_raw[sizeof(FsMsg)];
     tr.clientRead(core, client, 0, reply_raw, sizeof(reply_raw));
     FsMsg reply = unpackFrom<FsMsg>(reply_raw);

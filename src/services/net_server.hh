@@ -14,6 +14,8 @@
 
 namespace xpc::services {
 
+class AdmissionController;
+
 /** The loopback device server: reflects every frame. */
 class LoopbackDeviceServer
 {
@@ -62,6 +64,12 @@ class NetStackServer
     net::TcpStack &stack() { return tcp; }
     NetStackCosts costs;
 
+    /** Returned by client wrappers when the call itself failed. */
+    static constexpr int64_t callFailed = -1000;
+
+    /** Attach admission control (null = off, the default). */
+    void setAdmission(AdmissionController *adm) { admission = adm; }
+
     /// @name Typed client wrappers.
     /// @{
     static int64_t clientSocket(core::Transport &tr, hw::Core &core,
@@ -91,6 +99,7 @@ class NetStackServer
     core::ServiceId svcId = 0;
     core::ServiceId loopbackSvc;
     net::TcpStack tcp;
+    AdmissionController *admission = nullptr;
 
     void handle(core::ServerApi &api);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/request.hh"
 #include "sim/trace.hh"
 
 namespace xpc::services {
@@ -52,6 +53,16 @@ Supervisor::currentId(const std::string &name) const
     return transport.lookup(name);
 }
 
+core::CircuitBreaker &
+Supervisor::breakerFor(const std::string &name)
+{
+    auto it = breakers.find(name);
+    if (it == breakers.end())
+        it = breakers.emplace(name, core::CircuitBreaker(breakerOpts))
+                 .first;
+    return it->second;
+}
+
 int64_t
 Supervisor::callWithRetry(hw::Core &core, kernel::Thread &client,
                           const std::string &name, uint64_t opcode,
@@ -60,6 +71,28 @@ Supervisor::callWithRetry(hw::Core &core, kernel::Thread &client,
                           const RetryPolicy &policy)
 {
     uint64_t area = std::max(req_len, reply_cap);
+    // Mint a deadline for the whole retried operation; the transports
+    // inherit (and enforce) it on every hop, and nested scopes can
+    // only tighten it.
+    req::DeadlineScope dscope(
+        policy.deadlineCycles.value() != 0
+            ? (core.now() + policy.deadlineCycles).value()
+            : 0);
+    const uint64_t deadline =
+        req::RequestContext::global().currentDeadline();
+    core::CircuitBreaker *brk =
+        breakerOpts.enabled ? &breakerFor(name) : nullptr;
+    auto noteFailure = [&] {
+        if (!brk)
+            return;
+        uint64_t before = brk->trips();
+        brk->onFailure(core.now());
+        if (brk->trips() != before) {
+            breakerTrips.inc();
+            trace::Tracer::global().instantNow(
+                "supervisor", "breaker_trip", 0, name);
+        }
+    };
     for (uint32_t attempt = 0; attempt < policy.maxAttempts;
          attempt++) {
         if (attempt > 0) {
@@ -68,7 +101,36 @@ Supervisor::callWithRetry(hw::Core &core, kernel::Thread &client,
             uint64_t delay = policy.backoffBase.value()
                              << (attempt - 1);
             delay = std::min(delay, policy.backoffCap.value());
+            if (policy.jitter && delay > 1) {
+                // Decorrelate retries: half the delay is fixed, half
+                // is drawn from the seeded PRNG, so replays with the
+                // same seed back off identically.
+                delay = delay / 2 + rng.nextBounded(delay / 2 + 1);
+            }
+            if (deadline != 0) {
+                uint64_t now = core.now().value();
+                if (now >= deadline)
+                    break;
+                // Never sleep past the deadline.
+                delay = std::min(delay, deadline - now);
+            }
             core.spend(Cycles(delay));
+        }
+        if (deadline != 0 && core.now().value() >= deadline) {
+            // Out of budget before this attempt could even start.
+            lastStatus = core::TransportStatus::DeadlineExpired;
+            deadlineGiveUps.inc();
+            trace::Tracer::global().instantNow(
+                "supervisor", "deadline_give_up", 0, name);
+            break;
+        }
+        if (brk && !brk->allow(core.now())) {
+            // Quarantined: don't touch the transport at all. The
+            // backoff above keeps advancing the clock toward the
+            // cooldown, so a later attempt may become the probe.
+            lastStatus = core::TransportStatus::BreakerOpen;
+            breakerRejected.inc();
+            continue;
         }
         heal();
         core::ServiceId svc = currentId(name);
@@ -81,13 +143,16 @@ Supervisor::callWithRetry(hw::Core &core, kernel::Thread &client,
             // The staging copy faulted: calling now would send stale
             // bytes as a valid-looking request. Retry instead.
             lastStatus = core::TransportStatus::CopyFault;
+            noteFailure();
             continue;
         }
         core::CallResult r = transport.call(core, client, svc, opcode,
                                             req_len, area);
         lastStatus = r.status;
-        if (!r.ok)
+        if (!r.ok) {
+            noteFailure();
             continue;
+        }
         uint64_t rlen = std::min<uint64_t>(r.replyLen, reply_cap);
         if (rlen > 0 &&
             !transport.clientRead(core, client, 0, reply, rlen)) {
@@ -95,8 +160,11 @@ Supervisor::callWithRetry(hw::Core &core, kernel::Thread &client,
             // already applied server-side, so supervised calls must
             // be idempotent (retry re-applies them).
             lastStatus = core::TransportStatus::CopyFault;
+            noteFailure();
             continue;
         }
+        if (brk)
+            brk->onSuccess(core.now());
         return int64_t(rlen);
     }
     return -1;

@@ -3,7 +3,10 @@
  * Crash recovery above the transport: a supervisor that notices dead
  * server processes, restarts them and re-registers the fresh instance
  * with the name server, plus a client-side call helper that retries
- * failed calls with capped exponential backoff.
+ * failed calls with capped, jittered exponential backoff. The helper
+ * is deadline-aware (it never retries past the call's cycle budget)
+ * and consults one circuit breaker per supervised service, so a
+ * stalled or overloaded server is quarantined instead of hammered.
  *
  * Together with the error statuses the kernels and the XPC runtime
  * now propagate (TransportStatus), this closes the recovery loop the
@@ -20,7 +23,9 @@
 #include <map>
 #include <string>
 
+#include "core/breaker.hh"
 #include "services/name_server.hh"
+#include "sim/random.hh"
 
 namespace xpc::services {
 
@@ -31,6 +36,17 @@ struct RetryPolicy
     /** Backoff before retry k is base << k, capped below. */
     Cycles backoffBase{2000};
     Cycles backoffCap{64000};
+    /** Decorrelate the backoff with seeded jitter (half fixed, half
+     *  uniform); still fully deterministic for a given Supervisor
+     *  seed. */
+    bool jitter = true;
+    /**
+     * Cycle budget for the whole retried operation, 0 = none. Minted
+     * as a deadline scope around every attempt, so the transports see
+     * (and enforce) it on every hop, and no retry ever starts past
+     * it.
+     */
+    Cycles deadlineCycles{0};
 };
 
 /** Restarts dead services and re-registers them by name. */
@@ -49,6 +65,9 @@ class Supervisor
     {
         stats.addCounter("restarts", &restarts);
         stats.addCounter("retries", &retries);
+        stats.addCounter("breaker_rejected", &breakerRejected);
+        stats.addCounter("breaker_trips", &breakerTrips);
+        stats.addCounter("deadline_give_ups", &deadlineGiveUps);
     }
 
     /** Put service @p name under supervision. */
@@ -83,8 +102,24 @@ class Supervisor
     /** Status of the most recent callWithRetry attempt. */
     core::TransportStatus lastStatus = core::TransportStatus::Ok;
 
+    /**
+     * Breaker tunables for every supervised service; set before the
+     * first callWithRetry (breakers are created lazily per name).
+     * Default-off: callWithRetry then never consults a breaker.
+     */
+    core::BreakerOptions breakerOpts;
+
+    /** The named service's breaker (created on first use). */
+    core::CircuitBreaker &breakerFor(const std::string &name);
+
+    /** Reseed the backoff-jitter PRNG (deterministic per seed). */
+    void reseed(uint64_t seed) { rng = Rng(seed); }
+
     Counter restarts;
     Counter retries;
+    Counter breakerRejected;
+    Counter breakerTrips;
+    Counter deadlineGiveUps;
 
     /** Registry node; benches attach it next to the system's. */
     StatGroup stats{"supervisor"};
@@ -100,6 +135,8 @@ class Supervisor
     core::Transport &transport;
     NameServer &nameServer;
     std::map<std::string, Entry> supervised;
+    std::map<std::string, core::CircuitBreaker> breakers;
+    Rng rng{0xb4c0ffULL};
 };
 
 } // namespace xpc::services

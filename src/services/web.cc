@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "services/admission.hh"
 #include "services/proto.hh"
 #include "sim/logging.hh"
 
@@ -36,6 +37,8 @@ FileCacheServer::preload(const std::string &path,
 void
 FileCacheServer::handle(core::ServerApi &api)
 {
+    if (!admitOrShed(admission, api))
+        return;
     panic_if(api.opcode() != uint64_t(CacheOp::Get),
              "unknown cache opcode %lu", (unsigned long)api.opcode());
     gets.inc();
@@ -81,6 +84,8 @@ CryptoServer::CryptoServer(core::Transport &tr,
 void
 CryptoServer::handle(core::ServerApi &api)
 {
+    if (!admitOrShed(admission, api))
+        return;
     requests.inc();
     uint64_t len = api.requestLen();
     panic_if(len % crypto::Aes128::blockBytes != 0,
@@ -135,6 +140,8 @@ HttpServer::HttpServer(core::Transport &tr,
 void
 HttpServer::handle(core::ServerApi &api)
 {
+    if (!admitOrShed(admission, api))
+        return;
     requests.inc();
 
     // Parse "GET /path HTTP/1.1" from the request text after the

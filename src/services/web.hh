@@ -20,6 +20,8 @@
 
 namespace xpc::services {
 
+class AdmissionController;
+
 /** In-memory file cache server. */
 class FileCacheServer
 {
@@ -32,6 +34,9 @@ class FileCacheServer
     /** Preload a file (wiring-time, not charged). */
     void preload(const std::string &path, std::vector<uint8_t> data);
 
+    /** Attach admission control (null = off, the default). */
+    void setAdmission(AdmissionController *adm) { admission = adm; }
+
     Counter gets;
     Counter misses;
 
@@ -39,6 +44,7 @@ class FileCacheServer
     core::Transport &transport;
     core::ServiceId svcId = 0;
     std::map<std::string, std::vector<uint8_t>> files;
+    AdmissionController *admission = nullptr;
 
     void handle(core::ServerApi &api);
 };
@@ -53,12 +59,16 @@ class CryptoServer
 
     core::ServiceId id() const { return svcId; }
 
+    /** Attach admission control (null = off, the default). */
+    void setAdmission(AdmissionController *adm) { admission = adm; }
+
     Counter requests;
 
   private:
     core::Transport &transport;
     core::ServiceId svcId = 0;
     crypto::Aes128 aes;
+    AdmissionController *admission = nullptr;
 
     void handle(core::ServerApi &api);
 };
@@ -93,6 +103,9 @@ class HttpServer
                              std::vector<uint8_t> *response,
                              uint64_t max_body);
 
+    /** Attach admission control (null = off, the default). */
+    void setAdmission(AdmissionController *adm) { admission = adm; }
+
     Counter requests;
     Counter notFound;
 
@@ -103,6 +116,7 @@ class HttpServer
     core::ServiceId cryptoSvc;
     bool encrypt;
     uint64_t maxBody;
+    AdmissionController *admission = nullptr;
 
     void handle(core::ServerApi &api);
 };

@@ -25,6 +25,10 @@ faultOpName(FaultOp op)
         return "engine-exception";
       case FaultOp::CopyFault:
         return "copy-fault";
+      case FaultOp::StallServer:
+        return "stall-server";
+      case FaultOp::SlowServer:
+        return "slow-server";
     }
     return "unknown";
 }
@@ -92,6 +96,14 @@ FaultPlan::generate(uint64_t seed, uint64_t count, uint64_t call_span,
             break;
           case FaultOp::CopyFault:
             ev.phase = FaultPhase::PreXcall;
+            break;
+          case FaultOp::StallServer:
+            ev.phase = FaultPhase::InHandler;
+            break;
+          case FaultOp::SlowServer:
+            ev.phase = FaultPhase::InHandler;
+            // Run the handler at 2..8 x its normal cost.
+            ev.arg = 2 + uint32_t(rng.nextBounded(7));
             break;
         }
         plan.events.push_back(ev);

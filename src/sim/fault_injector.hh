@@ -40,10 +40,20 @@ enum class FaultOp : uint32_t
     EngineException,
     /** Fail a message copy (surfaces as a memory fault mid-IPC). */
     CopyFault,
+    /**
+     * Stall the handler: the server busy-loops and never produces a
+     * reply. Only observable where a deadline (or watchdog) is
+     * armed - a stalled server with no budget to exceed is simply a
+     * hung caller, which is exactly the failure mode deadlines
+     * exist to bound.
+     */
+    StallServer,
+    /** Run the handler at arg x its normal cost (slow server). */
+    SlowServer,
 };
 
 /** How many FaultOp values exist (for plan generation and stats). */
-constexpr uint32_t faultOpCount = 6;
+constexpr uint32_t faultOpCount = 8;
 
 const char *faultOpName(FaultOp op);
 

@@ -61,6 +61,21 @@ class RequestContext
     /** Nesting depth of the active call chain (0 = idle). */
     size_t depth() const { return reqs.size(); }
 
+    /**
+     * Absolute-cycle deadline of the executing call chain (0 = no
+     * deadline). Deadlines are absolute against the monotonic cycle
+     * clock, so "propagating and decrementing the budget across a
+     * hop" is automatic: every nested hop sees the same absolute
+     * limit, and whatever cycles an upstream server burned have
+     * already shrunk the remaining budget. Nested scopes can only
+     * tighten the deadline, never extend it.
+     */
+    uint64_t
+    currentDeadline() const
+    {
+        return deadlines.empty() ? 0 : deadlines.back();
+    }
+
     void pushPhase(uint32_t phase) { phases.push_back(phase); }
 
     void
@@ -77,16 +92,19 @@ class RequestContext
     {
         reqs.clear();
         phases.clear();
+        deadlines.clear();
         lastId = 0;
     }
 
   private:
     friend class RequestScope;
+    friend class DeadlineScope;
 
     RequestId mint() { return ++lastId; }
 
     std::vector<RequestId> reqs;
     std::vector<uint32_t> phases;
+    std::vector<uint64_t> deadlines;
     uint64_t lastId = 0;
 };
 
@@ -119,6 +137,34 @@ class RequestScope
   private:
     RequestId id_ = 0;
     bool top = false;
+};
+
+/**
+ * RAII deadline binding. Pass the absolute cycle by which the work
+ * under this scope must finish (0 = "no deadline of my own"). The
+ * effective deadline is the minimum of the enclosing one and the one
+ * passed in, so an inner hop can tighten the budget but a nested call
+ * can never outlive its caller's deadline. Like RequestScope this is
+ * purely observational - pushing a deadline spends no cycles; the
+ * call paths decide what to do when the clock passes it.
+ */
+class DeadlineScope
+{
+  public:
+    explicit DeadlineScope(uint64_t absolute_deadline)
+    {
+        RequestContext &c = RequestContext::global();
+        uint64_t outer = c.currentDeadline();
+        uint64_t eff = absolute_deadline;
+        if (outer != 0 && (eff == 0 || outer < eff))
+            eff = outer;
+        c.deadlines.push_back(eff);
+    }
+
+    ~DeadlineScope() { RequestContext::global().deadlines.pop_back(); }
+
+    DeadlineScope(const DeadlineScope &) = delete;
+    DeadlineScope &operator=(const DeadlineScope &) = delete;
 };
 
 /** RAII phase binding; memory traffic inside is charged to it. */

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/system.hh"
+#include "services/admission.hh"
 #include "services/block_device.hh"
 #include "services/fs_server.hh"
 #include "services/name_server.hh"
@@ -80,6 +81,8 @@ class KvServer
 
     core::ServiceId id() const { return svcId; }
 
+    void setAdmission(AdmissionController *adm) { admission = adm; }
+
     /** The value every put stores for @p key. Deriving values from
      *  keys makes reads verifiable across server restarts. */
     static std::array<uint8_t, valueBytes> valueFor(uint64_t key)
@@ -93,9 +96,12 @@ class KvServer
   private:
     core::ServiceId svcId = 0;
     std::map<uint64_t, std::array<uint8_t, valueBytes>> store;
+    AdmissionController *admission = nullptr;
 
     void handle(core::ServerApi &api)
     {
+        if (!admitOrShed(admission, api))
+            return;
         uint8_t key_raw[8] = {};
         api.readRequest(0, key_raw, sizeof(key_raw));
         uint64_t key = 0;
@@ -127,6 +133,16 @@ struct ChaosRig
     std::unique_ptr<NameServer> ns;
     std::unique_ptr<Supervisor> sup;
 
+    /** Policy every client helper uses (overload rigs tighten it). */
+    RetryPolicy policy;
+
+    /** Admission controllers (overload rigs only; null otherwise).
+     *  They outlive restarts: fresh instances re-attach to the same
+     *  controller, so backlog accounting spans the service's lives. */
+    std::unique_ptr<AdmissionController> admCache;
+    std::unique_ptr<AdmissionController> admFs;
+    std::unique_ptr<AdmissionController> admKv;
+
     // Every instance ever started is kept alive: transport-side
     // handler closures reference them by pointer.
     std::vector<std::unique_ptr<BlockDeviceServer>> devs;
@@ -140,11 +156,16 @@ struct ChaosRig
     kernel::Thread *httpT = nullptr;
     kernel::Thread *client = nullptr;
 
-    ChaosRig()
+    explicit ChaosRig(bool overload = false)
     {
         core::SystemOptions opts;
         opts.flavor = core::SystemFlavor::Sel4Xpc;
         opts.runtimeOpts.timeoutCycles = Cycles(20000);
+        if (overload) {
+            // Per-call cycle budget, enforced by the runtime on
+            // every hop (a stalled server burns it and is unwound).
+            opts.deadlineCycles = Cycles(150000);
+        }
         sys = std::make_unique<core::System>(opts);
         tr = &sys->transport();
 
@@ -152,6 +173,24 @@ struct ChaosRig
         ns = std::make_unique<NameServer>(*tr, ns_t);
         sup = std::make_unique<Supervisor>(*tr, *ns);
         client = &sys->spawn("client");
+
+        if (overload) {
+            policy.maxAttempts = 8;
+            policy.deadlineCycles = Cycles(600000);
+            sup->breakerOpts.enabled = true;
+            sup->breakerOpts.failureThreshold = 3;
+            sup->breakerOpts.cooldownCycles = Cycles(60000);
+
+            AdmissionOptions tight;
+            tight.highWatermark = 4;
+            tight.drainCycles = Cycles(30000);
+            tight.clientShare = 0;
+            admKv = std::make_unique<AdmissionController>("kv", tight);
+            // Roomy controllers on the slower services: they mostly
+            // admit, but keep the accounting live across restarts.
+            admCache = std::make_unique<AdmissionController>("cache");
+            admFs = std::make_unique<AdmissionController>("fs");
+        }
 
         // Supervision map iterates by name; dependency killers rely
         // on "blockdev" < "fs" and "cache"/"crypto" < "httpd" so a
@@ -237,6 +276,7 @@ struct ChaosRig
         tr->connect(*t, dev);
         fss.push_back(std::make_unique<FsServer>(*tr, *t, dev,
                                                  diskBlocks));
+        fss.back()->setAdmission(admFs.get());
         return fss.back()->id();
     }
 
@@ -249,6 +289,7 @@ struct ChaosRig
         for (size_t i = 0; i < page.size(); i++)
             page[i] = uint8_t('A' + (i % 26));
         caches.back()->preload("/index.html", page);
+        caches.back()->setAdmission(admCache.get());
         return caches.back()->id();
     }
 
@@ -280,6 +321,7 @@ struct ChaosRig
     {
         t = &sys->spawn("kv");
         kvs.push_back(std::make_unique<KvServer>(*tr, *t));
+        kvs.back()->setAdmission(admKv.get());
         return kvs.back()->id();
     }
 };
@@ -300,7 +342,7 @@ fsOp(ChaosRig &rig, hw::Core &core, proto::FsOp op,
     std::vector<uint8_t> rep(fsDataOffset + rcap);
     int64_t rlen = rig.sup->callWithRetry(
         core, *rig.client, "fs", uint64_t(op), req.data(), req.size(),
-        rep.data(), rep.size());
+        rep.data(), rep.size(), rig.policy);
     if (rlen < int64_t(sizeof(FsMsg)))
         return callFailed;
     FsMsg reply = unpackFrom<FsMsg>(rep.data());
@@ -323,7 +365,7 @@ httpGet(ChaosRig &rig, hw::Core &core, const std::string &path,
     std::vector<uint8_t> rep(HttpServer::bodyOff + httpMaxBody + 64);
     int64_t rlen = rig.sup->callWithRetry(
         core, *rig.client, "httpd", uint64_t(HttpOp::Request),
-        req.data(), req.size(), rep.data(), rep.size());
+        req.data(), req.size(), rep.data(), rep.size(), rig.policy);
     if (rlen < int64_t(sizeof(HttpReplyHeader)))
         return callFailed;
     auto pre = unpackFrom<HttpReplyHeader>(rep.data());
@@ -346,7 +388,8 @@ kvPut(ChaosRig &rig, hw::Core &core, uint64_t key)
     std::memcpy(req.data() + 8, val.data(), val.size());
     return rig.sup->callWithRetry(core, *rig.client, "kv",
                                   KvServer::opPut, req.data(),
-                                  req.size(), nullptr, 0) >= 0;
+                                  req.size(), nullptr, 0,
+                                  rig.policy) >= 0;
 }
 
 /** @return 1 verified hit, 0 clean miss, -1 clean failure,
@@ -357,7 +400,8 @@ kvGet(ChaosRig &rig, hw::Core &core, uint64_t key)
     uint8_t rep[KvServer::valueBytes] = {};
     int64_t r = rig.sup->callWithRetry(core, *rig.client, "kv",
                                        KvServer::opGet, &key,
-                                       sizeof(key), rep, sizeof(rep));
+                                       sizeof(key), rep, sizeof(rep),
+                                       rig.policy);
     if (r < 0)
         return -1;
     if (r == 0)
@@ -386,8 +430,10 @@ SoakResult
 runSoak(uint64_t seed, int iters, uint64_t plan_events,
         uint64_t plan_span)
 {
+    // The classic six-op storm (kill/hang/revoke/corrupt/exception/
+    // copy-fault): stall and slow faults get their own soak below.
     FaultInjector inj(FaultPlan::generate(seed, plan_events,
-                                          plan_span));
+                                          plan_span, 0x3f));
     ChaosRig rig;
     rig.sys->machine().setFaultInjector(&inj);
     hw::Core &core = rig.sys->core(0);
@@ -554,6 +600,200 @@ TEST(ChaosSoak, SameSeedReplaysIdenticalFaultSequence)
         same = a.fired[i].callSeq == c.fired[i].callSeq &&
                a.fired[i].op == c.fired[i].op;
     EXPECT_FALSE(same);
+}
+
+// --------------------------------------------------------------------
+// Stall + overload soak (DESIGN.md §4e): kills, stalled and slowed
+// servers, plus bursty load against a tight admission controller.
+// Every request must reach a terminal outcome in {ok, timeout, shed,
+// breaker-open} with zero hangs, and two same-seed runs must produce
+// identical outcome counts and stats.
+// --------------------------------------------------------------------
+
+struct OverloadResult
+{
+    uint64_t ok = 0;
+    uint64_t timeout = 0;
+    uint64_t shed = 0;
+    uint64_t breakerOpen = 0;
+    uint64_t other = 0;
+    uint64_t deadlineExpired = 0;
+    uint64_t revocations = 0;
+    uint64_t lateBlocked = 0;
+    uint64_t admShed = 0;
+    uint64_t trips = 0;
+    uint64_t rejected = 0;
+    uint64_t restarts = 0;
+    std::vector<FaultEvent> fired;
+};
+
+OverloadResult
+runOverloadSoak(uint64_t seed, int iters)
+{
+    uint32_t mask = (1u << uint32_t(FaultOp::KillServer)) |
+                    (1u << uint32_t(FaultOp::StallServer)) |
+                    (1u << uint32_t(FaultOp::SlowServer));
+    FaultInjector inj(FaultPlan::generate(seed, 50, 1500, mask));
+    ChaosRig rig(/*overload=*/true);
+    rig.sys->machine().setFaultInjector(&inj);
+    hw::Core &core = rig.sys->core(0);
+    OverloadResult res;
+
+    auto classify = [&](int64_t ret) {
+        // Zero hangs: control always returns, fully unwound.
+        EXPECT_EQ(core.csrs.linkTop, 0u);
+        if (ret >= 0) {
+            res.ok++;
+            return;
+        }
+        switch (rig.sup->lastStatus) {
+          case core::TransportStatus::Timeout:
+          case core::TransportStatus::DeadlineExpired:
+            res.timeout++;
+            break;
+          case core::TransportStatus::Overloaded:
+            res.shed++;
+            break;
+          case core::TransportStatus::BreakerOpen:
+            res.breakerOpen++;
+            break;
+          default:
+            res.other++;
+            ADD_FAILURE() << "non-terminal outcome: "
+                          << kernel::callStatusName(
+                                 rig.sup->lastStatus);
+            break;
+        }
+    };
+
+    // Bursts probe the admission controller: at most one (healing)
+    // retry, so ten rapid calls land inside one drain window but a
+    // mid-call kill still resolves to a terminal outcome.
+    RetryPolicy burst;
+    burst.maxAttempts = 2;
+
+    inj.enabled = true;
+    for (int i = 0; i < iters; i++) {
+        // fs workload: open / write / close.
+        std::string path = "/f" + std::to_string(i % 8);
+        proto::FsMsg om;
+        om.a = int64_t(proto::fsOpenCreate);
+        om.c = int64_t(path.size());
+        int64_t fd = fsOp(rig, core, proto::FsOp::Open, om,
+                          path.data(), path.size(), nullptr, 0);
+        classify(fd != callFailed ? 0 : -1);
+        if (fd >= 0) {
+            std::vector<uint8_t> data(512, uint8_t(i));
+            proto::FsMsg wm;
+            wm.a = fd;
+            wm.c = int64_t(data.size());
+            classify(fsOp(rig, core, proto::FsOp::Write, wm,
+                          data.data(), data.size(), nullptr,
+                          0) != callFailed
+                         ? 0
+                         : -1);
+            proto::FsMsg cm;
+            cm.a = fd;
+            classify(fsOp(rig, core, proto::FsOp::Close, cm, nullptr,
+                          0, nullptr, 0) != callFailed
+                         ? 0
+                         : -1);
+        }
+
+        // web workload.
+        std::string resp;
+        uint64_t garbled = 0;
+        classify(httpGet(rig, core, "/index.html", &resp,
+                         &garbled) != callFailed
+                     ? 0
+                     : -1);
+        EXPECT_EQ(garbled, 0u);
+
+        // kv workload, with a burst every 8th iteration.
+        uint64_t key = 1 + (uint64_t(i) * 7) % 32;
+        classify(kvPut(rig, core, key) ? 0 : -1);
+        if (i % 8 == 7) {
+            for (int b = 0; b < 10; b++) {
+                uint8_t rep[KvServer::valueBytes] = {};
+                uint64_t k = 1 + uint64_t(b);
+                classify(rig.sup->callWithRetry(
+                    core, *rig.client, "kv", KvServer::opGet, &k,
+                    sizeof(k), rep, sizeof(rep), burst));
+            }
+        }
+    }
+    inj.enabled = false;
+
+    res.deadlineExpired = rig.sys->runtime().deadlineExpired.value();
+    res.revocations = rig.sys->runtime().deadlineRevocations.value();
+    res.lateBlocked = rig.sys->runtime().lateWritesBlocked.value();
+    res.admShed = rig.admKv->shed.value() + rig.admCache->shed.value() +
+                  rig.admFs->shed.value();
+    res.trips = rig.sup->breakerTrips.value();
+    res.rejected = rig.sup->breakerRejected.value();
+    res.restarts = rig.sup->restarts.value();
+    res.fired = inj.fired();
+    return res;
+}
+
+TEST(ChaosSoak, StallAndOverloadSoakTerminatesEveryRequest)
+{
+    OverloadResult res = runOverloadSoak(0x57A11, 48);
+
+    // The storm did something: stalls burned deadlines, the relay
+    // segs of stalled servers were revoked, the admission controller
+    // shed bursts and the breaker tripped.
+    EXPECT_GT(res.ok, 0u);
+    EXPECT_GT(res.timeout, 0u);
+    EXPECT_GT(res.shed, 0u);
+    EXPECT_GT(res.deadlineExpired, 0u);
+    EXPECT_GT(res.revocations, 0u);
+    EXPECT_GT(res.admShed, 0u);
+    EXPECT_GT(res.trips, 0u);
+    EXPECT_GT(res.breakerOpen, 0u);
+
+    // Every request terminated in {ok, timeout, shed, breaker-open}.
+    EXPECT_EQ(res.other, 0u);
+
+    std::printf("OVERLOAD_STATS ok=%llu timeout=%llu shed=%llu "
+                "breaker_open=%llu expired=%llu revoked=%llu "
+                "late_blocked=%llu trips=%llu restarts=%llu\n",
+                (unsigned long long)res.ok,
+                (unsigned long long)res.timeout,
+                (unsigned long long)res.shed,
+                (unsigned long long)res.breakerOpen,
+                (unsigned long long)res.deadlineExpired,
+                (unsigned long long)res.revocations,
+                (unsigned long long)res.lateBlocked,
+                (unsigned long long)res.trips,
+                (unsigned long long)res.restarts);
+}
+
+TEST(ChaosSoak, StallAndOverloadSoakIsDeterministic)
+{
+    OverloadResult a = runOverloadSoak(0x57A12, 32);
+    OverloadResult b = runOverloadSoak(0x57A12, 32);
+
+    // Identical outcome counts...
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.timeout, b.timeout);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.breakerOpen, b.breakerOpen);
+    EXPECT_EQ(a.other, b.other);
+    // ...identical stats...
+    EXPECT_EQ(a.deadlineExpired, b.deadlineExpired);
+    EXPECT_EQ(a.revocations, b.revocations);
+    EXPECT_EQ(a.lateBlocked, b.lateBlocked);
+    EXPECT_EQ(a.admShed, b.admShed);
+    EXPECT_EQ(a.trips, b.trips);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.restarts, b.restarts);
+    // ...and an identical fired-fault sequence.
+    ASSERT_EQ(a.fired.size(), b.fired.size());
+    for (size_t i = 0; i < a.fired.size(); i++) {
+        EXPECT_EQ(a.fired[i].callSeq, b.fired[i].callSeq) << i;
+        EXPECT_EQ(a.fired[i].op, b.fired[i].op) << i;
+    }
 }
 
 } // namespace

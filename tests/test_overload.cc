@@ -1,0 +1,538 @@
+/**
+ * @file
+ * Deadline propagation, admission control and circuit breaking
+ * (DESIGN.md §4e): per-request cycle deadlines enforced on all three
+ * transports, the paper-faithful cleanup on the XPC path (link-stack
+ * unwind + relay-seg revocation so a stalled server can never write
+ * a reclaimed segment), deterministic load shedding, and the
+ * closed -> open -> half-open -> closed breaker state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/breaker.hh"
+#include "core/system.hh"
+#include "kernel/sel4.hh"
+#include "kernel/zircon.hh"
+#include "services/admission.hh"
+#include "services/name_server.hh"
+#include "services/proto.hh"
+#include "services/supervisor.hh"
+#include "services/web.hh"
+#include "sim/fault_injector.hh"
+#include "sim/request.hh"
+
+namespace xpc {
+namespace {
+
+constexpr uint64_t kCacheGet = uint64_t(services::proto::CacheOp::Get);
+
+// --------------------------------------------------------------------
+// Deadline scopes
+// --------------------------------------------------------------------
+
+TEST(DeadlineScope, NestedScopesOnlyTighten)
+{
+    req::RequestContext &ctx = req::RequestContext::global();
+    EXPECT_EQ(ctx.currentDeadline(), 0u);
+    {
+        req::DeadlineScope outer(100);
+        EXPECT_EQ(ctx.currentDeadline(), 100u);
+        {
+            // A looser nested budget inherits the tighter outer one.
+            req::DeadlineScope inner(200);
+            EXPECT_EQ(ctx.currentDeadline(), 100u);
+        }
+        {
+            // A tighter nested budget wins.
+            req::DeadlineScope inner(50);
+            EXPECT_EQ(ctx.currentDeadline(), 50u);
+        }
+        {
+            // "No own budget" inherits the outer one.
+            req::DeadlineScope inner(0);
+            EXPECT_EQ(ctx.currentDeadline(), 100u);
+        }
+        EXPECT_EQ(ctx.currentDeadline(), 100u);
+    }
+    EXPECT_EQ(ctx.currentDeadline(), 0u);
+}
+
+// --------------------------------------------------------------------
+// Deadline expiry, one test per transport
+// --------------------------------------------------------------------
+
+TEST(Deadline, ExpiryUnwindsAndRevokesOnXpc)
+{
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    opts.deadlineCycles = Cycles(10000);
+    core::System sys(opts);
+    kernel::Thread &server = sys.spawn("slow-server");
+    kernel::Thread &client = sys.spawn("client");
+    core::XpcRuntime &rt = sys.runtime();
+    uint64_t id = rt.registerEntry(
+        server, server,
+        [](core::XpcServerCall &call) {
+            if (call.opcode() == 1)
+                call.core().spend(Cycles(50000)); // blows the budget
+            call.setReplyLen(0);
+        },
+        2);
+    sys.manager().grantXcallCap(server, client, id);
+    hw::Core &core = sys.core(0);
+    core::RelaySegHandle seg = rt.allocRelayMem(core, client, 4096);
+
+    auto out = rt.call(core, client, id, 1, 0);
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.status, kernel::CallStatus::DeadlineExpired);
+    EXPECT_EQ(rt.deadlineExpired.value(), 1u);
+    // Paper 6.1 + 4.4 cleanup: the link stack was unwound and the
+    // relay seg the expired call held was revoked, so a stalled
+    // server can never write a reclaimed segment.
+    EXPECT_EQ(core.csrs.linkTop, 0u);
+    EXPECT_EQ(rt.deadlineRevocations.value(), 1u);
+    EXPECT_FALSE(sys.manager().segById(seg.segId).has_value());
+    EXPECT_EQ(core.csrs.segId, 0u);
+
+    // A fresh seg and a fast call work fine afterwards.
+    rt.allocRelayMem(core, client, 4096);
+    auto ok = rt.call(core, client, id, 0, 0);
+    EXPECT_TRUE(ok.ok);
+    EXPECT_EQ(rt.deadlineExpired.value(), 1u);
+}
+
+TEST(Deadline, ExpiryAbortsSel4Call)
+{
+    hw::Machine machine(hw::rocketU500(), 128 << 20);
+    kernel::Sel4Kernel kern(machine);
+    kern.callDeadline = Cycles(10000);
+    kernel::Process &cp = kern.createProcess("client");
+    kernel::Process &sp = kern.createProcess("server");
+    kernel::Thread &client = kern.createThread(cp, 0);
+    kernel::Thread &server = kern.createThread(sp, 0);
+    kern.setCurrent(0, &client);
+    uint64_t ep = kern.createEndpoint(
+        server, [](kernel::Sel4ServerCall &call) {
+            if (call.opcode() == 1)
+                call.core().spend(Cycles(50000));
+        });
+    kern.grantEndpointCap(client, ep);
+    VAddr req = cp.alloc(4096), reply = cp.alloc(4096);
+
+    auto out = kern.call(machine.core(0), client, ep, 1, req, 16,
+                         reply, 4096);
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.status, kernel::CallStatus::DeadlineExpired);
+    EXPECT_EQ(kern.deadlineExpired.value(), 1u);
+
+    auto ok = kern.call(machine.core(0), client, ep, 0, req, 16,
+                        reply, 4096);
+    EXPECT_TRUE(ok.ok);
+}
+
+TEST(Deadline, ExpiryAbortsZirconCall)
+{
+    hw::Machine machine(hw::rocketU500(), 128 << 20);
+    kernel::ZirconKernel kern(machine);
+    kern.callDeadline = Cycles(20000);
+    kernel::Process &cp = kern.createProcess("client");
+    kernel::Process &sp = kern.createProcess("server");
+    kernel::Thread &client = kern.createThread(cp, 0);
+    kernel::Thread &server = kern.createThread(sp, 0);
+    kern.setCurrent(0, &client);
+    uint64_t ch = kern.createChannel(
+        server, [](kernel::ZirconServerCall &call) {
+            if (call.opcode() == 1)
+                call.core().spend(Cycles(80000));
+        });
+    VAddr req = cp.alloc(4096), reply = cp.alloc(4096);
+
+    auto out = kern.call(machine.core(0), client, ch, 1, req, 16,
+                         reply, 4096);
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.status, kernel::CallStatus::DeadlineExpired);
+    EXPECT_EQ(kern.deadlineExpired.value(), 1u);
+
+    auto ok = kern.call(machine.core(0), client, ch, 0, req, 16,
+                        reply, 4096);
+    EXPECT_TRUE(ok.ok);
+}
+
+// --------------------------------------------------------------------
+// A stalled server's late write faults after revocation
+// --------------------------------------------------------------------
+
+TEST(Deadline, RevocationBlocksLateWriteFromStalledServer)
+{
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    opts.deadlineCycles = Cycles(10000);
+    core::System sys(opts);
+    kernel::Thread &server = sys.spawn("stalled");
+    kernel::Thread &client = sys.spawn("client");
+    core::XpcRuntime &rt = sys.runtime();
+    uint64_t id = rt.registerEntry(
+        server, server,
+        [](core::XpcServerCall &call) {
+            static const char late[] = "late";
+            call.writeMsg(0, late, sizeof(late));
+            call.setReplyLen(sizeof(late));
+        },
+        2);
+    sys.manager().grantXcallCap(server, client, id);
+    hw::Core &core = sys.core(0);
+    core::RelaySegHandle seg = rt.allocRelayMem(core, client, 4096);
+
+    // Schedule a stall on the first call: the handler never gets to
+    // run its reply writes in time; the deadline machinery revokes
+    // the relay seg while the server notionally still holds it.
+    FaultPlan plan;
+    plan.seed = 1;
+    FaultEvent ev;
+    ev.callSeq = 1;
+    ev.op = FaultOp::StallServer;
+    ev.phase = FaultPhase::InHandler;
+    plan.events.push_back(ev);
+    FaultInjector inj(plan);
+    sys.machine().setFaultInjector(&inj);
+    inj.enabled = true;
+
+    auto out = rt.call(core, client, id, 0, 0);
+    inj.enabled = false;
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.status, kernel::CallStatus::DeadlineExpired);
+    EXPECT_EQ(inj.firedCount(FaultOp::StallServer), 1u);
+    // The seg was revoked (4.4) and the stalled server's write path
+    // through its scrubbed seg-reg faulted instead of landing in
+    // reclaimed memory.
+    EXPECT_EQ(rt.deadlineRevocations.value(), 1u);
+    EXPECT_GE(rt.lateWritesBlocked.value(), 1u);
+    EXPECT_FALSE(sys.manager().segById(seg.segId).has_value());
+    EXPECT_EQ(core.csrs.linkTop, 0u);
+}
+
+// --------------------------------------------------------------------
+// Stall / slow fault kinds
+// --------------------------------------------------------------------
+
+TEST(FaultKinds, StallAndSlowPlansAreSeededAndBounded)
+{
+    uint32_t mask = (1u << uint32_t(FaultOp::StallServer)) |
+                    (1u << uint32_t(FaultOp::SlowServer));
+    FaultPlan a = FaultPlan::generate(7, 40, 400, mask);
+    FaultPlan b = FaultPlan::generate(7, 40, 400, mask);
+    ASSERT_EQ(a.events.size(), 40u);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (size_t i = 0; i < a.events.size(); i++) {
+        EXPECT_TRUE(a.events[i].op == FaultOp::StallServer ||
+                    a.events[i].op == FaultOp::SlowServer);
+        EXPECT_EQ(a.events[i].phase, FaultPhase::InHandler);
+        if (a.events[i].op == FaultOp::SlowServer) {
+            EXPECT_GE(a.events[i].arg, 2u);
+            EXPECT_LE(a.events[i].arg, 8u);
+        }
+        EXPECT_EQ(a.events[i].op, b.events[i].op);
+        EXPECT_EQ(a.events[i].callSeq, b.events[i].callSeq);
+        EXPECT_EQ(a.events[i].arg, b.events[i].arg);
+    }
+    EXPECT_STREQ(faultOpName(FaultOp::StallServer), "stall-server");
+    EXPECT_STREQ(faultOpName(FaultOp::SlowServer), "slow-server");
+}
+
+TEST(FaultKinds, SlowServerMultipliesHandlerCost)
+{
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    core::System sys(opts);
+    kernel::Thread &server = sys.spawn("server");
+    kernel::Thread &client = sys.spawn("client");
+    core::XpcRuntime &rt = sys.runtime();
+    uint64_t id = rt.registerEntry(
+        server, server,
+        [](core::XpcServerCall &call) {
+            call.core().spend(Cycles(2000));
+            call.setReplyLen(0);
+        },
+        2);
+    sys.manager().grantXcallCap(server, client, id);
+    hw::Core &core = sys.core(0);
+    rt.allocRelayMem(core, client, 4096);
+
+    // Slow the first call down 4x; the second runs clean.
+    FaultPlan plan;
+    plan.seed = 1;
+    FaultEvent ev;
+    ev.callSeq = 1;
+    ev.op = FaultOp::SlowServer;
+    ev.phase = FaultPhase::InHandler;
+    ev.arg = 4;
+    plan.events.push_back(ev);
+    FaultInjector inj(plan);
+    sys.machine().setFaultInjector(&inj);
+    inj.enabled = true;
+    auto slow = rt.call(core, client, id, 0, 0);
+    auto fast = rt.call(core, client, id, 0, 0);
+    inj.enabled = false;
+
+    ASSERT_TRUE(slow.ok);
+    ASSERT_TRUE(fast.ok);
+    EXPECT_EQ(inj.firedCount(FaultOp::SlowServer), 1u);
+    // (4 - 1) x 2000 extra handler cycles, minus cache-warmth noise.
+    EXPECT_GT(slow.roundTrip.value(),
+              fast.roundTrip.value() + 5000u);
+}
+
+// --------------------------------------------------------------------
+// Admission control
+// --------------------------------------------------------------------
+
+TEST(Admission, ShedsAtTheHighWatermarkAndDrainsBack)
+{
+    services::AdmissionOptions opts;
+    opts.highWatermark = 3;
+    opts.drainCycles = Cycles(1000);
+    opts.clientShare = 0;
+    services::AdmissionController adm("t", opts);
+
+    // Three rapid requests fill the queue; the fourth is shed.
+    EXPECT_TRUE(adm.admit(Cycles(10), 0));
+    EXPECT_TRUE(adm.admit(Cycles(20), 0));
+    EXPECT_TRUE(adm.admit(Cycles(30), 0));
+    EXPECT_FALSE(adm.admit(Cycles(40), 0));
+    EXPECT_EQ(adm.shed.value(), 1u);
+    EXPECT_EQ(adm.backlogAt(Cycles(40)), 3u);
+
+    // Two drain periods later there is room again.
+    EXPECT_EQ(adm.backlogAt(Cycles(2040)), 1u);
+    EXPECT_TRUE(adm.admit(Cycles(2040), 0));
+    EXPECT_EQ(adm.admitted.value(), 4u);
+}
+
+TEST(Admission, FairShareShedsTheGreedyClientOnly)
+{
+    services::AdmissionOptions opts;
+    opts.highWatermark = 100; // global queue never fills
+    opts.drainCycles = Cycles(1000000);
+    opts.clientShare = 2;
+    services::AdmissionController adm("t", opts);
+
+    EXPECT_TRUE(adm.admit(Cycles(1), 7));
+    EXPECT_TRUE(adm.admit(Cycles(2), 7));
+    // Client 7 owns its fair share; client 9 still gets in.
+    EXPECT_FALSE(adm.admit(Cycles(3), 7));
+    EXPECT_TRUE(adm.admit(Cycles(4), 9));
+    EXPECT_EQ(adm.shedFairShare.value(), 1u);
+    EXPECT_EQ(adm.shed.value(), 1u);
+}
+
+TEST(Admission, IsDeterministic)
+{
+    for (int run = 0; run < 2; run++) {
+        services::AdmissionOptions opts;
+        opts.highWatermark = 2;
+        opts.drainCycles = Cycles(500);
+        services::AdmissionController adm("t", opts);
+        std::vector<bool> decisions;
+        for (uint64_t t = 0; t < 40; t++)
+            decisions.push_back(adm.admit(Cycles(t * 100), 0));
+        static std::vector<bool> first;
+        if (run == 0)
+            first = decisions;
+        else
+            EXPECT_EQ(first, decisions);
+    }
+}
+
+// --------------------------------------------------------------------
+// Circuit breaker
+// --------------------------------------------------------------------
+
+TEST(Breaker, TripsHalfOpensAndCloses)
+{
+    core::BreakerOptions opts;
+    opts.enabled = true;
+    opts.failureThreshold = 3;
+    opts.cooldownCycles = Cycles(1000);
+    core::CircuitBreaker brk(opts);
+
+    // Closed until three consecutive failures.
+    EXPECT_TRUE(brk.allow(Cycles(0)));
+    brk.onFailure(Cycles(10));
+    brk.onFailure(Cycles(20));
+    EXPECT_EQ(brk.state(Cycles(20)), core::CircuitBreaker::State::Closed);
+    brk.onFailure(Cycles(30));
+    EXPECT_EQ(brk.state(Cycles(30)), core::CircuitBreaker::State::Open);
+    EXPECT_EQ(brk.trips(), 1u);
+
+    // Open: short-circuit inside the cooldown window.
+    EXPECT_FALSE(brk.allow(Cycles(500)));
+    EXPECT_EQ(brk.shortCircuits(), 1u);
+
+    // After the cooldown exactly one probe passes...
+    EXPECT_EQ(brk.state(Cycles(1030)),
+              core::CircuitBreaker::State::HalfOpen);
+    EXPECT_TRUE(brk.allow(Cycles(1030)));
+    EXPECT_FALSE(brk.allow(Cycles(1040))); // probe in flight
+    EXPECT_EQ(brk.probes(), 1u);
+
+    // ...and its success closes the breaker.
+    brk.onSuccess(Cycles(1100));
+    EXPECT_EQ(brk.state(Cycles(1100)),
+              core::CircuitBreaker::State::Closed);
+    EXPECT_TRUE(brk.allow(Cycles(1100)));
+}
+
+TEST(Breaker, FailedProbeReopensWithFreshCooldown)
+{
+    core::BreakerOptions opts;
+    opts.enabled = true;
+    opts.failureThreshold = 1;
+    opts.cooldownCycles = Cycles(1000);
+    core::CircuitBreaker brk(opts);
+
+    brk.onFailure(Cycles(0)); // trip immediately
+    EXPECT_EQ(brk.state(Cycles(0)), core::CircuitBreaker::State::Open);
+    EXPECT_TRUE(brk.allow(Cycles(1000)));  // the probe
+    brk.onFailure(Cycles(1010));           // probe fails
+    EXPECT_EQ(brk.state(Cycles(1010)), core::CircuitBreaker::State::Open);
+    EXPECT_EQ(brk.trips(), 2u);
+    // The cooldown restarted at the probe failure.
+    EXPECT_FALSE(brk.allow(Cycles(1500)));
+    EXPECT_TRUE(brk.allow(Cycles(2010)));
+    brk.onSuccess(Cycles(2020));
+    EXPECT_EQ(brk.state(Cycles(2020)),
+              core::CircuitBreaker::State::Closed);
+
+    EXPECT_STREQ(core::breakerStateName(
+                     core::CircuitBreaker::State::HalfOpen),
+                 "half-open");
+}
+
+// --------------------------------------------------------------------
+// The supervisor's quarantine loop end to end
+// --------------------------------------------------------------------
+
+TEST(Breaker, SupervisorQuarantinesAnOverloadedService)
+{
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    core::System sys(opts);
+    core::Transport &tr = sys.transport();
+    kernel::Thread &ns_t = sys.spawn("nameserver");
+    services::NameServer ns(tr, ns_t);
+    services::Supervisor sup(tr, ns);
+    sup.breakerOpts.enabled = true;
+    sup.breakerOpts.failureThreshold = 3;
+    sup.breakerOpts.cooldownCycles = Cycles(50000);
+    kernel::Thread &client = sys.spawn("client");
+
+    kernel::Thread &cache_t = sys.spawn("cache");
+    services::FileCacheServer cache(tr, cache_t);
+    std::vector<uint8_t> page(64, 'x');
+    cache.preload("/a", page);
+    // An admission controller that never drains: after one admit,
+    // every further request is shed.
+    services::AdmissionOptions aopts;
+    aopts.highWatermark = 1;
+    aopts.drainCycles = Cycles(1000000000);
+    aopts.clientShare = 0;
+    services::AdmissionController adm("cache", aopts);
+    cache.setAdmission(&adm);
+    ns.bind("cache", cache.id());
+    sup.supervise("cache", cache_t, cache.id(),
+                  [&](kernel::Thread *&) { return cache.id(); });
+
+    hw::Core &core = sys.core(0);
+    std::string path = "/a";
+    path.push_back('\0');
+    uint8_t reply[256];
+
+    // First call is admitted and succeeds.
+    EXPECT_GE(sup.callWithRetry(core, client, "cache", kCacheGet, path.data(),
+                                path.size(), reply, sizeof(reply)),
+              0);
+
+    // Second call: every attempt is shed, the breaker trips after 3
+    // consecutive failures and the tail attempts short-circuit.
+    EXPECT_LT(sup.callWithRetry(core, client, "cache", kCacheGet, path.data(),
+                                path.size(), reply, sizeof(reply)),
+              0);
+    EXPECT_EQ(sup.lastStatus, core::TransportStatus::BreakerOpen);
+    EXPECT_EQ(sup.breakerTrips.value(), 1u);
+    EXPECT_GT(sup.breakerRejected.value(), 0u);
+    EXPECT_EQ(sup.breakerFor("cache").state(core.now()),
+              core::CircuitBreaker::State::Open);
+
+    // While open and inside the cooldown, calls never even touch the
+    // transport.
+    uint64_t admitted = adm.admitted.value();
+    uint64_t shed = adm.shed.value();
+    EXPECT_LT(sup.callWithRetry(core, client, "cache", kCacheGet, path.data(),
+                                path.size(), reply, sizeof(reply),
+                                {.maxAttempts = 1}),
+              0);
+    EXPECT_EQ(sup.lastStatus, core::TransportStatus::BreakerOpen);
+    EXPECT_EQ(adm.admitted.value(), admitted);
+    EXPECT_EQ(adm.shed.value(), shed);
+
+    // After the cooldown (and with the overload cleared) the
+    // half-open probe succeeds and the breaker closes.
+    core.spend(Cycles(60000));
+    cache.setAdmission(nullptr);
+    EXPECT_GE(sup.callWithRetry(core, client, "cache", kCacheGet, path.data(),
+                                path.size(), reply, sizeof(reply)),
+              0);
+    EXPECT_EQ(sup.breakerFor("cache").state(core.now()),
+              core::CircuitBreaker::State::Closed);
+}
+
+// --------------------------------------------------------------------
+// Jittered backoff determinism
+// --------------------------------------------------------------------
+
+TEST(Backoff, JitterIsSeededAndDeterministic)
+{
+    // Two identical systems, same supervisor seed: the jittered
+    // backoff must burn exactly the same number of cycles.
+    uint64_t spent[2] = {};
+    for (int run = 0; run < 2; run++) {
+        core::SystemOptions opts;
+        opts.flavor = core::SystemFlavor::Sel4Xpc;
+        core::System sys(opts);
+        core::Transport &tr = sys.transport();
+        kernel::Thread &ns_t = sys.spawn("nameserver");
+        services::NameServer ns(tr, ns_t);
+        services::Supervisor sup(tr, ns);
+        kernel::Thread &client = sys.spawn("client");
+        kernel::Thread &cache_t = sys.spawn("cache");
+        services::FileCacheServer cache(tr, cache_t);
+        services::AdmissionOptions aopts;
+        aopts.highWatermark = 1;
+        aopts.drainCycles = Cycles(1000000000);
+        services::AdmissionController adm("cache", aopts);
+        cache.setAdmission(&adm);
+        ns.bind("cache", cache.id());
+        sup.supervise("cache", cache_t, cache.id(),
+                      [&](kernel::Thread *&) { return cache.id(); });
+
+        hw::Core &core = sys.core(0);
+        std::string path = "/a";
+        path.push_back('\0');
+        uint8_t reply[64];
+        sup.callWithRetry(core, client, "cache", kCacheGet, path.data(),
+                          path.size(), reply, sizeof(reply));
+        uint64_t before = core.now().value();
+        sup.callWithRetry(core, client, "cache", kCacheGet, path.data(),
+                          path.size(), reply, sizeof(reply));
+        spent[run] = core.now().value() - before;
+    }
+    EXPECT_EQ(spent[0], spent[1]);
+    EXPECT_GT(spent[0], 0u);
+}
+
+} // namespace
+} // namespace xpc

@@ -58,6 +58,7 @@ class Request:
         self.last_ts = 0
         self.clamped = False
         self.mem = defaultdict(int)
+        self.outcome = None   # terminal status name, from "outcome"
 
 
 def build(events):
@@ -107,6 +108,10 @@ def build(events):
             r.lanes.add(tid)
         elif ph == "t":
             r.lanes.add(tid)
+        elif ph == "i" and ev.get("name") == "outcome":
+            # Emitted once per top-level call with the terminal
+            # CallStatus name as the text payload.
+            r.outcome = ev.get("args", {}).get("msg", "")
         elif ph == "i" and ev.get("cat") == "mem":
             name = ev.get("name", "")
             if name in ("tlb_miss_fill", "l1_miss_fill"):
@@ -155,6 +160,23 @@ def sweep(r):
     return path, dict(totals), start, end
 
 
+# CallStatus name -> coarse outcome class. Anything else (copy faults,
+# dead servers, ...) keeps its raw status name.
+OUTCOME_CLASSES = {
+    "ok": "ok",
+    "timeout": "timeout",
+    "deadline-expired": "timeout",
+    "overloaded": "shed",
+    "breaker-open": "breaker-open",
+}
+
+
+def outcome_class(status):
+    if status is None:
+        return "-"
+    return OUTCOME_CLASSES.get(status, status)
+
+
 def lane_label(names, tid):
     if tid in names:
         return names[tid]
@@ -170,6 +192,8 @@ def report_request(r, names):
         flags.append("flow closed")
     if r.clamped:
         flags.append("INCOMPLETE (spans clamped)")
+    if r.outcome is not None:
+        flags.append(f"outcome {outcome_class(r.outcome)}")
     extra = (", " + ", ".join(flags)) if flags else ""
     print(f"request #{r.id}: {total} cycles, "
           f"{len(r.lanes)} lane(s){extra}")
@@ -198,9 +222,14 @@ def report_top(reqs):
     """xpctop-style aggregate across every request."""
     span_totals = defaultdict(int)
     durations = []
-    for r in reqs.values():
+    rows = []
+    outcome_counts = defaultdict(int)
+    for rid in sorted(reqs):
+        r = reqs[rid]
         _, totals, start, end = sweep(r)
         durations.append(end - start)
+        rows.append((rid, end - start, outcome_class(r.outcome)))
+        outcome_counts[outcome_class(r.outcome)] += 1
         for name, cycles in totals.items():
             span_totals[name] += cycles
     durations.sort()
@@ -214,10 +243,16 @@ def report_top(reqs):
 
     print(f"critpath top: {len(reqs)} request(s), end-to-end "
           f"p50 {quantile(0.5)} / p99 {quantile(0.99)} cycles")
+    print("  outcomes: " +
+          ", ".join(f"{k} {v}" for k, v in
+                    sorted(outcome_counts.items())))
     for name, cycles in sorted(span_totals.items(),
                                key=lambda kv: -kv[1]):
         share = 100.0 * cycles / grand if grand else 0.0
         print(f"  {name:<16} {cycles:>12}  {share:5.1f}%")
+    print(f"  {'req':>8}  {'cycles':>10}  outcome")
+    for rid, cycles, outcome in rows:
+        print(f"  {'#' + str(rid):>8}  {cycles:>10}  {outcome}")
 
 
 def main():
