@@ -31,6 +31,38 @@ struct MiniDbCosts
     Cycles scanPerRecord{2000};
 };
 
+/** How mutations are made crash-safe. */
+enum class JournalMode : uint8_t
+{
+    /**
+     * sqlite's classic rollback journal (the default): pre-images,
+     * header commit, page write-back, header clear. The commit point
+     * is the header *clear*; recovery rolls a hot journal back.
+     */
+    Rollback,
+    /**
+     * Write-ahead redo log through the checksummed commit codec
+     * (services/journal): post-images, commit record, page
+     * write-back, record clear. The commit point is the record
+     * *write*; recovery replays an intact record idempotently.
+     */
+    Wal,
+    /** No journal at all - deliberately crash-UNSAFE. Exists so the
+     *  crash explorer's shrinker has a genuinely failing subject. */
+    None,
+};
+
+/** Open-time knobs (the plain constructor = fresh + Rollback). */
+struct MiniDbOptions
+{
+    uint32_t cachePages = 64;
+    JournalMode journal = JournalMode::Rollback;
+    /** false: attach to an existing database instead of formatting,
+     *  running journal recovery before the first tree access (the
+     *  crash-restart path). */
+    bool createFresh = true;
+};
+
 /** The database. */
 class MiniDb
 {
@@ -42,6 +74,16 @@ class MiniDb
     MiniDb(core::Transport &transport, hw::Core &core,
            kernel::Thread &client, core::ServiceId fs_svc,
            const std::string &name, uint32_t cache_pages = 64);
+
+    /** Full-control variant: journal mode and create-vs-attach. */
+    MiniDb(core::Transport &transport, hw::Core &core,
+           kernel::Thread &client, core::ServiceId fs_svc,
+           const std::string &name, const MiniDbOptions &options);
+
+    /** True when attaching found (and consumed) a hot journal. */
+    bool recoveredOnOpen() const { return recoveredOnOpen_; }
+
+    JournalMode journalMode() const { return mode; }
 
     MiniDbCosts costs;
 
@@ -70,6 +112,8 @@ class MiniDb
     core::ServiceId fsSvc;
     std::unique_ptr<PagedFile> file;
     std::unique_ptr<BTree> btree;
+    JournalMode mode = JournalMode::Rollback;
+    bool recoveredOnOpen_ = false;
     int64_t journalFd = -1;
     /** Buffered journal records of the open transaction. */
     std::vector<uint8_t> journalBuf;
@@ -78,6 +122,9 @@ class MiniDb
     void beginTxn();
     void commitTxn();
     void journalAppend(uint32_t page_no, const DbPage &pre);
+    void recoverRollback();
+    void recoverWal();
+    void installRecoveredPage(uint32_t page_no, const uint8_t *img);
     int64_t fsWrite(int64_t fd, uint64_t off, const void *src,
                     uint64_t len);
 };

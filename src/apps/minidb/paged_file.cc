@@ -24,6 +24,17 @@ PagedFile::PagedFile(core::Transport &tr, hw::Core &c,
     numPages = 0;
 }
 
+void
+PagedFile::adoptExisting()
+{
+    int64_t bytes = FsServer::clientStat(transport, core, client,
+                                         fsSvc, fd);
+    if (bytes > 0) {
+        adoptPages(uint32_t((uint64_t(bytes) + dbPageBytes - 1) /
+                            dbPageBytes));
+    }
+}
+
 DbPage *
 PagedFile::find(uint32_t page_no)
 {
@@ -48,6 +59,33 @@ PagedFile::writeThrough(DbPage &page)
     page.dirty = false;
 }
 
+void
+PagedFile::evictOne()
+{
+    auto victim = pages.begin();
+    if (preferCleanEviction) {
+        // WAL discipline: pick the LRU *clean* page when one exists;
+        // only write a dirty page home early if everything is dirty.
+        auto clean = pages.end();
+        for (auto it = pages.begin(); it != pages.end(); ++it) {
+            if (!it->dirty &&
+                (clean == pages.end() || it->lru < clean->lru))
+                clean = it;
+        }
+        if (clean != pages.end()) {
+            pages.erase(clean);
+            return;
+        }
+    }
+    for (auto it = pages.begin(); it != pages.end(); ++it) {
+        if (it->lru < victim->lru)
+            victim = it;
+    }
+    if (victim->dirty)
+        writeThrough(*victim);
+    pages.erase(victim);
+}
+
 DbPage &
 PagedFile::get(uint32_t page_no)
 {
@@ -58,16 +96,8 @@ PagedFile::get(uint32_t page_no)
     }
     cacheMisses.inc();
 
-    if (pages.size() >= capacity) {
-        auto victim = pages.begin();
-        for (auto it = pages.begin(); it != pages.end(); ++it) {
-            if (it->lru < victim->lru)
-                victim = it;
-        }
-        if (victim->dirty)
-            writeThrough(*victim);
-        pages.erase(victim);
-    }
+    if (pages.size() >= capacity)
+        evictOne();
 
     pages.emplace_back();
     DbPage &p = pages.back();
@@ -120,16 +150,8 @@ PagedFile::appendPage()
 {
     uint32_t page_no = numPages++;
     // Materialize it in the cache as a zeroed page.
-    if (pages.size() >= capacity) {
-        auto victim = pages.begin();
-        for (auto it = pages.begin(); it != pages.end(); ++it) {
-            if (it->lru < victim->lru)
-                victim = it;
-        }
-        if (victim->dirty)
-            writeThrough(*victim);
-        pages.erase(victim);
-    }
+    if (pages.size() >= capacity)
+        evictOne();
     pages.emplace_back();
     DbPage &p = pages.back();
     p.pageNo = page_no;

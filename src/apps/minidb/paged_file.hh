@@ -65,10 +65,24 @@ class PagedFile
         numPages = std::max(numPages, n);
     }
 
+    /** Attach to the file's existing extent: stat it on the FS
+     *  server and adopt every page already (even partially) written
+     *  - the crash-restart reopen path. */
+    void adoptExisting();
+
     uint32_t pageCount() const { return numPages; }
 
     /** Journaling hook: called with (pageNo, preImage) on first dirty. */
     std::function<void(uint32_t, const DbPage &)> preImageHook;
+
+    /**
+     * Prefer evicting clean pages over dirty ones (WAL discipline:
+     * a dirty page written home before its commit record would break
+     * the write-ahead invariant). Default off - the classic pager
+     * evicts strictly by LRU, and the benches depend on that exact
+     * write-back sequence.
+     */
+    bool preferCleanEviction = false;
 
     /** Dirty page numbers in first-dirtied order. */
     const std::vector<uint32_t> &dirtyPages() const { return dirtyList; }
@@ -92,6 +106,7 @@ class PagedFile
 
     DbPage *find(uint32_t page_no);
     void writeThrough(DbPage &page);
+    void evictOne();
 };
 
 } // namespace xpc::apps

@@ -121,6 +121,23 @@ class CircuitBreaker
             trip(now);
     }
 
+    /**
+     * Restart-time reset: back to Closed with no failure memory. A
+     * freshly restarted service must not inherit its predecessor's
+     * quarantine - the failures that tripped the breaker died with
+     * the old instance. The counters survive; they record history,
+     * not state.
+     */
+    void
+    reset()
+    {
+        st = State::Closed;
+        openedAt = 0;
+        consecutiveFailures = 0;
+        halfOpenStreak = 0;
+        probeInFlight = false;
+    }
+
     uint64_t trips() const { return trips_; }
     uint64_t probes() const { return probes_; }
     uint64_t shortCircuits() const { return shortCircuits_; }

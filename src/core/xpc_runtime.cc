@@ -402,6 +402,12 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
         return out;
     }
 
+    // Crash-point enumeration: every XPC phase boundary is a
+    // numbered kill-site for the systematic explorer, alongside
+    // every durable write in the block device (sim/explorer).
+    if (inj && inj->enabled)
+        inj->atCrashSite("phase-xcall");
+
     engine::XcallResult xc;
     {
         req::PhaseScope phase(uint32_t(Phase::Xcall));
@@ -522,6 +528,9 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
         }
     }
 
+    if (inj && inj->enabled)
+        inj->atCrashSite("phase-handler");
+
     Cycles h0 = core.now();
     {
         req::PhaseScope phase(uint32_t(Phase::Handler));
@@ -641,6 +650,9 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
         tr.end("runtime", "trampoline", core.now().value(), core.id());
     }
     state.busy--;
+
+    if (inj && inj->enabled)
+        inj->atCrashSite("phase-xret");
 
     Cycles xret0 = core.now();
     engine::XretResult ret;

@@ -60,6 +60,13 @@ AdmissionController::admit(Cycles now, uint32_t client_id)
     return true;
 }
 
+void
+AdmissionController::reset()
+{
+    global = Bucket{};
+    perClient.clear();
+}
+
 uint64_t
 AdmissionController::backlogAt(Cycles now) const
 {

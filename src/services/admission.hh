@@ -61,6 +61,15 @@ class AdmissionController
     /** Modelled global backlog after draining to @p now (tests). */
     uint64_t backlogAt(Cycles now) const;
 
+    /**
+     * Restart-time reset: drop the modelled backlog and every
+     * per-client bucket. The queued work a restarted server was
+     * drowning under died with the old instance; keeping the buckets
+     * would shed the first requests to a perfectly idle server.
+     * Counters survive (history, not state).
+     */
+    void reset();
+
     const AdmissionOptions &options() const { return opts; }
 
     Counter admitted;

@@ -2,7 +2,9 @@
 
 #include <vector>
 
+#include "hw/machine.hh"
 #include "services/proto.hh"
+#include "sim/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace xpc::services {
@@ -58,6 +60,20 @@ BlockDeviceServer::handle(core::ServerApi &api)
         return;
       }
       case BlockOp::Write: {
+        // Every durable write is an enumerable crash site: the
+        // explorer re-runs the workload crashing here, and once
+        // crashed the store stops absorbing writes - the disk image
+        // is frozen at the exact write prefix a power cut leaves.
+        FaultInjector *inj =
+            transport.kernelRef().machine().faultInjector();
+        if (inj && inj->enabled) {
+            inj->atCrashSite("block-write");
+            if (inj->crashed()) {
+                suppressedWrites.inc(req.count);
+                api.setReplyLen(0);
+                return;
+            }
+        }
         writes.inc(req.count);
         api.readRequest(blockDataOffset, buf.data(), bytes);
         auto res = kern.userWrite(api.core(), proc,

@@ -38,6 +38,9 @@ class BlockDeviceServer
 
     Counter reads;
     Counter writes;
+    /** Writes dropped after a crash-site firing: the power is off,
+     *  so the store freezes at the exact prefix written so far. */
+    Counter suppressedWrites;
 
   private:
     core::Transport &transport;

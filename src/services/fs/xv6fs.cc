@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "services/journal.hh"
 #include "sim/logging.hh"
 
 namespace xpc::services::fs {
@@ -15,12 +16,12 @@ constexpr uint32_t direntsPerBlock =
     uint32_t(fsBlockBytes / sizeof(Dirent));
 constexpr uint32_t bitsPerBlock = uint32_t(fsBlockBytes * 8);
 
-/** On-disk log header (first log block). */
-struct LogHeader
-{
-    uint32_t n;
-    uint32_t block[maxOpBlocks];
-};
+// The log's commit record is the shared checksummed WAL header
+// (services/journal): block sb.logStart holds the encoded record,
+// blocks sb.logStart+1.. hold the n logged images it describes.
+static_assert(journal::WalHeader::encodedBytes(maxOpBlocks) <=
+                  fsBlockBytes,
+              "log commit record must fit one block");
 
 } // namespace
 
@@ -186,22 +187,37 @@ Xv6Fs::mount(BlockIo &device)
     if (sb.magic != fsMagic)
         return fsErrNotFound;
 
-    // Crash recovery: replay a committed log.
+    // Crash recovery: replay a committed log. The commit record is
+    // checksummed (services/journal), so a record the crash tore -
+    // or one whose logged images never all reached the disk - is
+    // detected and discarded instead of half-replayed: the
+    // transaction it described simply never happened.
     io->read(sb.logStart, blk.data());
-    LogHeader hdr;
-    std::memcpy(&hdr, blk.data(), sizeof(hdr));
-    recovered = hdr.n > 0;
-    if (recovered) {
-        std::array<uint8_t, fsBlockBytes> data;
-        for (uint32_t i = 0; i < hdr.n; i++) {
-            io->read(sb.logStart + 1 + i, data.data());
-            io->write(hdr.block[i], data.data());
+    journal::WalHeader hdr;
+    bool committed = journal::WalHeader::decode(blk.data(), blk.size(),
+                                               &hdr);
+    if (committed) {
+        std::vector<std::array<uint8_t, fsBlockBytes>> images(
+            hdr.entries.size());
+        for (size_t i = 0; i < hdr.entries.size(); i++) {
+            io->read(uint32_t(sb.logStart + 1 + i), images[i].data());
+            if (!journal::walPayloadMatches(hdr.entries[i],
+                                            images[i].data(),
+                                            fsBlockBytes)) {
+                committed = false;
+                break;
+            }
         }
-        LogHeader clean{};
-        std::memset(blk.data(), 0, blk.size());
-        std::memcpy(blk.data(), &clean, sizeof(clean));
+        if (committed) {
+            // Idempotent redo: installing twice lands the same bytes.
+            for (size_t i = 0; i < hdr.entries.size(); i++)
+                io->write(hdr.entries[i].no, images[i].data());
+        }
+        // Either way the record is consumed: clear it.
+        blk.fill(0);
         io->write(sb.logStart, blk.data());
     }
+    recovered = committed;
     return fsOk;
 }
 
@@ -242,25 +258,29 @@ Xv6Fs::endOp()
     if (dirtyBlocks.empty())
         return;
 
-    // 1. Copy dirty blocks into the on-disk log.
+    // 1. Copy dirty blocks into the on-disk log, checksumming each
+    //    image into the commit record as it goes out.
+    journal::WalHeader hdr;
+    hdr.seq = transactions.value();
     for (size_t i = 0; i < dirtyBlocks.size(); i++) {
         BufCache::Buf &b = bread(dirtyBlocks[i]);
         io->write(uint32_t(sb.logStart + 1 + i), b.data.data());
+        hdr.entries.push_back(
+            {dirtyBlocks[i],
+             journal::walCrc(b.data.data(), fsBlockBytes)});
     }
-    // 2. Commit: write the header. This is the atomic point.
-    LogHeader hdr{};
-    hdr.n = uint32_t(dirtyBlocks.size());
-    for (size_t i = 0; i < dirtyBlocks.size(); i++)
-        hdr.block[i] = dirtyBlocks[i];
+    // 2. Commit: write the checksummed record. The atomic point - a
+    //    crash before this write leaves an undecodable record and the
+    //    transaction never happened; after it, recovery redoes it.
     std::array<uint8_t, fsBlockBytes> blk{};
-    std::memcpy(blk.data(), &hdr, sizeof(hdr));
+    std::vector<uint8_t> rec;
+    hdr.encodeTo(&rec);
+    std::memcpy(blk.data(), rec.data(), rec.size());
     io->write(sb.logStart, blk.data());
     // 3. Install to home locations.
     installLog(false);
-    // 4. Clear the header.
-    LogHeader clean{};
-    std::memset(blk.data(), 0, blk.size());
-    std::memcpy(blk.data(), &clean, sizeof(clean));
+    // 4. Clear the record.
+    blk.fill(0);
     io->write(sb.logStart, blk.data());
     for (uint32_t block_no : dirtyBlocks)
         bcache.pin(block_no, false);

@@ -61,7 +61,8 @@ FsServer::IpcBlockIo::write(uint32_t block_no, const void *src)
 }
 
 FsServer::FsServer(core::Transport &tr, kernel::Thread &fs_thread,
-                   core::ServiceId block_svc, uint64_t disk_blocks)
+                   core::ServiceId block_svc, uint64_t disk_blocks,
+                   bool format)
     : transport(tr), fsThread(fs_thread),
       blockIo(tr, fs_thread, block_svc)
 {
@@ -73,12 +74,17 @@ FsServer::FsServer(core::Transport &tr, kernel::Thread &fs_thread,
                              blockDataOffset +
                                  BlockDeviceServer::blockBytes + 256);
 
-    // Format and mount, as the FS thread, at wiring time.
+    // Mount (formatting first unless attaching), as the FS thread,
+    // at wiring time. On the attach path mount() replays a committed
+    // log - crash recovery completes before the service registers.
     blockIo.core = &boot_core;
     blockIo.inHandler = false;
-    fs::Xv6Fs::mkfs(blockIo, uint32_t(disk_blocks));
+    if (format)
+        fs::Xv6Fs::mkfs(blockIo, uint32_t(disk_blocks));
     int64_t r = filesystem.mount(blockIo);
-    fatal_if(r != fs::fsOk, "failed to mount the fresh file system");
+    fatal_if(r != fs::fsOk, format
+                 ? "failed to mount the fresh file system"
+                 : "failed to attach to the existing file system");
 
     core::ServiceDesc desc;
     desc.name = "fs";
@@ -252,6 +258,17 @@ FsServer::clientClose(core::Transport &tr, hw::Core &core,
     FsMsg msg;
     msg.a = fd;
     return fsCall(tr, core, client, svc, FsOp::Close, msg, nullptr, 0,
+                  nullptr, 0);
+}
+
+int64_t
+FsServer::clientStat(core::Transport &tr, hw::Core &core,
+                     kernel::Thread &client, core::ServiceId svc,
+                     int64_t fd)
+{
+    FsMsg msg;
+    msg.a = fd;
+    return fsCall(tr, core, client, svc, FsOp::Stat, msg, nullptr, 0,
                   nullptr, 0);
 }
 

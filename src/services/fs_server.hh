@@ -23,12 +23,17 @@ class FsServer
 {
   public:
     /**
-     * Create the server, format the disk and mount it.
+     * Create the server and mount the disk.
      * @param fs_thread the server thread
      * @param block_svc the block-device service to talk to
+     * @param format true: mkfs a fresh volume first (the default).
+     *        false: attach to the existing volume - the crash-restart
+     *        path, where mount() replays any committed journal before
+     *        the service registers (stateful recovery).
      */
     FsServer(core::Transport &transport, kernel::Thread &fs_thread,
-             core::ServiceId block_svc, uint64_t disk_blocks);
+             core::ServiceId block_svc, uint64_t disk_blocks,
+             bool format = true);
 
     core::ServiceId id() const { return svcId; }
     fs::Xv6Fs &fsImpl() { return filesystem; }
@@ -58,6 +63,10 @@ class FsServer
     static int64_t clientClose(core::Transport &tr, hw::Core &core,
                                kernel::Thread &client,
                                core::ServiceId svc, int64_t fd);
+    /** @return the file's size in bytes (FsOp::Stat). */
+    static int64_t clientStat(core::Transport &tr, hw::Core &core,
+                              kernel::Thread &client,
+                              core::ServiceId svc, int64_t fd);
     static int64_t clientUnlink(core::Transport &tr, hw::Core &core,
                                 kernel::Thread &client,
                                 core::ServiceId svc,

@@ -1,0 +1,91 @@
+#include "journal.hh"
+
+#include <cstring>
+
+namespace xpc::services::journal {
+
+namespace {
+
+struct CrcTable
+{
+    uint32_t t[256];
+
+    CrcTable()
+    {
+        for (uint32_t i = 0; i < 256; i++) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; k++)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+
+const CrcTable crcTable;
+
+} // namespace
+
+uint32_t
+walCrc(const void *data, size_t len, uint32_t seed)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < len; i++)
+        c = crcTable.t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+void
+WalHeader::encodeTo(std::vector<uint8_t> *out) const
+{
+    out->resize(encodedBytes());
+    uint8_t *p = out->data();
+    uint32_t magic = walMagic;
+    uint32_t n = uint32_t(entries.size());
+    std::memcpy(p, &magic, 4);
+    std::memcpy(p + 4, &n, 4);
+    std::memcpy(p + 8, &seq, 8);
+    for (size_t i = 0; i < entries.size(); i++) {
+        std::memcpy(p + 16 + i * 8, &entries[i].no, 4);
+        std::memcpy(p + 16 + i * 8 + 4, &entries[i].crc, 4);
+    }
+    uint32_t hcrc = walCrc(p, out->size() - 4);
+    std::memcpy(p + out->size() - 4, &hcrc, 4);
+}
+
+bool
+WalHeader::decode(const uint8_t *raw, size_t len, WalHeader *out)
+{
+    if (len < encodedBytes(0))
+        return false;
+    uint32_t magic, n;
+    std::memcpy(&magic, raw, 4);
+    if (magic != walMagic)
+        return false;
+    std::memcpy(&n, raw + 4, 4);
+    size_t need = encodedBytes(n);
+    if (n == 0 || need > len)
+        return false;
+    uint32_t hcrc, want;
+    std::memcpy(&hcrc, raw + need - 4, 4);
+    want = walCrc(raw, need - 4);
+    if (hcrc != want)
+        return false;
+    out->entries.clear();
+    std::memcpy(&out->seq, raw + 8, 8);
+    out->entries.resize(n);
+    for (uint32_t i = 0; i < n; i++) {
+        std::memcpy(&out->entries[i].no, raw + 16 + i * 8, 4);
+        std::memcpy(&out->entries[i].crc, raw + 16 + i * 8 + 4, 4);
+    }
+    return true;
+}
+
+bool
+walPayloadMatches(const WalEntry &e, const void *payload,
+                  size_t payload_len)
+{
+    return walCrc(payload, payload_len) == e.crc;
+}
+
+} // namespace xpc::services::journal

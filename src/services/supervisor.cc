@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "services/admission.hh"
 #include "sim/logging.hh"
 #include "sim/request.hh"
 #include "sim/trace.hh"
@@ -13,7 +14,33 @@ Supervisor::supervise(const std::string &name, kernel::Thread &server,
                       core::ServiceId svc, RestartFn restart)
 {
     panic_if(!restart, "supervised service needs a restart function");
-    supervised[name] = Entry{&server, svc, std::move(restart)};
+    Entry entry;
+    entry.server = &server;
+    entry.svc = svc;
+    entry.restart = std::move(restart);
+    supervised[name] = std::move(entry);
+}
+
+void
+Supervisor::setRecovery(const std::string &name,
+                        std::function<void()> recover)
+{
+    auto it = supervised.find(name);
+    panic_if(it == supervised.end(),
+             "setRecovery on an unsupervised service '%s'",
+             name.c_str());
+    it->second.recover = std::move(recover);
+}
+
+void
+Supervisor::setAdmission(const std::string &name,
+                         AdmissionController *admission)
+{
+    auto it = supervised.find(name);
+    panic_if(it == supervised.end(),
+             "setAdmission on an unsupervised service '%s'",
+             name.c_str());
+    it->second.admission = admission;
 }
 
 bool
@@ -35,7 +62,25 @@ Supervisor::heal()
         if (srv && srv->process() && !srv->process()->dead)
             continue;
         entry.svc = entry.restart(entry.server);
+        if (entry.recover) {
+            // Stateful recovery (journal replay) runs before the
+            // re-bind: no client can reach the fresh instance until
+            // its durable state is consistent again.
+            entry.recover();
+            recoveries.inc();
+            trace::Tracer::global().instantNow("supervisor",
+                                               "recover", 0, name);
+        }
         nameServer.bind(name, entry.svc);
+        // The failures that tripped the breaker - and the backlog
+        // that tripped admission control - died with the old
+        // instance. A restarted service starts with a clean slate;
+        // stale quarantine would shed the first calls to it.
+        auto brk = breakers.find(name);
+        if (brk != breakers.end())
+            brk->second.reset();
+        if (entry.admission)
+            entry.admission->reset();
         restarts.inc();
         trace::Tracer::global().instantNow("supervisor", "restart", 0,
                                            name);

@@ -29,6 +29,8 @@
 
 namespace xpc::services {
 
+class AdmissionController;
+
 /** Client retry policy: capped exponential backoff. */
 struct RetryPolicy
 {
@@ -64,6 +66,7 @@ class Supervisor
         : transport(transport), nameServer(ns)
     {
         stats.addCounter("restarts", &restarts);
+        stats.addCounter("recoveries", &recoveries);
         stats.addCounter("retries", &retries);
         stats.addCounter("breaker_rejected", &breakerRejected);
         stats.addCounter("breaker_trips", &breakerTrips);
@@ -73,6 +76,24 @@ class Supervisor
     /** Put service @p name under supervision. */
     void supervise(const std::string &name, kernel::Thread &server,
                    core::ServiceId svc, RestartFn restart);
+
+    /**
+     * Install a stateful-recovery hook for @p name: heal() runs it
+     * after the restart function but *before* re-registering the
+     * fresh instance with the name server, so a journaled service
+     * (fs, minidb) replays its journal while no client can reach it
+     * yet. The hook sees the new ServiceId via currentId().
+     */
+    void setRecovery(const std::string &name,
+                     std::function<void()> recover);
+
+    /**
+     * Attach the admission controller guarding @p name's server, so
+     * heal() can drop its modelled backlog along with the breaker
+     * state: the queue a dead server was drowning under died with it.
+     */
+    void setAdmission(const std::string &name,
+                      AdmissionController *admission);
 
     /** True when the named service's server process is dead. */
     bool isDown(const std::string &name) const;
@@ -116,6 +137,8 @@ class Supervisor
     void reseed(uint64_t seed) { rng = Rng(seed); }
 
     Counter restarts;
+    /** Stateful recoveries run by heal() (setRecovery hooks). */
+    Counter recoveries;
     Counter retries;
     Counter breakerRejected;
     Counter breakerTrips;
@@ -130,6 +153,9 @@ class Supervisor
         kernel::Thread *server = nullptr;
         core::ServiceId svc = 0;
         RestartFn restart;
+        /** Journal replay etc., run between restart and re-bind. */
+        std::function<void()> recover;
+        AdmissionController *admission = nullptr;
     };
 
     core::Transport &transport;

@@ -137,6 +137,28 @@ FaultInjector::recordFired(const FaultEvent &ev)
 }
 
 uint64_t
+FaultInjector::atCrashSite(const char *kind)
+{
+    if (!enabled || crashed_)
+        return siteSeq_;
+    uint64_t site = siteSeq_++;
+    siteTotal_++;
+    siteCensus_[kind]++;
+    if (crashNext_ < crashPlan_.size() &&
+        site == crashPlan_[crashNext_]) {
+        crashNext_++;
+        crashed_ = true;
+        // Later plan entries count from here: a {12, 3} plan crashes
+        // again 3 sites into whatever recovery follows this firing.
+        siteSeq_ = 0;
+        crashLog_.push_back(site);
+        trace::Tracer::global().instantNow("fault", "crash-site", 0,
+                                           kind);
+    }
+    return site;
+}
+
+uint64_t
 FaultInjector::firedCount(FaultOp op) const
 {
     return firedPerOp_[uint32_t(op)];

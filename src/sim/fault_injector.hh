@@ -18,6 +18,7 @@
 #define XPC_SIM_FAULT_INJECTOR_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -152,6 +153,68 @@ class FaultInjector
     }
     /// @}
 
+    /// @name Enumerable crash points (systematic exploration).
+    ///
+    /// The storage layers and the XPC runtime visit a crash site at
+    /// every durable block write and every XPC phase boundary; sites
+    /// are numbered 0, 1, 2, ... in execution order, so one baseline
+    /// run censuses the whole fault space and each exploration run
+    /// re-executes the workload crashing at exactly the armed sites.
+    /// A firing latches crashed(): the block device then suppresses
+    /// every subsequent durable write, freezing the disk at the exact
+    /// prefix a power cut would leave behind. Plan entries after the
+    /// first are *relative*: the site counter restarts at each
+    /// firing, so {12, 3} means "crash at site 12, then again 3
+    /// sites into the recovery that follows".
+    /// @{
+
+    /** Arm a crash plan (entries consumed in order, never sorted). */
+    void
+    armCrashPlan(std::vector<uint64_t> sites)
+    {
+        crashPlan_ = std::move(sites);
+        crashNext_ = 0;
+        crashed_ = false;
+        siteSeq_ = 0;
+        siteTotal_ = 0;
+        siteCensus_.clear();
+        crashLog_.clear();
+    }
+
+    /**
+     * Visit one crash site. Counts it, and latches crashed() when
+     * the armed plan names it. Inert while disabled, and while
+     * already crashed (a dead machine executes nothing, so the
+     * writes it never issues are not sites).
+     * @return the site's index (relative to the last firing).
+     */
+    uint64_t atCrashSite(const char *kind);
+
+    /** True between a crash-site firing and clearCrashed(). The
+     *  block device suppresses durable writes while this holds. */
+    bool crashed() const { return crashed_; }
+
+    /** Acknowledge the crash (the harness has torn down the dead
+     *  components); durable writes flow again, e.g. for recovery. */
+    void clearCrashed() { crashed_ = false; }
+
+    /** Sites visited since arming (the baseline census). */
+    uint64_t crashSitesVisited() const { return siteTotal_; }
+
+    /** Per-kind site counts, in kind order (census reporting). */
+    const std::map<std::string, uint64_t> &
+    siteCensus() const
+    {
+        return siteCensus_;
+    }
+
+    /** Plan-shaped (relative) site indexes that actually fired. */
+    const std::vector<uint64_t> &crashesFired() const
+    {
+        return crashLog_;
+    }
+    /// @}
+
     const FaultPlan &plan() const { return plan_; }
     uint64_t seed() const { return plan_.seed; }
     uint64_t callCount() const { return seq_; }
@@ -178,6 +241,14 @@ class FaultInjector
     uint32_t engExc_ = 0;
     std::vector<FaultEvent> log_;
     uint64_t firedPerOp_[faultOpCount] = {};
+
+    std::vector<uint64_t> crashPlan_;
+    size_t crashNext_ = 0;
+    bool crashed_ = false;
+    uint64_t siteSeq_ = 0;   ///< relative to the last firing
+    uint64_t siteTotal_ = 0; ///< absolute, since arming
+    std::map<std::string, uint64_t> siteCensus_;
+    std::vector<uint64_t> crashLog_;
 };
 
 } // namespace xpc

@@ -132,6 +132,107 @@ TEST(EngineEdge, ReadOnlySegmentWindowBlocksWrites)
     EXPECT_TRUE(rres.ok);
 }
 
+TEST(EngineEdge, NestedUnwindRevokesSegsInnermostFirstBlockingLateWrites)
+{
+    // A -> B -> C with a *distinct* relay segment mapped at each
+    // level: segA carries the outer call, B swaps its own scratch
+    // segB in for the nested hop. The innermost handler then runs the
+    // full timeout-cleanup sequence by hand - revoke + unwind, one
+    // level at a time, innermost first - and at every level a late
+    // write through the revoked mapping must fault (lateWritesBlocked)
+    // instead of landing in reclaimed frames.
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    core::System sys(opts);
+    core::XpcRuntime &rt = sys.runtime();
+    hw::Core &core = sys.core(0);
+    kernel::Thread &a = sys.spawn("A");
+    kernel::Thread &b = sys.spawn("B");
+    kernel::Thread &c = sys.spawn("C");
+
+    // B's scratch segment for the nested hop, parked in its seg-list
+    // slot until B's handler swaps it in.
+    core::RelaySegHandle segB = rt.allocRelayMem(core, b, 4096);
+    ASSERT_EQ(rt.engine().swapseg(core, segB.slot),
+              engine::XpcException::None);
+
+    core::RelaySegHandle segA; // assigned before the call launches
+    bool c_ran = false;
+    uint64_t c_id = rt.registerEntry(
+        c, c,
+        [&](core::XpcServerCall &call) {
+            hw::Core &cc = call.core();
+            kernel::XpcManager &mgr = sys.manager();
+            c_ran = true;
+            ASSERT_EQ(cc.csrs.linkTop, 2u);
+            // Level 2 (B->C): B's scratch segment is the active one.
+            EXPECT_EQ(cc.csrs.segId, segB.segId);
+            // Innermost first: segB dies while segA stays live.
+            mgr.revokeRelaySeg(segB.segId);
+            EXPECT_FALSE(mgr.segById(segB.segId).has_value());
+            EXPECT_TRUE(mgr.segById(segA.segId).has_value());
+            // C's reply store arrives after the revocation: it must
+            // fault on the scrubbed seg-reg, never land.
+            uint8_t byte = 0xee;
+            call.writeMsg(0, &byte, 1);
+            EXPECT_EQ(rt.lateWritesBlocked.value(), 1u);
+            EXPECT_EQ(call.failStatus,
+                      kernel::CallStatus::SegRevoked);
+            // Pop B->C: B's frame returns, but its segment was
+            // revoked while the callee held it - not reinstalled.
+            ASSERT_TRUE(mgr.forceUnwind(cc));
+            EXPECT_EQ(cc.csrs.linkTop, 1u);
+            EXPECT_EQ(cc.csrs.pageTableRoot,
+                      b.process()->space().root());
+            EXPECT_EQ(cc.csrs.segId, 0u);
+            // Level 1 (A->B): now segA goes; B's own late write
+            // faults the same way.
+            mgr.revokeRelaySeg(segA.segId);
+            EXPECT_FALSE(rt.segWrite(cc, 0, &byte, 1));
+            EXPECT_EQ(rt.lateWritesBlocked.value(), 2u);
+            // Pop A->B: A's frame returns, also without its
+            // (revoked) segment.
+            ASSERT_TRUE(mgr.forceUnwind(cc));
+            EXPECT_EQ(cc.csrs.linkTop, 0u);
+            EXPECT_EQ(cc.csrs.pageTableRoot,
+                      a.process()->space().root());
+            EXPECT_EQ(cc.csrs.segId, 0u);
+        },
+        2);
+    core::XpcCallOutcome c_saw;
+    uint64_t b_id = rt.registerEntry(
+        b, b,
+        [&](core::XpcServerCall &call) {
+            hw::Core &cc = call.core();
+            // Hop to C through B's own segment, not a seg-mask view
+            // of A's: swap the parked scratch segment in.
+            ASSERT_EQ(rt.engine().swapseg(cc, segB.slot),
+                      engine::XpcException::None);
+            EXPECT_EQ(cc.csrs.segId, segB.segId);
+            c_saw = rt.callCurrent(cc, c_id, 0, 16, &b);
+        },
+        2);
+    sys.manager().grantXcallCap(b, a, b_id);
+    sys.manager().grantXcallCap(c, b, c_id);
+    segA = rt.allocRelayMem(core, a, 4096);
+
+    auto out = rt.call(core, a, b_id, 0, 64);
+    EXPECT_TRUE(c_ran);
+    // Both xrets found their record already consumed; each leg
+    // surfaced a linkage error instead of crashing.
+    EXPECT_FALSE(c_saw.ok);
+    EXPECT_EQ(c_saw.exc, engine::XpcException::InvalidLinkage);
+    EXPECT_FALSE(out.ok);
+    // Level 0: A resumed without a relay window; both segments are
+    // gone and A's own late write faults too.
+    EXPECT_EQ(core.csrs.linkTop, 0u);
+    EXPECT_EQ(core.csrs.segId, 0u);
+    EXPECT_FALSE(sys.manager().segById(segA.segId).has_value());
+    uint8_t byte = 0x5a;
+    EXPECT_FALSE(rt.segWrite(core, 0, &byte, 1));
+    EXPECT_EQ(rt.lateWritesBlocked.value(), 3u);
+}
+
 // --------------------------------------------------------------------
 // FS error codes and limits.
 // --------------------------------------------------------------------

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -488,6 +489,88 @@ TEST(Breaker, SupervisorQuarantinesAnOverloadedService)
               0);
     EXPECT_EQ(sup.breakerFor("cache").state(core.now()),
               core::CircuitBreaker::State::Closed);
+}
+
+TEST(Breaker, SupervisorRestartResetsBreakerAndAdmission)
+{
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    core::System sys(opts);
+    core::Transport &tr = sys.transport();
+    kernel::Thread &ns_t = sys.spawn("nameserver");
+    services::NameServer ns(tr, ns_t);
+    services::Supervisor sup(tr, ns);
+    sup.breakerOpts.enabled = true;
+    sup.breakerOpts.failureThreshold = 3;
+    // A cooldown no test-scale clock advance can outlast: without the
+    // restart-time reset the breaker would stay open forever here.
+    sup.breakerOpts.cooldownCycles = Cycles(1000000000);
+    kernel::Thread &client = sys.spawn("client");
+
+    // An admission controller that never drains: one admit, then
+    // every further request is shed until the buckets are reset.
+    services::AdmissionOptions aopts;
+    aopts.highWatermark = 1;
+    aopts.drainCycles = Cycles(1000000000);
+    aopts.clientShare = 0;
+    services::AdmissionController adm("cache", aopts);
+
+    std::vector<std::unique_ptr<services::FileCacheServer>> caches;
+    std::vector<uint8_t> page(64, 'x');
+    auto makeCache = [&](kernel::Thread *&t) {
+        t = &sys.spawn("cache");
+        caches.push_back(
+            std::make_unique<services::FileCacheServer>(tr, *t));
+        caches.back()->preload("/a", page);
+        caches.back()->setAdmission(&adm);
+        return caches.back()->id();
+    };
+    kernel::Thread *cache_t = nullptr;
+    core::ServiceId id = makeCache(cache_t);
+    ns.bind("cache", id);
+    sup.supervise("cache", *cache_t, id,
+                  [&](kernel::Thread *&srv) { return makeCache(srv); });
+    sup.setAdmission("cache", &adm);
+
+    hw::Core &core = sys.core(0);
+    std::string path = "/a";
+    path.push_back('\0');
+    uint8_t reply[256];
+
+    // Admit once, then overload until the breaker trips and latches.
+    EXPECT_GE(sup.callWithRetry(core, client, "cache", kCacheGet,
+                                path.data(), path.size(), reply,
+                                sizeof(reply)),
+              0);
+    EXPECT_LT(sup.callWithRetry(core, client, "cache", kCacheGet,
+                                path.data(), path.size(), reply,
+                                sizeof(reply)),
+              0);
+    EXPECT_EQ(sup.breakerFor("cache").state(core.now()),
+              core::CircuitBreaker::State::Open);
+    EXPECT_GT(adm.backlogAt(core.now()), 0u);
+
+    // The overloaded instance dies. heal() restarts it and must wipe
+    // the quarantine with it: the failures that tripped the breaker
+    // and the backlog that tripped admission died with the process.
+    sys.manager().onProcessExit(*cache_t->process());
+    EXPECT_EQ(sup.heal(), 1u);
+    EXPECT_EQ(sup.breakerFor("cache").state(core.now()),
+              core::CircuitBreaker::State::Closed);
+    EXPECT_TRUE(sup.breakerFor("cache").allow(core.now()));
+    EXPECT_EQ(adm.backlogAt(core.now()), 0u);
+
+    // The very first call to the fresh instance goes straight
+    // through - no cooldown wait, no stale shedding. A single
+    // attempt proves nothing is being short-circuited.
+    EXPECT_GE(sup.callWithRetry(core, client, "cache", kCacheGet,
+                                path.data(), path.size(), reply,
+                                sizeof(reply), {.maxAttempts = 1}),
+              0);
+    EXPECT_EQ(sup.lastStatus, core::TransportStatus::Ok);
+    // The breaker's trip history survives the reset (it is history,
+    // not state).
+    EXPECT_EQ(sup.breakerFor("cache").trips(), 1u);
 }
 
 // --------------------------------------------------------------------

@@ -42,7 +42,8 @@ def load_events(path):
 def lane_names(events):
     names = {}
     for ev in events:
-        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name" \
+                and "tid" in ev:
             names[ev["tid"]] = ev.get("args", {}).get("name", "")
     return names
 
@@ -273,9 +274,11 @@ def main():
     reqs = build(events)
     reqs = {rid: r for rid, r in reqs.items() if r.intervals}
     if not reqs:
-        print("critpath: no request-stamped spans in the trace",
-              file=sys.stderr)
-        sys.exit(2)
+        # An empty or header-only trace (e.g. XPC_TRACE off, or a run
+        # that made no calls) is not an error: there is simply nothing
+        # to profile.
+        print("critpath: no spans in the trace; nothing to profile")
+        sys.exit(0)
     if args.req is not None:
         if args.req not in reqs:
             print(f"critpath: request {args.req} not in the trace "

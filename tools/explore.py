@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Crash-point exploration front-end.
+
+Wraps the explorer binary (build/examples/explore) that sweeps the
+enumerable crash sites of a workload - every durable block write and
+every XPC phase boundary - crashing at each one (and at sampled
+crash-during-recovery pairs), running journal recovery and checking
+consistency after every crash. Failing plans are printed with the
+exact replay command; --shrink reduces a failing plan to its minimal
+reproducer first.
+
+Usage:
+    explore.py [--binary PATH] WORKLOAD                  # full sweep
+    explore.py WORKLOAD --count                          # census only
+    explore.py WORKLOAD --pairs N [--seed S]             # + pairs
+    explore.py WORKLOAD --crash-at 12+3                  # one plan
+    explore.py WORKLOAD --shrink 11+5+2                  # minimize
+
+Workloads: minidb (WAL journal), minidb-rollback, xv6fs, torn-pair
+(deliberately crash-unsafe; the shrinker's subject).
+
+Exit status: 0 = every explored plan recovered consistently (or the
+shrink succeeded), 1 = inconsistency found, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def run_binary(binary, args):
+    try:
+        return subprocess.run([binary] + args, capture_output=True,
+                              text=True)
+    except OSError as e:
+        print(f"explore: cannot run {binary}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def pretty_report(doc, workload, census_only=False):
+    census = ", ".join(f"{kind} {n}"
+                       for kind, n in sorted(doc["census"].items()))
+    print(f"{doc['total_sites']} crash sites ({census})")
+    if census_only:
+        return
+    print(f"{doc['runs']} plans explored, "
+          f"{doc['failures']} inconsistent")
+    for outcome in doc.get("outcomes", []):
+        if outcome["consistent"]:
+            continue
+        print(f"  FAIL plan={outcome['plan']} "
+              f"fired={outcome['fired']}: "
+              f"{outcome.get('detail', '?')}")
+        print(f"    replay: tools/explore.py {workload} "
+              f"--crash-at {outcome['plan']}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Systematic crash-point exploration with "
+                    "failing-plan shrinking.")
+    ap.add_argument("workload",
+                    choices=["minidb", "minidb-rollback", "xv6fs",
+                             "torn-pair"])
+    ap.add_argument("--binary", default="build/examples/explore",
+                    help="explorer binary (default: "
+                         "build/examples/explore)")
+    ap.add_argument("--count", action="store_true",
+                    help="census the fault space, run nothing")
+    ap.add_argument("--pairs", type=int, default=None,
+                    help="sample N crash-during-recovery pairs on top "
+                         "of the single-site sweep")
+    ap.add_argument("--seed", type=int, default=None,
+                    help="pair-sampling seed (default 42)")
+    ap.add_argument("--crash-at", metavar="PLAN",
+                    help="run one plan, e.g. 12+3 (site 12, then 3 "
+                         "sites into recovery)")
+    ap.add_argument("--shrink", metavar="PLAN",
+                    help="minimize a failing plan to its smallest "
+                         "reproducer")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the raw JSON report")
+    args = ap.parse_args()
+
+    argv = ["--workload", args.workload]
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
+
+    if args.crash_at:
+        argv += ["--crash-at", args.crash_at]
+    elif args.shrink:
+        argv += ["--shrink", args.shrink]
+    elif args.count:
+        argv += ["--count", "--json"]
+    elif args.pairs is not None:
+        argv += ["--pairs", str(args.pairs), "--json"]
+    else:
+        argv += ["--all-singles", "--json"]
+
+    proc = run_binary(args.binary, argv)
+    if proc.returncode == 2 or (args.crash_at or args.shrink):
+        # Plan runs and shrinks are already human-readable; relay.
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        sys.exit(proc.returncode)
+
+    if args.json:
+        sys.stdout.write(proc.stdout)
+        sys.exit(proc.returncode)
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        print(f"explore: bad report from {args.binary}: {e}",
+              file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        sys.exit(2)
+    pretty_report(doc, args.workload, census_only=args.count)
+    sys.exit(proc.returncode)
+
+
+if __name__ == "__main__":
+    main()
