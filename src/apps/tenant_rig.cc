@@ -1,0 +1,405 @@
+#include "tenant_rig.hh"
+
+#include <cassert>
+#include <cstring>
+
+#include "sim/fault_injector.hh"
+
+namespace xpc::apps {
+
+using namespace xpc::services;
+
+namespace {
+
+/** Pause injection for the duration of a recovery action. */
+class ScopedCalm
+{
+  public:
+    explicit ScopedCalm(FaultInjector *inj) : inj(inj)
+    {
+        if (inj) {
+            was = inj->enabled;
+            inj->enabled = false;
+        }
+    }
+    ~ScopedCalm()
+    {
+        if (inj)
+            inj->enabled = was;
+    }
+
+  private:
+    FaultInjector *inj;
+    bool was = false;
+};
+
+} // namespace
+
+const char *const TenantRig::serviceNames[6] = {
+    "blockdev", "cache", "crypto", "fs", "httpd", "kv",
+};
+
+TenantRig::TenantRig(const TenantRigOptions &options)
+{
+    core::SystemOptions opts;
+    opts.flavor = options.flavor;
+    opts.runtimeOpts.timeoutCycles = options.timeoutCycles;
+    opts.deadlineCycles = options.deadlineCycles;
+    sys = std::make_unique<core::System>(opts);
+    tr = &sys->transport();
+    tr->enforceTenancy = options.enforceTenancy;
+
+    // The name server is the one deliberately shared service: its
+    // descriptor opts into sharedAcrossTenants, everything else a
+    // tenant registers stays private to it.
+    kernel::Thread &ns_t = sys->spawn("nameserver");
+    ns = std::make_unique<NameServer>(*tr, ns_t);
+    sup = std::make_unique<Supervisor>(*tr, *ns);
+
+    policy.maxAttempts = 8;
+    policy.deadlineCycles = Cycles(600000);
+    if (options.breakers) {
+        sup->breakerOpts.enabled = true;
+        sup->breakerOpts.failureThreshold = 3;
+        sup->breakerOpts.cooldownCycles = Cycles(60000);
+    }
+
+    stacks[0].tenant = tenantA;
+    stacks[1].tenant = tenantB;
+    buildStack(stacks[0]);
+    buildStack(stacks[1]);
+}
+
+TenantRig::Stack &
+TenantRig::stack(kernel::TenantId tenant)
+{
+    assert(tenant == tenantA || tenant == tenantB);
+    return stacks[tenant - tenantA];
+}
+
+void
+TenantRig::buildStack(Stack &st)
+{
+    const kernel::TenantId tenant = st.tenant;
+    st.client = &sys->spawn("client", 0, tenant);
+    tr->connect(*st.client, ns->id()); // bootstrap cap: only the NS
+    st.admKv = std::make_unique<AdmissionController>(
+        "kv@t" + std::to_string(tenant));
+
+    // Supervision sweeps a tenant's entries by name; the dependency
+    // killers rely on "blockdev" < "fs" and "cache"/"crypto" <
+    // "httpd" so a dependent killed during its dependency's restart
+    // is itself rebuilt later in the same sweep.
+    core::ServiceId id = makeBlockdev(st);
+    ns->bind("blockdev", id, tenant);
+    sup->supervise("blockdev", *st.devT, id,
+                   [this, &st](kernel::Thread *&srv) {
+                       ScopedCalm calm(sys->machine().faultInjector());
+                       // A fresh blank disk invalidates the mounted
+                       // volume: this tenant's fs server must go down
+                       // with it and remount.
+                       killProcessOf(st.fsT);
+                       core::ServiceId fresh = makeBlockdev(st);
+                       srv = st.devT;
+                       return fresh;
+                   });
+
+    id = makeFs(st);
+    ns->bind("fs", id, tenant);
+    sup->supervise("fs", *st.fsT, id, [this, &st](kernel::Thread *&srv) {
+        ScopedCalm calm(sys->machine().faultInjector());
+        core::ServiceId fresh = makeFs(st);
+        srv = st.fsT;
+        return fresh;
+    });
+
+    id = makeCache(st);
+    ns->bind("cache", id, tenant);
+    sup->supervise("cache", *st.cacheT, id,
+                   [this, &st](kernel::Thread *&srv) {
+                       ScopedCalm calm(sys->machine().faultInjector());
+                       // This tenant's http server holds the dead
+                       // instance's id; rebuild it against the fresh
+                       // one.
+                       killProcessOf(st.httpT);
+                       core::ServiceId fresh = makeCache(st);
+                       srv = st.cacheT;
+                       return fresh;
+                   });
+
+    id = makeCrypto(st);
+    ns->bind("crypto", id, tenant);
+    sup->supervise("crypto", *st.cryptoT, id,
+                   [this, &st](kernel::Thread *&srv) {
+                       ScopedCalm calm(sys->machine().faultInjector());
+                       killProcessOf(st.httpT);
+                       core::ServiceId fresh = makeCrypto(st);
+                       srv = st.cryptoT;
+                       return fresh;
+                   });
+
+    id = makeHttp(st);
+    ns->bind("httpd", id, tenant);
+    sup->supervise("httpd", *st.httpT, id,
+                   [this, &st](kernel::Thread *&srv) {
+                       ScopedCalm calm(sys->machine().faultInjector());
+                       core::ServiceId fresh = makeHttp(st);
+                       srv = st.httpT;
+                       return fresh;
+                   });
+
+    id = makeKv(st);
+    ns->bind("kv", id, tenant);
+    sup->supervise("kv", *st.kvT, id, [this, &st](kernel::Thread *&srv) {
+        ScopedCalm calm(sys->machine().faultInjector());
+        core::ServiceId fresh = makeKv(st);
+        srv = st.kvT;
+        return fresh;
+    });
+    sup->setAdmission("kv", st.admKv.get(), tenant);
+}
+
+void
+TenantRig::killProcessOf(kernel::Thread *t)
+{
+    if (t && t->process() && !t->process()->dead)
+        sys->manager().onProcessExit(*t->process());
+}
+
+core::ServiceId
+TenantRig::makeBlockdev(Stack &st)
+{
+    st.devT = &sys->spawn("blockdev", 0, st.tenant);
+    devs.push_back(std::make_unique<BlockDeviceServer>(*tr, *st.devT,
+                                                       diskBlocks));
+    return devs.back()->id();
+}
+
+core::ServiceId
+TenantRig::makeFs(Stack &st)
+{
+    st.fsT = &sys->spawn("fs", 0, st.tenant);
+    core::ServiceId dev = sup->currentId("blockdev", st.tenant);
+    tr->connect(*st.fsT, dev);
+    fss.push_back(std::make_unique<FsServer>(*tr, *st.fsT, dev,
+                                             diskBlocks));
+    return fss.back()->id();
+}
+
+core::ServiceId
+TenantRig::makeCache(Stack &st)
+{
+    st.cacheT = &sys->spawn("webcache", 0, st.tenant);
+    caches.push_back(std::make_unique<FileCacheServer>(*tr, *st.cacheT));
+    std::vector<uint8_t> page(1500);
+    for (size_t i = 0; i < page.size(); i++)
+        page[i] = uint8_t('A' + (i % 26));
+    caches.back()->preload("/index.html", page);
+    return caches.back()->id();
+}
+
+core::ServiceId
+TenantRig::makeCrypto(Stack &st)
+{
+    st.cryptoT = &sys->spawn("crypto", 0, st.tenant);
+    static const uint8_t key[crypto::Aes128::keyBytes] = {
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+    cryptos.push_back(std::make_unique<CryptoServer>(*tr, *st.cryptoT,
+                                                     key));
+    return cryptos.back()->id();
+}
+
+core::ServiceId
+TenantRig::makeHttp(Stack &st)
+{
+    st.httpT = &sys->spawn("httpd", 0, st.tenant);
+    core::ServiceId cache_id = sup->currentId("cache", st.tenant);
+    core::ServiceId crypto_id = sup->currentId("crypto", st.tenant);
+    tr->connect(*st.httpT, cache_id);
+    tr->connect(*st.httpT, crypto_id);
+    https.push_back(std::make_unique<HttpServer>(
+        *tr, *st.httpT, cache_id, crypto_id, /*encrypt=*/true,
+        httpMaxBody));
+    return https.back()->id();
+}
+
+core::ServiceId
+TenantRig::makeKv(Stack &st)
+{
+    st.kvT = &sys->spawn("kv", 0, st.tenant);
+    kvs.push_back(std::make_unique<KvServer>(*tr, *st.kvT));
+    kvs.back()->setAdmission(st.admKv.get());
+    return kvs.back()->id();
+}
+
+void
+TenantRig::killOne(kernel::TenantId tenant, unsigned k)
+{
+    Stack &st = stack(tenant);
+    kernel::Thread *victims[6] = {st.devT,    st.fsT,   st.cacheT,
+                                  st.cryptoT, st.httpT, st.kvT};
+    killProcessOf(victims[k % 6]);
+}
+
+void
+TenantRig::killAll(kernel::TenantId tenant)
+{
+    for (unsigned k = 0; k < 6; k++)
+        killOne(tenant, k);
+}
+
+bool
+TenantRig::allUp(kernel::TenantId tenant) const
+{
+    for (const char *name : serviceNames)
+        if (sup->isDown(name, tenant))
+            return false;
+    return true;
+}
+
+int64_t
+TenantRig::fsOp(kernel::TenantId tenant, proto::FsOp op,
+                const proto::FsMsg &msg, const void *payload,
+                uint64_t plen, void *rdata, uint64_t rcap)
+{
+    using namespace proto;
+    std::vector<uint8_t> req(fsDataOffset + plen);
+    packInto(req.data(), msg);
+    if (plen > 0)
+        std::memcpy(req.data() + fsDataOffset, payload, plen);
+    std::vector<uint8_t> rep(fsDataOffset + rcap);
+    int64_t rlen = sup->callWithRetry(
+        sys->core(0), *stack(tenant).client, "fs", uint64_t(op),
+        req.data(), req.size(), rep.data(), rep.size(), policy);
+    if (rlen < int64_t(sizeof(FsMsg)))
+        return callFailed;
+    FsMsg reply = unpackFrom<FsMsg>(rep.data());
+    if (reply.a > 0 && rdata) {
+        uint64_t n = std::min<uint64_t>(uint64_t(reply.a), rcap);
+        std::memcpy(rdata, rep.data() + fsDataOffset, n);
+    }
+    return reply.a;
+}
+
+int64_t
+TenantRig::httpGet(kernel::TenantId tenant, const std::string &path,
+                   std::string *response, uint64_t *garbled)
+{
+    using namespace proto;
+    std::string text = "GET " + path + " HTTP/1.1\r\n\r\n";
+    std::vector<uint8_t> req(sizeof(HttpReplyHeader) + text.size(), 0);
+    std::memcpy(req.data() + sizeof(HttpReplyHeader), text.data(),
+                text.size());
+    std::vector<uint8_t> rep(HttpServer::bodyOff + httpMaxBody + 64);
+    int64_t rlen = sup->callWithRetry(
+        sys->core(0), *stack(tenant).client, "httpd",
+        uint64_t(HttpOp::Request), req.data(), req.size(), rep.data(),
+        rep.size(), policy);
+    if (rlen < int64_t(sizeof(HttpReplyHeader)))
+        return callFailed;
+    auto pre = unpackFrom<HttpReplyHeader>(rep.data());
+    if (pre.respOff + pre.respLen > uint64_t(rlen)) {
+        if (garbled)
+            (*garbled)++; // a successful call must frame its reply
+        return callFailed;
+    }
+    if (response)
+        response->assign(rep.begin() + pre.respOff,
+                         rep.begin() + pre.respOff + pre.respLen);
+    return int64_t(pre.respLen);
+}
+
+bool
+TenantRig::kvPut(kernel::TenantId tenant, uint64_t key)
+{
+    auto val = KvServer::valueFor(key);
+    std::vector<uint8_t> req(8 + val.size());
+    std::memcpy(req.data(), &key, 8);
+    std::memcpy(req.data() + 8, val.data(), val.size());
+    return sup->callWithRetry(sys->core(0), *stack(tenant).client,
+                              "kv", KvServer::opPut, req.data(),
+                              req.size(), nullptr, 0, policy) >= 0;
+}
+
+int
+TenantRig::kvGet(kernel::TenantId tenant, uint64_t key)
+{
+    uint8_t rep[KvServer::valueBytes] = {};
+    int64_t r = sup->callWithRetry(sys->core(0),
+                                   *stack(tenant).client, "kv",
+                                   KvServer::opGet, &key, sizeof(key),
+                                   rep, sizeof(rep), policy);
+    if (r < 0)
+        return -1;
+    if (r == 0)
+        return 0;
+    auto want = KvServer::valueFor(key);
+    if (r != int64_t(want.size()))
+        return -2;
+    return std::memcmp(rep, want.data(), want.size()) == 0 ? 1 : -2;
+}
+
+void
+TenantRig::runMix(kernel::TenantId tenant, int i, OpCounts &counts)
+{
+    auto note = [&](bool clean_ok) {
+        if (clean_ok) {
+            counts.ok++;
+        } else {
+            counts.failed++;
+            // A failed operation must carry a named error status.
+            if (sup->lastStatus == core::TransportStatus::Ok)
+                counts.unexplained++;
+        }
+        // Invariant: no operation ever leaves the core mid-chain.
+        if (sys->core(0).csrs.linkTop != 0)
+            counts.leakedLinkage++;
+    };
+
+    // --- fs workload: open / write / read back / close ---
+    std::string path = "/f" + std::to_string(i % 8);
+    proto::FsMsg om;
+    om.a = int64_t(proto::fsOpenCreate);
+    om.c = int64_t(path.size());
+    int64_t fd = fsOp(tenant, proto::FsOp::Open, om, path.data(),
+                      path.size(), nullptr, 0);
+    note(fd != callFailed);
+    if (fd >= 0) {
+        std::vector<uint8_t> data(1024);
+        for (size_t j = 0; j < data.size(); j++)
+            data[j] = uint8_t(i + 3 * j);
+        proto::FsMsg wm;
+        wm.a = fd;
+        wm.b = int64_t((i % 4) * 1024);
+        wm.c = int64_t(data.size());
+        int64_t w = fsOp(tenant, proto::FsOp::Write, wm, data.data(),
+                         data.size(), nullptr, 0);
+        note(w != callFailed);
+
+        proto::FsMsg cm;
+        cm.a = fd;
+        int64_t c = fsOp(tenant, proto::FsOp::Close, cm, nullptr, 0,
+                         nullptr, 0);
+        note(c != callFailed);
+    }
+
+    // --- web workload: GET through http -> cache -> crypto ---
+    std::string resp;
+    int64_t n = httpGet(tenant,
+                        (i % 3 == 0) ? "/missing.html" : "/index.html",
+                        &resp, &counts.corrupt);
+    note(n != callFailed);
+    if (n > 0 && resp.rfind("HTTP/1.1 ", 0) != 0)
+        counts.corrupt++;
+
+    // --- ycsb-ish kv workload: put then read-verify ---
+    uint64_t key = 1 + (uint64_t(i) * 7) % 32;
+    note(kvPut(tenant, key));
+    int g = kvGet(tenant, key);
+    note(g != -1);
+    if (g == -2)
+        counts.corrupt++;
+}
+
+} // namespace xpc::apps

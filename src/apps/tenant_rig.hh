@@ -1,0 +1,166 @@
+/**
+ * @file
+ * A two-tenant supervised service stack for the tenant-containment
+ * suite and the examples/tenants demo (ROADMAP item 4, modeled on
+ * xv6 mount-namespace/pouch-style container isolation).
+ *
+ * Each tenant owns a full copy of the three chaos workloads - fs
+ * (fs -> blockdev), web (http -> cache -> crypto) and kv - wired
+ * under the *same* service names ("fs", "httpd", "kv", ...) in its
+ * own NameServer namespace, with its own supervision group, circuit
+ * breakers and admission controllers. The transport runs with
+ * tenancy enforcement on, so a grant or call that crosses the tenant
+ * boundary is refused and counted. Crash-looping every service of
+ * tenant A must leave tenant B's goodput intact: that is the
+ * blast-radius property the chaos test asserts over this rig.
+ */
+
+#ifndef XPC_APPS_TENANT_RIG_HH
+#define XPC_APPS_TENANT_RIG_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "services/admission.hh"
+#include "services/block_device.hh"
+#include "services/fs_server.hh"
+#include "services/kv.hh"
+#include "services/name_server.hh"
+#include "services/proto.hh"
+#include "services/supervisor.hh"
+#include "services/web.hh"
+
+namespace xpc::apps {
+
+namespace proto = xpc::services::proto;
+
+/** Construction knobs for a TenantRig. */
+struct TenantRigOptions
+{
+    core::SystemFlavor flavor = core::SystemFlavor::Sel4Xpc;
+    /** Refuse cross-tenant grants/calls at the transport. */
+    bool enforceTenancy = true;
+    /** Per-call budget, enforced on every hop (stalls unwind). */
+    Cycles deadlineCycles{150000};
+    /** XPC watchdog for hung servers. */
+    Cycles timeoutCycles{20000};
+    /** Quarantine repeated failures per (tenant, service). */
+    bool breakers = true;
+};
+
+/** Two tenants x (fs, kv, web), supervised, under one transport. */
+class TenantRig
+{
+  public:
+    static constexpr kernel::TenantId tenantA = 1;
+    static constexpr kernel::TenantId tenantB = 2;
+    static constexpr uint64_t diskBlocks = 2048;
+    static constexpr uint64_t httpMaxBody = 4096;
+    /** Sentinel for "the transport/retry layer gave up". */
+    static constexpr int64_t callFailed = INT64_MIN;
+
+    explicit TenantRig(const TenantRigOptions &options = {});
+
+    core::System &system() { return *sys; }
+    core::Transport &transport() { return *tr; }
+    services::NameServer &nameServer() { return *ns; }
+    services::Supervisor &supervisor() { return *sup; }
+
+    /** One tenant's threads, clients and controllers. */
+    struct Stack
+    {
+        kernel::TenantId tenant = kernel::defaultTenant;
+        kernel::Thread *devT = nullptr;
+        kernel::Thread *fsT = nullptr;
+        kernel::Thread *cacheT = nullptr;
+        kernel::Thread *cryptoT = nullptr;
+        kernel::Thread *httpT = nullptr;
+        kernel::Thread *kvT = nullptr;
+        kernel::Thread *client = nullptr;
+        std::unique_ptr<services::AdmissionController> admKv;
+    };
+
+    Stack &stack(kernel::TenantId tenant);
+
+    /** Tallies of one tenant's client operations. */
+    struct OpCounts
+    {
+        uint64_t ok = 0;
+        uint64_t failed = 0;
+        /** Replies that broke their protocol framing (must stay 0). */
+        uint64_t corrupt = 0;
+        /** Failures without a named error status (must stay 0). */
+        uint64_t unexplained = 0;
+        /** Ops that left link-stack state behind (must stay 0). */
+        uint64_t leakedLinkage = 0;
+    };
+
+    /**
+     * One iteration of the standard mixed workload (fs open/write/
+     * read/close, http GET, kv put + read-verify) as @p tenant's
+     * client, folded into @p counts.
+     */
+    void runMix(kernel::TenantId tenant, int i, OpCounts &counts);
+
+    /** Kill one of the tenant's six services, round-robin by @p k.
+     *  The supervisor resurrects it on the tenant's next retry. */
+    void killOne(kernel::TenantId tenant, unsigned k);
+
+    /** Kill every service of the tenant at once. */
+    void killAll(kernel::TenantId tenant);
+
+    /** True when every supervised service of the tenant is up. */
+    bool allUp(kernel::TenantId tenant) const;
+
+    /// @name Per-tenant client helpers (callWithRetry underneath).
+    /// @{
+    int64_t fsOp(kernel::TenantId tenant, proto::FsOp op,
+                 const proto::FsMsg &msg, const void *payload,
+                 uint64_t plen, void *rdata, uint64_t rcap);
+    int64_t httpGet(kernel::TenantId tenant, const std::string &path,
+                    std::string *response, uint64_t *garbled);
+    bool kvPut(kernel::TenantId tenant, uint64_t key);
+    /** @return 1 verified hit, 0 clean miss, -1 clean failure,
+     *          -2 corrupt value (must never happen). */
+    int kvGet(kernel::TenantId tenant, uint64_t key);
+    /// @}
+
+    /** Policy every client helper uses. */
+    services::RetryPolicy policy;
+
+    /** Service names each tenant wires (supervision + namespace). */
+    static const char *const serviceNames[6];
+
+  private:
+    void buildStack(Stack &st);
+    void killProcessOf(kernel::Thread *t);
+
+    core::ServiceId makeBlockdev(Stack &st);
+    core::ServiceId makeFs(Stack &st);
+    core::ServiceId makeCache(Stack &st);
+    core::ServiceId makeCrypto(Stack &st);
+    core::ServiceId makeHttp(Stack &st);
+    core::ServiceId makeKv(Stack &st);
+
+    std::unique_ptr<core::System> sys;
+    core::Transport *tr = nullptr;
+    std::unique_ptr<services::NameServer> ns;
+    std::unique_ptr<services::Supervisor> sup;
+
+    Stack stacks[2];
+
+    // Every instance ever started is kept alive: transport-side
+    // handler closures reference them by pointer.
+    std::vector<std::unique_ptr<services::BlockDeviceServer>> devs;
+    std::vector<std::unique_ptr<services::FsServer>> fss;
+    std::vector<std::unique_ptr<services::FileCacheServer>> caches;
+    std::vector<std::unique_ptr<services::CryptoServer>> cryptos;
+    std::vector<std::unique_ptr<services::HttpServer>> https;
+    std::vector<std::unique_ptr<services::KvServer>> kvs;
+};
+
+} // namespace xpc::apps
+
+#endif // XPC_APPS_TENANT_RIG_HH

@@ -99,10 +99,12 @@ System::System(const SystemOptions &options) : opts(options)
 }
 
 kernel::Thread &
-System::spawn(const std::string &name, CoreId core_id)
+System::spawn(const std::string &name, CoreId core_id,
+              kernel::TenantId tenant)
 {
     kernel::Process &p = kernelPtr->createProcess(name);
     kernel::Thread &t = kernelPtr->createThread(p, core_id);
+    t.tenant = tenant;
     trace::Tracer::global().setTrackName(
         req::threadLane(uint32_t(t.id())), name);
     managerPtr->initThread(t);

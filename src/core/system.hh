@@ -69,8 +69,10 @@ class System
     XpcRuntime &runtime() { return *runtimePtr; }
     Transport &transport() { return *transportPtr; }
 
-    /** Create a process plus one thread homed on @p core_id. */
-    kernel::Thread &spawn(const std::string &name, CoreId core_id = 0);
+    /** Create a process plus one thread homed on @p core_id, owned
+     *  by @p tenant (0 = the default single-tenant world). */
+    kernel::Thread &spawn(const std::string &name, CoreId core_id = 0,
+                          kernel::TenantId tenant = kernel::defaultTenant);
 
     /**
      * Root of this system's stat registry: machine (cores, caches,

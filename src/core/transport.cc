@@ -42,6 +42,65 @@ Transport::lookup(const std::string &name) const
     fatal("no service named '%s'", name.c_str());
 }
 
+ServiceId
+Transport::lookup(const std::string &name,
+                  kernel::TenantId tenant) const
+{
+    for (ServiceId id = 0; id < descs.size(); id++) {
+        if (descs[id].name == name && svcTenants[id] == tenant)
+            return id;
+    }
+    fatal("no service named '%s' in tenant %u", name.c_str(),
+          unsigned(tenant));
+}
+
+kernel::TenantId
+Transport::tenantOf(ServiceId svc) const
+{
+    panic_if(svc >= svcTenants.size(), "no such service %lu",
+             (unsigned long)svc);
+    return svcTenants[svc];
+}
+
+bool
+Transport::gateGrant(const kernel::Thread &client, ServiceId svc)
+{
+    if (client.tenant == tenantOf(svc) ||
+        describe(svc).sharedAcrossTenants)
+        return true;
+    if (enforceTenancy) {
+        crossTenantDenied.inc();
+        return false;
+    }
+    // Enforcement off: the grant proceeds, but leave the audit trail
+    // the containment suite checks against.
+    crossTenantGrants.inc();
+    return true;
+}
+
+bool
+Transport::gateCall(const kernel::Thread &client, ServiceId svc)
+{
+    if (client.tenant == tenantOf(svc) ||
+        describe(svc).sharedAcrossTenants)
+        return true;
+    if (enforceTenancy) {
+        crossTenantDenied.inc();
+        return false;
+    }
+    crossTenantCalls.inc();
+    return true;
+}
+
+CallResult
+Transport::deniedCall()
+{
+    CallResult res;
+    res.ok = false;
+    res.status = TransportStatus::NoCapability;
+    return countCall(res);
+}
+
 const ServiceDesc &
 Transport::describe(ServiceId svc) const
 {

@@ -132,6 +132,12 @@ struct ServiceDesc
     uint64_t selfAppendBytes = 0;
     /** Services this one forwards to (for size negotiation). */
     std::vector<ServiceId> callees;
+    /**
+     * Reachable from every tenant even under tenancy enforcement
+     * (the name server is the canonical example: it IS the tenant
+     * boundary, so each tenant must be able to call it).
+     */
+    bool sharedAcrossTenants = false;
 };
 
 /** Outcome of a client call. */
@@ -155,6 +161,9 @@ class Transport
     {
         stats.addCounter("calls", &callsIssued);
         stats.addCounter("failed_calls", &callsFailed);
+        stats.addCounter("cross_tenant_denied", &crossTenantDenied);
+        stats.addCounter("cross_tenant_grants", &crossTenantGrants);
+        stats.addCounter("cross_tenant_calls", &crossTenantCalls);
     }
 
     virtual ~Transport() = default;
@@ -240,7 +249,37 @@ class Transport
     /** Look up a registered service by name (simple name server). */
     ServiceId lookup(const std::string &name) const;
 
+    /** Like lookup(), but only matches services owned by @p tenant. */
+    ServiceId lookup(const std::string &name,
+                     kernel::TenantId tenant) const;
+
     const ServiceDesc &describe(ServiceId svc) const;
+
+    /**
+     * Tenant isolation (ROADMAP item 4, container-style namespaces).
+     * Off by default: tenant 0 everywhere, zero behavioral change on
+     * the paper-reproduction path. When on, connect() refuses to
+     * grant - and call() refuses to invoke - a service owned by a
+     * different tenant (unless it is sharedAcrossTenants). The call
+     * side matters on Zircon, where connect() is a no-op because
+     * possession of the channel id is the capability.
+     */
+    bool enforceTenancy = false;
+
+    /** The tenant that owns @p svc (its handler thread's tenant at
+     *  registration time). */
+    kernel::TenantId tenantOf(ServiceId svc) const;
+
+    /** Cross-tenant connects/calls refused by enforcement. */
+    Counter crossTenantDenied;
+    /**
+     * Capability grants that actually crossed a tenant boundary
+     * (enforcement off or a hole in it). The containment suite
+     * asserts this stays zero under enforcement.
+     */
+    Counter crossTenantGrants;
+    /** Calls that crossed a tenant boundary (same contract). */
+    Counter crossTenantCalls;
 
     Counter callsIssued;
     Counter callsFailed;
@@ -264,10 +303,29 @@ class Transport
     recordDesc(const ServiceDesc &desc)
     {
         descs.push_back(desc);
+        svcTenants.push_back(desc.handlerThread
+                                 ? desc.handlerThread->tenant
+                                 : kernel::defaultTenant);
         return descs.size() - 1;
     }
 
+    /**
+     * Gate a capability grant: true when connect() may proceed.
+     * Counts refusals and (with enforcement off) grants that crossed
+     * a tenant boundary anyway. Concrete connect() implementations
+     * return early on false.
+     */
+    bool gateGrant(const kernel::Thread &client, ServiceId svc);
+
+    /** Same gate for the invocation path; used by concrete call(). */
+    bool gateCall(const kernel::Thread &client, ServiceId svc);
+
+    /** A gateCall refusal as a CallResult (through countCall). */
+    CallResult deniedCall();
+
     std::vector<ServiceDesc> descs;
+    /** Owner tenant per ServiceId (parallel to descs). */
+    std::vector<kernel::TenantId> svcTenants;
 };
 
 } // namespace xpc::core

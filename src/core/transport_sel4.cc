@@ -137,6 +137,8 @@ Sel4Transport::registerService(const ServiceDesc &desc,
 void
 Sel4Transport::connect(kernel::Thread &client, ServiceId svc)
 {
+    if (!gateGrant(client, svc))
+        return;
     kern.grantEndpointCap(client, endpointIds.at(svc));
 }
 
@@ -198,6 +200,8 @@ Sel4Transport::call(hw::Core &core, kernel::Thread &client,
                     ServiceId svc, uint64_t opcode, uint64_t req_len,
                     uint64_t reply_cap)
 {
+    if (!gateCall(client, svc))
+        return deniedCall();
     Conn &conn = connFor(client, std::max(req_len, reply_cap));
     auto out = kern.call(core, client, endpointIds.at(svc), opcode,
                          conn.reqVa, req_len, conn.replyVa,

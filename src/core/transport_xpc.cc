@@ -118,6 +118,8 @@ XpcTransport::registerService(const ServiceDesc &desc,
 void
 XpcTransport::connect(kernel::Thread &client, ServiceId svc)
 {
+    if (!gateGrant(client, svc))
+        return;
     if (client.linkStack == 0)
         rt.manager().initThread(client);
     rt.manager().grantXcallCap(*creators.at(svc), client,
@@ -258,6 +260,8 @@ XpcTransport::call(hw::Core &core, kernel::Thread &client,
                    uint64_t reply_cap)
 {
     (void)reply_cap; // replies are in-place; capacity is the segment
+    if (!gateCall(client, svc))
+        return deniedCall();
     XpcCallOutcome out =
         rt.call(core, client, entryIds.at(svc), opcode, req_len);
     CallResult res;

@@ -133,9 +133,11 @@ void
 ZirconTransport::connect(kernel::Thread &client, ServiceId svc)
 {
     // Zircon capabilities are handles; possession of the channel id
-    // is the capability in this model.
-    (void)client;
-    (void)svc;
+    // is the capability in this model. Tenancy still runs the grant
+    // gate so cross-tenant handouts are counted (and refused under
+    // enforcement) - but the real barrier is the call-side gate,
+    // since a channel id can be guessed.
+    (void)gateGrant(client, svc);
 }
 
 ZirconTransport::Conn &
@@ -197,6 +199,8 @@ ZirconTransport::call(hw::Core &core, kernel::Thread &client,
                       ServiceId svc, uint64_t opcode, uint64_t req_len,
                       uint64_t reply_cap)
 {
+    if (!gateCall(client, svc))
+        return deniedCall();
     Conn &conn = connFor(client, std::max(req_len, reply_cap));
     auto out = kern.call(core, client, channelIds.at(svc), opcode,
                          conn.reqVa, req_len, conn.replyVa,

@@ -253,7 +253,8 @@ XpcRuntime::call(hw::Core &core, kernel::Thread &client,
              "client thread has no XPC plumbing (initThread first)");
     ensureInstalled(core, client);
     return doCall(core, entry_id, opcode, req_len,
-                  req::threadLane(uint32_t(client.id())));
+                  req::threadLane(uint32_t(client.id())),
+                  client.tenant);
 }
 
 XpcCallOutcome
@@ -265,7 +266,8 @@ XpcRuntime::callCurrent(hw::Core &core, uint64_t entry_id,
         caller = kern.current(core.id());
     uint32_t lane = caller ? req::threadLane(uint32_t(caller->id()))
                            : core.id();
-    return doCall(core, entry_id, opcode, req_len, lane);
+    return doCall(core, entry_id, opcode, req_len, lane,
+                  caller ? caller->tenant : kernel::defaultTenant);
 }
 
 namespace {
@@ -287,12 +289,18 @@ struct CallSpanCloser
     /** Filled by the time doCall returns; stamped as the request's
      *  terminal outcome (critpath.py --top groups requests by it). */
     const XpcCallOutcome *out = nullptr;
+    /** Caller's tenant; stamped (non-default only, so single-tenant
+     *  traces are unchanged) for critpath.py's per-tenant column. */
+    kernel::TenantId tenant = kernel::defaultTenant;
 
     ~CallSpanCloser()
     {
         if (top && out) {
             tr.instantNow("xpc", "outcome", lane,
                           kernel::callStatusName(out->status));
+            if (tenant != kernel::defaultTenant)
+                tr.instantNow("xpc", "tenant", lane,
+                              std::to_string(tenant));
         }
         if (!active)
             return;
@@ -308,7 +316,8 @@ struct CallSpanCloser
 
 XpcCallOutcome
 XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
-                   uint64_t req_len, uint32_t caller_lane)
+                   uint64_t req_len, uint32_t caller_lane,
+                   kernel::TenantId caller_tenant)
 {
     using kernel::CallStatus;
 
@@ -392,7 +401,7 @@ XpcRuntime::doCall(hw::Core &core, uint64_t entry_id, uint64_t opcode,
     CallSpanCloser closer{tr,          core,
                           caller_lane, rscope.id(),
                           rscope.topLevel(), tr.enabled(),
-                          &out};
+                          &out,        caller_tenant};
 
     if (deadline != 0 && core.now().value() >= deadline) {
         // Already out of budget (an upstream hop burned it all):

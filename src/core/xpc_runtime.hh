@@ -251,7 +251,9 @@ class XpcRuntime
 
     XpcCallOutcome doCall(hw::Core &core, uint64_t entry_id,
                           uint64_t opcode, uint64_t req_len,
-                          uint32_t caller_lane);
+                          uint32_t caller_lane,
+                          kernel::TenantId caller_tenant =
+                              kernel::defaultTenant);
 
     friend class XpcServerCall;
 };

@@ -23,12 +23,18 @@ struct Sel4SpanCloser
     /** The request's terminal outcome, stamped as an instant for
      *  critpath.py's --top outcome column. */
     const Sel4CallOutcome *out = nullptr;
+    /** Caller's tenant; stamped (non-default only, so single-tenant
+     *  traces are unchanged) for critpath.py's per-tenant column. */
+    TenantId tenant = defaultTenant;
 
     ~Sel4SpanCloser()
     {
         if (top && out) {
             tr.instantNow("sel4", "outcome", lane,
                           callStatusName(out->status));
+            if (tenant != defaultTenant)
+                tr.instantNow("sel4", "tenant", lane,
+                              std::to_string(tenant));
         }
         if (!active)
             return;
@@ -251,7 +257,7 @@ Sel4Kernel::call(hw::Core &core, Thread &client, uint64_t ep_id,
     Sel4SpanCloser closer{tr,          core,
                           clane,       rscope.id(),
                           rscope.topLevel(), tr.enabled(),
-                          &out};
+                          &out,        client.tenant};
 
     // Abandon the call: if the kernel already switched to the server,
     // charge the bare return IPC before surfacing the error.

@@ -25,6 +25,17 @@ class Process;
 using ThreadId = uint32_t;
 using ProcessId = uint32_t;
 
+/**
+ * Tenant identity (container-style isolation). Every thread belongs
+ * to exactly one tenant; the name server keeps one namespace per
+ * tenant and the transports can refuse cross-tenant grants and calls
+ * (Transport::enforceTenancy). Tenant 0 is the default single-tenant
+ * world of the paper reproduction - with every thread there, tenancy
+ * is invisible.
+ */
+using TenantId = uint32_t;
+constexpr TenantId defaultTenant = 0;
+
 /** Scheduling half of a thread (paper 4.2 "scheduling state"). */
 struct SchedState
 {
@@ -63,6 +74,9 @@ class Thread
     SchedState sched;
     RuntimeState runtime;
     ThreadState state = ThreadState::Ready;
+
+    /** The tenant this thread (and anything it spawns) belongs to. */
+    TenantId tenant = defaultTenant;
 
     /** Saved per-thread XPC CSRs, swapped in on context switch. */
     hw::XpcCsrs savedCsrs;

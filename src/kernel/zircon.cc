@@ -23,12 +23,18 @@ struct ZirconSpanCloser
     /** The request's terminal outcome, stamped as an instant for
      *  critpath.py's --top outcome column. */
     const ZirconCallOutcome *out = nullptr;
+    /** Caller's tenant; stamped (non-default only, so single-tenant
+     *  traces are unchanged) for critpath.py's per-tenant column. */
+    TenantId tenant = defaultTenant;
 
     ~ZirconSpanCloser()
     {
         if (top && out) {
             tr.instantNow("zircon", "outcome", lane,
                           callStatusName(out->status));
+            if (tenant != defaultTenant)
+                tr.instantNow("zircon", "tenant", lane,
+                              std::to_string(tenant));
         }
         if (!active)
             return;
@@ -169,7 +175,7 @@ ZirconKernel::call(hw::Core &core, Thread &client, uint64_t ch_id,
     ZirconSpanCloser closer{tr,          core,
                             clane,       rscope.id(),
                             rscope.topLevel(), tr.enabled(),
-                            &out};
+                            &out,        client.tenant};
 
     bool cross_core = ch.server->sched.homeCore != core.id();
     hw::Core &scre =

@@ -12,6 +12,7 @@ AdmissionController::AdmissionController(std::string name,
     stats.addCounter("admitted", &admitted);
     stats.addCounter("shed", &shed);
     stats.addCounter("shed_fair_share", &shedFairShare);
+    stats.addCounter("shed_tenant_share", &shedTenantShare);
 }
 
 void
@@ -29,7 +30,8 @@ AdmissionController::drain(Bucket &b, uint64_t now) const
 }
 
 bool
-AdmissionController::admit(Cycles now, uint32_t client_id)
+AdmissionController::admit(Cycles now, uint32_t client_id,
+                           uint32_t tenant)
 {
     uint64_t t = now.value();
     drain(global, t);
@@ -47,6 +49,21 @@ AdmissionController::admit(Cycles now, uint32_t client_id)
             return false;
         }
     }
+    Bucket *tb = nullptr;
+    if (opts.tenantShare != 0) {
+        tb = &perTenant[tenant];
+        drain(*tb, t);
+        if (tb->level >= opts.tenantShare) {
+            // This tenant already owns its fair share of the shared
+            // queue; shedding here keeps its retry storm from
+            // starving other tenants of the shared service.
+            shedTenantShare.inc();
+            shed.inc();
+            trace::Tracer::global().instantNow(
+                "admission", "shed", 0, name_ + " tenant-share");
+            return false;
+        }
+    }
     if (global.level >= opts.highWatermark) {
         shed.inc();
         trace::Tracer::global().instantNow("admission", "shed", 0,
@@ -56,6 +73,8 @@ AdmissionController::admit(Cycles now, uint32_t client_id)
     global.level++;
     if (client)
         client->level++;
+    if (tb)
+        tb->level++;
     admitted.inc();
     return true;
 }
@@ -65,6 +84,24 @@ AdmissionController::reset()
 {
     global = Bucket{};
     perClient.clear();
+    perTenant.clear();
+}
+
+void
+AdmissionController::resetTenant(uint32_t tenant)
+{
+    perTenant.erase(tenant);
+}
+
+uint64_t
+AdmissionController::tenantBacklogAt(Cycles now, uint32_t tenant) const
+{
+    auto it = perTenant.find(tenant);
+    if (it == perTenant.end())
+        return 0;
+    Bucket b = it->second;
+    drain(b, now.value());
+    return b.level;
 }
 
 uint64_t
@@ -82,7 +119,8 @@ admitOrShed(AdmissionController *adm, core::ServerApi &api)
         return true;
     kernel::Thread *caller = api.callerThread();
     if (adm->admit(api.core().now(),
-                   caller ? uint32_t(caller->id()) : 0))
+                   caller ? uint32_t(caller->id()) : 0,
+                   caller ? uint32_t(caller->tenant) : 0))
         return true;
     api.fail(core::TransportStatus::Overloaded);
     api.setReplyLen(0);

@@ -43,6 +43,14 @@ struct AdmissionOptions
     Cycles drainCycles{2000};
     /** Per-client backlog cap (fair share); 0 disables it. */
     uint32_t clientShare = 8;
+    /**
+     * Per-tenant backlog cap, for controllers guarding services that
+     * are shared across tenants (the name server): one tenant's
+     * crash-looping retry storm cannot fill the queue for everyone.
+     * 0 (the default) disables it - per-service controllers in
+     * single-tenant rigs behave exactly as before.
+     */
+    uint32_t tenantShare = 0;
 };
 
 class AdmissionController
@@ -54,9 +62,10 @@ class AdmissionController
     /**
      * Decide one request: drain the buckets to @p now, then admit
      * (true) or shed (false). @p client_id keys the fair-share
-     * bucket (a thread id; 0 = unknown client, global bucket only).
+     * bucket (a thread id; 0 = unknown client, global bucket only);
+     * @p tenant keys the per-tenant bucket when tenantShare is on.
      */
-    bool admit(Cycles now, uint32_t client_id);
+    bool admit(Cycles now, uint32_t client_id, uint32_t tenant = 0);
 
     /** Modelled global backlog after draining to @p now (tests). */
     uint64_t backlogAt(Cycles now) const;
@@ -70,6 +79,17 @@ class AdmissionController
      */
     void reset();
 
+    /**
+     * Quarantine-recovery reset for one tenant of a *shared*
+     * controller: drop that tenant's bucket (its backlog died with
+     * its crashed services) without touching the global bucket or
+     * any other tenant's. Per-service controllers use reset().
+     */
+    void resetTenant(uint32_t tenant);
+
+    /** Modelled backlog of @p tenant's bucket at @p now (tests). */
+    uint64_t tenantBacklogAt(Cycles now, uint32_t tenant) const;
+
     const AdmissionOptions &options() const { return opts; }
 
     Counter admitted;
@@ -77,6 +97,8 @@ class AdmissionController
     Counter shed;
     /** Requests shed by the per-client fair-share cap. */
     Counter shedFairShare;
+    /** Requests shed by the per-tenant fair-share cap. */
+    Counter shedTenantShare;
 
     /** Registry node; attach it next to the owning server's. */
     StatGroup stats;
@@ -95,6 +117,7 @@ class AdmissionController
     AdmissionOptions opts;
     Bucket global;
     std::map<uint32_t, Bucket> perClient;
+    std::map<uint32_t, Bucket> perTenant;
 };
 
 /**

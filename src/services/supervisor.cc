@@ -9,6 +9,20 @@
 
 namespace xpc::services {
 
+namespace {
+
+/** Trace label for a supervised service: tenant-qualified only in
+ *  multi-tenant rigs so single-tenant traces are byte-identical. */
+std::string
+traceLabel(const std::pair<kernel::TenantId, std::string> &key)
+{
+    if (key.first == kernel::defaultTenant)
+        return key.second;
+    return key.second + "@t" + std::to_string(key.first);
+}
+
+} // namespace
+
 void
 Supervisor::supervise(const std::string &name, kernel::Thread &server,
                       core::ServiceId svc, RestartFn restart)
@@ -18,14 +32,15 @@ Supervisor::supervise(const std::string &name, kernel::Thread &server,
     entry.server = &server;
     entry.svc = svc;
     entry.restart = std::move(restart);
-    supervised[name] = std::move(entry);
+    supervised[{server.tenant, name}] = std::move(entry);
 }
 
 void
 Supervisor::setRecovery(const std::string &name,
-                        std::function<void()> recover)
+                        std::function<void()> recover,
+                        kernel::TenantId tenant)
 {
-    auto it = supervised.find(name);
+    auto it = supervised.find({tenant, name});
     panic_if(it == supervised.end(),
              "setRecovery on an unsupervised service '%s'",
              name.c_str());
@@ -34,9 +49,10 @@ Supervisor::setRecovery(const std::string &name,
 
 void
 Supervisor::setAdmission(const std::string &name,
-                         AdmissionController *admission)
+                         AdmissionController *admission,
+                         kernel::TenantId tenant)
 {
-    auto it = supervised.find(name);
+    auto it = supervised.find({tenant, name});
     panic_if(it == supervised.end(),
              "setAdmission on an unsupervised service '%s'",
              name.c_str());
@@ -44,66 +60,87 @@ Supervisor::setAdmission(const std::string &name,
 }
 
 bool
-Supervisor::isDown(const std::string &name) const
+Supervisor::isDown(const std::string &name,
+                   kernel::TenantId tenant) const
 {
-    auto it = supervised.find(name);
+    auto it = supervised.find({tenant, name});
     if (it == supervised.end())
         return false;
     const kernel::Thread *srv = it->second.server;
     return !srv || !srv->process() || srv->process()->dead;
 }
 
+bool
+Supervisor::healEntry(const Key &key, Entry &entry)
+{
+    kernel::Thread *srv = entry.server;
+    if (srv && srv->process() && !srv->process()->dead)
+        return false;
+    entry.svc = entry.restart(entry.server);
+    if (entry.recover) {
+        // Stateful recovery (journal replay) runs before the
+        // re-bind: no client can reach the fresh instance until
+        // its durable state is consistent again.
+        entry.recover();
+        recoveries.inc();
+        trace::Tracer::global().instantNow("supervisor", "recover", 0,
+                                           traceLabel(key));
+    }
+    // rebind, not bind: the restarted instance deliberately takes
+    // its old name over from the dead one.
+    nameServer.rebind(key.second, entry.svc, key.first);
+    // The failures that tripped the breaker - and the backlog
+    // that tripped admission control - died with the old
+    // instance. A restarted service starts with a clean slate;
+    // stale quarantine would shed the first calls to it.
+    auto brk = breakers.find(key);
+    if (brk != breakers.end())
+        brk->second.reset();
+    if (entry.admission)
+        entry.admission->reset();
+    restarts.inc();
+    trace::Tracer::global().instantNow("supervisor", "restart", 0,
+                                       traceLabel(key));
+    return true;
+}
+
 uint64_t
 Supervisor::heal()
 {
     uint64_t healed = 0;
-    for (auto &[name, entry] : supervised) {
-        kernel::Thread *srv = entry.server;
-        if (srv && srv->process() && !srv->process()->dead)
-            continue;
-        entry.svc = entry.restart(entry.server);
-        if (entry.recover) {
-            // Stateful recovery (journal replay) runs before the
-            // re-bind: no client can reach the fresh instance until
-            // its durable state is consistent again.
-            entry.recover();
-            recoveries.inc();
-            trace::Tracer::global().instantNow("supervisor",
-                                               "recover", 0, name);
-        }
-        nameServer.bind(name, entry.svc);
-        // The failures that tripped the breaker - and the backlog
-        // that tripped admission control - died with the old
-        // instance. A restarted service starts with a clean slate;
-        // stale quarantine would shed the first calls to it.
-        auto brk = breakers.find(name);
-        if (brk != breakers.end())
-            brk->second.reset();
-        if (entry.admission)
-            entry.admission->reset();
-        restarts.inc();
-        trace::Tracer::global().instantNow("supervisor", "restart", 0,
-                                           name);
-        healed++;
-    }
+    for (auto &[key, entry] : supervised)
+        healed += healEntry(key, entry) ? 1 : 0;
+    return healed;
+}
+
+uint64_t
+Supervisor::heal(kernel::TenantId tenant)
+{
+    uint64_t healed = 0;
+    auto it = supervised.lower_bound({tenant, std::string()});
+    for (; it != supervised.end() && it->first.first == tenant; ++it)
+        healed += healEntry(it->first, it->second) ? 1 : 0;
     return healed;
 }
 
 core::ServiceId
-Supervisor::currentId(const std::string &name) const
+Supervisor::currentId(const std::string &name,
+                      kernel::TenantId tenant) const
 {
-    auto it = supervised.find(name);
+    auto it = supervised.find({tenant, name});
     if (it != supervised.end())
         return it->second.svc;
-    return transport.lookup(name);
+    return transport.lookup(name, tenant);
 }
 
 core::CircuitBreaker &
-Supervisor::breakerFor(const std::string &name)
+Supervisor::breakerFor(const std::string &name,
+                       kernel::TenantId tenant)
 {
-    auto it = breakers.find(name);
+    Key key{tenant, name};
+    auto it = breakers.find(key);
     if (it == breakers.end())
-        it = breakers.emplace(name, core::CircuitBreaker(breakerOpts))
+        it = breakers.emplace(key, core::CircuitBreaker(breakerOpts))
                  .first;
     return it->second;
 }
@@ -115,6 +152,11 @@ Supervisor::callWithRetry(hw::Core &core, kernel::Thread &client,
                           void *reply, uint64_t reply_cap,
                           const RetryPolicy &policy)
 {
+    // Blast-radius containment: everything below - the name lookup,
+    // the breaker, the heal on failure - is scoped to the *caller's*
+    // tenant. A client retrying into its crashed tenant never
+    // restarts, re-binds or resets anything owned by another.
+    const kernel::TenantId tenant = client.tenant;
     uint64_t area = std::max(req_len, reply_cap);
     // Mint a deadline for the whole retried operation; the transports
     // inherit (and enforce) it on every hop, and nested scopes can
@@ -126,7 +168,7 @@ Supervisor::callWithRetry(hw::Core &core, kernel::Thread &client,
     const uint64_t deadline =
         req::RequestContext::global().currentDeadline();
     core::CircuitBreaker *brk =
-        breakerOpts.enabled ? &breakerFor(name) : nullptr;
+        breakerOpts.enabled ? &breakerFor(name, tenant) : nullptr;
     auto noteFailure = [&] {
         if (!brk)
             return;
@@ -135,7 +177,8 @@ Supervisor::callWithRetry(hw::Core &core, kernel::Thread &client,
         if (brk->trips() != before) {
             breakerTrips.inc();
             trace::Tracer::global().instantNow(
-                "supervisor", "breaker_trip", 0, name);
+                "supervisor", "breaker_trip", 0,
+                traceLabel({tenant, name}));
         }
     };
     for (uint32_t attempt = 0; attempt < policy.maxAttempts;
@@ -166,7 +209,8 @@ Supervisor::callWithRetry(hw::Core &core, kernel::Thread &client,
             lastStatus = core::TransportStatus::DeadlineExpired;
             deadlineGiveUps.inc();
             trace::Tracer::global().instantNow(
-                "supervisor", "deadline_give_up", 0, name);
+                "supervisor", "deadline_give_up", 0,
+                traceLabel({tenant, name}));
             break;
         }
         if (brk && !brk->allow(core.now())) {
@@ -177,8 +221,8 @@ Supervisor::callWithRetry(hw::Core &core, kernel::Thread &client,
             breakerRejected.inc();
             continue;
         }
-        heal();
-        core::ServiceId svc = currentId(name);
+        heal(tenant);
+        core::ServiceId svc = currentId(name, tenant);
         // Re-authorize every attempt: a restarted service means the
         // old capability grant died with the old instance.
         transport.connect(client, svc);

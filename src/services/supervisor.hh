@@ -73,7 +73,12 @@ class Supervisor
         stats.addCounter("deadline_give_ups", &deadlineGiveUps);
     }
 
-    /** Put service @p name under supervision. */
+    /**
+     * Put service @p name under supervision. The supervision group
+     * it joins is the *server thread's* tenant: heal(tenant) only
+     * ever touches that tenant's entries, and two tenants may
+     * supervise the same name independently.
+     */
     void supervise(const std::string &name, kernel::Thread &server,
                    core::ServiceId svc, RestartFn restart);
 
@@ -85,7 +90,8 @@ class Supervisor
      * yet. The hook sees the new ServiceId via currentId().
      */
     void setRecovery(const std::string &name,
-                     std::function<void()> recover);
+                     std::function<void()> recover,
+                     kernel::TenantId tenant = kernel::defaultTenant);
 
     /**
      * Attach the admission controller guarding @p name's server, so
@@ -93,24 +99,38 @@ class Supervisor
      * state: the queue a dead server was drowning under died with it.
      */
     void setAdmission(const std::string &name,
-                      AdmissionController *admission);
+                      AdmissionController *admission,
+                      kernel::TenantId tenant = kernel::defaultTenant);
 
     /** True when the named service's server process is dead. */
-    bool isDown(const std::string &name) const;
+    bool isDown(const std::string &name,
+                kernel::TenantId tenant = kernel::defaultTenant) const;
 
     /**
-     * Sweep every supervised service; restart and re-register the
-     * dead ones. @return how many were restarted.
+     * Sweep every supervised service (all tenants); restart and
+     * re-register the dead ones. @return how many were restarted.
      */
     uint64_t heal();
 
+    /**
+     * Per-tenant sweep: restart, recover and re-bind only @p
+     * tenant's dead services, resetting only its breakers and
+     * admission buckets. The blast radius of one tenant's crash-loop
+     * stops here: healing it never touches another tenant's state.
+     */
+    uint64_t heal(kernel::TenantId tenant);
+
     /** The ServiceId currently serving @p name (tracks restarts). */
-    core::ServiceId currentId(const std::string &name) const;
+    core::ServiceId
+    currentId(const std::string &name,
+              kernel::TenantId tenant = kernel::defaultTenant) const;
 
     /**
      * Supervised client call: stage @p req, call @p name, consume the
      * reply into @p reply. On failure, heal dead services, back off
-     * (charged to @p core, capped exponential) and retry.
+     * (charged to @p core, capped exponential) and retry. The name is
+     * looked up in - and failures heal only - the *client's* tenant's
+     * supervision group.
      * @return the reply length, or -1 once attempts are exhausted
      *         (lastStatus then says why the final attempt failed).
      */
@@ -130,8 +150,12 @@ class Supervisor
      */
     core::BreakerOptions breakerOpts;
 
-    /** The named service's breaker (created on first use). */
-    core::CircuitBreaker &breakerFor(const std::string &name);
+    /** The named service's breaker (created on first use), one per
+     *  (tenant, name): tripping tenant A's "kv" never quarantines
+     *  tenant B's. */
+    core::CircuitBreaker &
+    breakerFor(const std::string &name,
+               kernel::TenantId tenant = kernel::defaultTenant);
 
     /** Reseed the backoff-jitter PRNG (deterministic per seed). */
     void reseed(uint64_t seed) { rng = Rng(seed); }
@@ -158,11 +182,20 @@ class Supervisor
         AdmissionController *admission = nullptr;
     };
 
+    /** Supervision key: (tenant, name). Ordered by tenant first, so
+     *  a per-tenant heal() walks a contiguous range, and by name
+     *  within a tenant - the same deterministic iteration order the
+     *  single-tenant chaos suite always had. */
+    using Key = std::pair<kernel::TenantId, std::string>;
+
     core::Transport &transport;
     NameServer &nameServer;
-    std::map<std::string, Entry> supervised;
-    std::map<std::string, core::CircuitBreaker> breakers;
+    std::map<Key, Entry> supervised;
+    std::map<Key, core::CircuitBreaker> breakers;
     Rng rng{0xb4c0ffULL};
+
+    /** Heal one entry if its server process is dead. */
+    bool healEntry(const Key &key, Entry &entry);
 };
 
 } // namespace xpc::services

@@ -28,6 +28,7 @@
 #include "services/admission.hh"
 #include "services/block_device.hh"
 #include "services/fs_server.hh"
+#include "services/kv.hh"
 #include "services/name_server.hh"
 #include "services/proto.hh"
 #include "services/supervisor.hh"
@@ -62,68 +63,8 @@ class ScopedCalm
     bool was = false;
 };
 
-/** YCSB-flavored KV server: u64 keys, fixed 64-byte values. */
-class KvServer
-{
-  public:
-    static constexpr uint64_t valueBytes = 64;
-    enum : uint64_t { opGet = 1, opPut = 2 };
-
-    KvServer(core::Transport &tr, kernel::Thread &t)
-    {
-        core::ServiceDesc desc;
-        desc.name = "kv";
-        desc.handlerThread = &t;
-        desc.maxMsgBytes = 4096;
-        svcId = tr.registerService(
-            desc, [this](core::ServerApi &api) { handle(api); });
-    }
-
-    core::ServiceId id() const { return svcId; }
-
-    void setAdmission(AdmissionController *adm) { admission = adm; }
-
-    /** The value every put stores for @p key. Deriving values from
-     *  keys makes reads verifiable across server restarts. */
-    static std::array<uint8_t, valueBytes> valueFor(uint64_t key)
-    {
-        std::array<uint8_t, valueBytes> v;
-        for (uint64_t j = 0; j < valueBytes; j++)
-            v[j] = uint8_t(key * 31 + j * 7 + 1);
-        return v;
-    }
-
-  private:
-    core::ServiceId svcId = 0;
-    std::map<uint64_t, std::array<uint8_t, valueBytes>> store;
-    AdmissionController *admission = nullptr;
-
-    void handle(core::ServerApi &api)
-    {
-        if (!admitOrShed(admission, api))
-            return;
-        uint8_t key_raw[8] = {};
-        api.readRequest(0, key_raw, sizeof(key_raw));
-        uint64_t key = 0;
-        std::memcpy(&key, key_raw, sizeof(key));
-        if (api.opcode() == opPut) {
-            std::array<uint8_t, valueBytes> val{};
-            api.readRequest(8, val.data(), val.size());
-            store[key] = val;
-            api.setReplyLen(0);
-            return;
-        }
-        // Anything else (including a zeroed opcode off a faulted
-        // copy) is treated as a get; unknown keys miss cleanly.
-        auto it = store.find(key);
-        if (it == store.end()) {
-            api.setReplyLen(0);
-            return;
-        }
-        api.writeReply(0, it->second.data(), it->second.size());
-        api.setReplyLen(it->second.size());
-    }
-};
+// The KV workload (KvServer) used to live here; it moved to
+// services/kv.hh so the tenant suite and examples share it.
 
 /** The supervised three-workload stack. */
 struct ChaosRig

@@ -1,0 +1,567 @@
+/**
+ * @file
+ * Multi-tenant isolation and blast-radius containment (ROADMAP
+ * item 4, DESIGN.md §4g).
+ *
+ * Property tests, parameterized over the three transports, pin the
+ * tenancy contract: per-tenant namespaces are disjoint (two tenants
+ * may bind the same name to different services and neither can even
+ * learn the other's ids), cross-tenant calls and capability grants
+ * are refused under enforcement on every substrate - including
+ * Zircon, where connect() is a no-op and the call-side gate is the
+ * only barrier - and on XPC the xcall-cap bitmap never acquires a
+ * cross-tenant bit. Satellite regressions cover NameServer::bind's
+ * refusal to overwrite a live binding (restart goes through
+ * rebind()), the hardened name parsing (no-NUL/empty/oversized
+ * requests are rejected, not truncated), resolve()'s typed failure
+ * results, and Supervisor::heal(tenant) resetting only that tenant's
+ * breakers and admission buckets.
+ *
+ * The containment chaos soak then proves the blast radius end to
+ * end: a seeded fault storm plus round-robin process kills aimed at
+ * every service of tenant A, under load, leaves tenant B's goodput
+ * within 10% of its no-fault baseline with zero cross-tenant grants,
+ * calls or resolutions - and the whole run replays byte-identically
+ * from the same seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/tenant_rig.hh"
+#include "core/system.hh"
+#include "services/admission.hh"
+#include "services/name_server.hh"
+#include "services/proto.hh"
+#include "services/supervisor.hh"
+#include "sim/fault_injector.hh"
+
+namespace xpc::services {
+namespace {
+
+using apps::TenantRig;
+
+constexpr kernel::TenantId tenantA = TenantRig::tenantA;
+constexpr kernel::TenantId tenantB = TenantRig::tenantB;
+
+// --------------------------------------------------------------------
+// Property tests: the tenancy contract on all three transports.
+// --------------------------------------------------------------------
+
+/** A minimal two-tenant world: one echo service per tenant, bound
+ *  under the *same* name, plus a private name only tenant B knows. */
+class TenantTest : public ::testing::TestWithParam<core::SystemFlavor>
+{
+  protected:
+    TenantTest()
+    {
+        core::SystemOptions opts;
+        opts.flavor = GetParam();
+        sys = std::make_unique<core::System>(opts);
+        tr = &sys->transport();
+        tr->enforceTenancy = true;
+
+        kernel::Thread &ns_t = sys->spawn("nameserver");
+        ns = std::make_unique<NameServer>(*tr, ns_t);
+
+        clientA = &sys->spawn("client-a", 0, tenantA);
+        clientB = &sys->spawn("client-b", 0, tenantB);
+        svcA = makeEcho(tenantA, "echo-a");
+        svcB = makeEcho(tenantB, "echo-b");
+        EXPECT_EQ(ns->bind("echo", svcA, tenantA),
+                  NameServer::BindStatus::Ok);
+        EXPECT_EQ(ns->bind("echo", svcB, tenantB),
+                  NameServer::BindStatus::Ok);
+        EXPECT_EQ(ns->bind("secret-b", svcB, tenantB),
+                  NameServer::BindStatus::Ok);
+
+        // Bootstrap: each client holds only the name-server cap.
+        tr->connect(*clientA, ns->id());
+        tr->connect(*clientB, ns->id());
+    }
+
+    core::ServiceId
+    makeEcho(kernel::TenantId tenant, const char *thread_name)
+    {
+        kernel::Thread &t = sys->spawn(thread_name, 0, tenant);
+        core::ServiceDesc desc;
+        desc.name = thread_name;
+        desc.handlerThread = &t;
+        return tr->registerService(desc, [](core::ServerApi &api) {
+            api.replyFromRequest(0, api.requestLen());
+        });
+    }
+
+    /** Raw client call (no retry layer), for negative paths. */
+    core::CallResult
+    rawCall(kernel::Thread &client, core::ServiceId svc,
+            const void *req, uint64_t len)
+    {
+        tr->requestArea(sys->core(0), client, 4096);
+        if (len > 0)
+            tr->clientWrite(sys->core(0), client, 0, req, len);
+        return tr->call(sys->core(0), client, svc, 0, len, 4096);
+    }
+
+    std::unique_ptr<core::System> sys;
+    core::Transport *tr = nullptr;
+    std::unique_ptr<NameServer> ns;
+    kernel::Thread *clientA = nullptr;
+    kernel::Thread *clientB = nullptr;
+    core::ServiceId svcA = 0;
+    core::ServiceId svcB = 0;
+};
+
+TEST_P(TenantTest, NamespacesAreDisjoint)
+{
+    hw::Core &core = sys->core(0);
+    // The same name resolves to each tenant's own service.
+    EXPECT_EQ(NameServer::resolve(*tr, core, *clientA, ns->id(),
+                                  "echo"),
+              int64_t(svcA));
+    EXPECT_EQ(NameServer::resolve(*tr, core, *clientB, ns->id(),
+                                  "echo"),
+              int64_t(svcB));
+    // A name bound only in B's namespace does not even *miss*
+    // differently for A: A cannot learn that it exists.
+    EXPECT_EQ(NameServer::resolve(*tr, core, *clientA, ns->id(),
+                                  "secret-b"),
+              NameServer::resolveMiss);
+    EXPECT_EQ(NameServer::resolve(*tr, core, *clientB, ns->id(),
+                                  "secret-b"),
+              int64_t(svcB));
+    // Lookups never leave the caller's table, so no resolution can
+    // cross a tenant boundary - structurally.
+    EXPECT_EQ(ns->crossTenantResolves.value(), 0u);
+    EXPECT_EQ(tr->crossTenantGrants.value(), 0u);
+}
+
+TEST_P(TenantTest, CrossTenantCallIsRefused)
+{
+    hw::Core &core = sys->core(0);
+    // Own-tenant traffic works end to end.
+    ASSERT_EQ(NameServer::resolve(*tr, core, *clientA, ns->id(),
+                                  "echo"),
+              int64_t(svcA));
+    uint8_t msg[16] = {9};
+    auto ok = rawCall(*clientA, svcA, msg, sizeof(msg));
+    EXPECT_TRUE(ok.ok);
+
+    // Calling the other tenant's service *by id* is refused even
+    // though A knows the id. On Zircon connect() is a no-op
+    // (possession of the channel id is the capability), so this
+    // call-side gate is the entire boundary there.
+    auto denied = rawCall(*clientA, svcB, msg, sizeof(msg));
+    EXPECT_FALSE(denied.ok);
+    EXPECT_EQ(denied.status, core::TransportStatus::NoCapability);
+    EXPECT_GE(tr->crossTenantDenied.value(), 1u);
+
+    // An explicit connect() attempt is refused the same way.
+    uint64_t before = tr->crossTenantDenied.value();
+    tr->connect(*clientA, svcB);
+    EXPECT_GT(tr->crossTenantDenied.value(), before);
+    auto still = rawCall(*clientA, svcB, msg, sizeof(msg));
+    EXPECT_FALSE(still.ok);
+
+    // Nothing crossed: the deny counters moved, the breach counters
+    // did not.
+    EXPECT_EQ(tr->crossTenantGrants.value(), 0u);
+    EXPECT_EQ(tr->crossTenantCalls.value(), 0u);
+}
+
+TEST_P(TenantTest, SharedServicesStayReachableFromEveryTenant)
+{
+    // The name server is tenant 0's thread yet serves both tenants:
+    // its descriptor opts into sharedAcrossTenants, and those calls
+    // are not denials.
+    EXPECT_EQ(tr->tenantOf(ns->id()), kernel::defaultTenant);
+    hw::Core &core = sys->core(0);
+    uint64_t before = tr->crossTenantDenied.value();
+    EXPECT_EQ(NameServer::resolve(*tr, core, *clientA, ns->id(),
+                                  "echo"),
+              int64_t(svcA));
+    EXPECT_EQ(NameServer::resolve(*tr, core, *clientB, ns->id(),
+                                  "echo"),
+              int64_t(svcB));
+    EXPECT_EQ(tr->crossTenantDenied.value(), before);
+}
+
+TEST_P(TenantTest, HandleRejectsMalformedNames)
+{
+    hw::Core &core = sys->core(0);
+    auto resolveRaw = [&](const void *payload, uint64_t len) {
+        auto r = rawCall(*clientA, ns->id(), payload, len);
+        EXPECT_TRUE(r.ok);
+        int64_t result = 0;
+        EXPECT_GE(r.replyLen, sizeof(result));
+        tr->clientRead(core, *clientA, 0, &result, sizeof(result));
+        return result;
+    };
+
+    // Empty request: no name at all.
+    EXPECT_EQ(resolveRaw(nullptr, 0), NameServer::resolveBadName);
+    // Unterminated: bytes but no NUL within requestLen().
+    EXPECT_EQ(resolveRaw("echoecho", 8), NameServer::resolveBadName);
+    // Empty name: a NUL in first position.
+    EXPECT_EQ(resolveRaw("\0x", 2), NameServer::resolveBadName);
+    // Oversized: a name longer than fsMaxPath must be rejected, not
+    // truncated into some shorter name that happens to be bound.
+    std::string big(proto::fsMaxPath + 1, 'a');
+    big += '\0';
+    EXPECT_EQ(resolveRaw(big.data(), big.size()),
+              NameServer::resolveBadName);
+    EXPECT_EQ(ns->badNames.value(), 4u);
+
+    // Boundary: a maximum-length name still resolves.
+    std::string longest(proto::fsMaxPath, 'n');
+    ASSERT_EQ(ns->bind(longest, svcA, tenantA),
+              NameServer::BindStatus::Ok);
+    EXPECT_EQ(NameServer::resolve(*tr, core, *clientA, ns->id(),
+                                  longest),
+              int64_t(svcA));
+    EXPECT_EQ(ns->badNames.value(), 4u);
+}
+
+TEST_P(TenantTest, ResolveClassifiesFailures)
+{
+    hw::Core &core = sys->core(0);
+    // Miss: bound nowhere in the caller's tenant.
+    EXPECT_EQ(NameServer::resolve(*tr, core, *clientA, ns->id(),
+                                  "nonesuch"),
+              NameServer::resolveMiss);
+
+    // Short reply: a service that answers with fewer than 8 bytes is
+    // not a name server; the client classifies it as resolveFailed
+    // instead of reading garbage.
+    kernel::Thread &stub_t = sys->spawn("stubns", 0, tenantA);
+    core::ServiceDesc desc;
+    desc.name = "stubns";
+    desc.handlerThread = &stub_t;
+    core::ServiceId stub =
+        tr->registerService(desc, [](core::ServerApi &api) {
+            uint32_t half = 7;
+            api.writeReply(0, &half, sizeof(half));
+            api.setReplyLen(sizeof(half));
+        });
+    tr->connect(*clientA, stub);
+    EXPECT_EQ(NameServer::resolve(*tr, core, *clientA, stub, "x"),
+              NameServer::resolveFailed);
+
+    // Call failure: on the capability kernels an unauthorized client
+    // cannot even reach the name server. (On Zircon possession of
+    // the id suffices, so there is no unauthorized-call path to a
+    // shared service.)
+    if (GetParam() != core::SystemFlavor::Zircon) {
+        kernel::Thread &stranger = sys->spawn("stranger", 0, tenantA);
+        EXPECT_EQ(NameServer::resolve(*tr, core, stranger, ns->id(),
+                                      "echo"),
+                  NameServer::resolveFailed);
+    }
+}
+
+TEST_P(TenantTest, BindRefusesOverwriteRebindReplaces)
+{
+    hw::Core &core = sys->core(0);
+    // "echo" is live in A's namespace; binding over it must fail...
+    EXPECT_EQ(ns->bind("echo", svcB, tenantA),
+              NameServer::BindStatus::AlreadyBound);
+    // ...and leave the original binding untouched.
+    EXPECT_EQ(NameServer::resolve(*tr, core, *clientA, ns->id(),
+                                  "echo"),
+              int64_t(svcA));
+    // The same name in a *different* tenant is not a collision.
+    EXPECT_EQ(ns->bind("fresh", svcA, tenantA),
+              NameServer::BindStatus::Ok);
+    EXPECT_EQ(ns->bind("fresh", svcB, tenantB),
+              NameServer::BindStatus::Ok);
+    // rebind() is the restart path: it deliberately takes over.
+    core::ServiceId svcA2 = makeEcho(tenantA, "echo-a2");
+    ns->rebind("echo", svcA2, tenantA);
+    EXPECT_EQ(NameServer::resolve(*tr, core, *clientA, ns->id(),
+                                  "echo"),
+              int64_t(svcA2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flavors, TenantTest,
+    ::testing::Values(core::SystemFlavor::Sel4TwoCopy,
+                      core::SystemFlavor::Sel4Xpc,
+                      core::SystemFlavor::Zircon),
+    [](const ::testing::TestParamInfo<core::SystemFlavor> &info) {
+        std::string n = core::systemFlavorName(info.param);
+        for (auto &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+// --------------------------------------------------------------------
+// XPC-specific: the xcall-cap bitmap never grows a cross-tenant bit.
+// --------------------------------------------------------------------
+
+TEST(TenantXpc, CapabilityBitmapStaysWithinTheTenant)
+{
+    core::SystemOptions opts;
+    opts.flavor = core::SystemFlavor::Sel4Xpc;
+    core::System sys(opts);
+    core::Transport &tr = sys.transport();
+    tr.enforceTenancy = true;
+
+    kernel::Thread &ns_t = sys.spawn("nameserver");
+    NameServer ns(tr, ns_t);
+    kernel::Thread &srvA = sys.spawn("srv-a", 0, tenantA);
+    kernel::Thread &srvB = sys.spawn("srv-b", 0, tenantB);
+    kernel::Thread &clientA = sys.spawn("client-a", 0, tenantA);
+
+    auto reg = [&](kernel::Thread &t, const char *name) {
+        core::ServiceDesc desc;
+        desc.name = name;
+        desc.handlerThread = &t;
+        return tr.registerService(desc, [](core::ServerApi &) {});
+    };
+    core::ServiceId a = reg(srvA, "svc-a");
+    core::ServiceId b = reg(srvB, "svc-b");
+    ns.bind("svc", a, tenantA);
+    ns.bind("svc", b, tenantB);
+    tr.connect(clientA, ns.id());
+
+    auto *xt = dynamic_cast<core::XpcTransport *>(&tr);
+    ASSERT_NE(xt, nullptr);
+    hw::Core &core = sys.core(0);
+
+    // Resolving its own name grants exactly its own entry...
+    ASSERT_EQ(NameServer::resolve(tr, core, clientA, ns.id(), "svc"),
+              int64_t(a));
+    EXPECT_TRUE(sys.manager().hasXcallCap(clientA, xt->entryOf(a)));
+    // ...and no amount of asking grants the other tenant's: not via
+    // the name server (the name simply is not in A's namespace), not
+    // via a direct connect.
+    EXPECT_FALSE(sys.manager().hasXcallCap(clientA, xt->entryOf(b)));
+    tr.connect(clientA, b);
+    EXPECT_FALSE(sys.manager().hasXcallCap(clientA, xt->entryOf(b)));
+    EXPECT_EQ(tr.crossTenantGrants.value(), 0u);
+}
+
+// --------------------------------------------------------------------
+// Per-tenant supervision: heal(tenant) scopes recovery state.
+// --------------------------------------------------------------------
+
+TEST(TenantSupervision, HealRestoresOnlyTheQuarantinedTenant)
+{
+    TenantRig rig;
+    Supervisor &sup = rig.supervisor();
+    hw::Core &core = rig.system().core(0);
+    Cycles now = core.now();
+
+    core::ServiceId oldKvA = sup.currentId("kv", tenantA);
+
+    // Trip both tenants' kv breakers and prime both admission
+    // buckets, then take every service of tenant A down.
+    for (int i = 0; i < 3; i++) {
+        sup.breakerFor("kv", tenantA).onFailure(now);
+        sup.breakerFor("kv", tenantB).onFailure(now);
+    }
+    ASSERT_EQ(sup.breakerFor("kv", tenantA).state(now),
+              core::CircuitBreaker::State::Open);
+    for (int i = 0; i < 5; i++) {
+        rig.stack(tenantA).admKv->admit(now, 1, tenantA);
+        rig.stack(tenantB).admKv->admit(now, 1, tenantB);
+    }
+    ASSERT_GT(rig.stack(tenantA).admKv->backlogAt(now), 0u);
+    rig.killAll(tenantA);
+    for (const char *name : TenantRig::serviceNames)
+        EXPECT_TRUE(sup.isDown(name, tenantA)) << name;
+
+    // Heal tenant A only.
+    EXPECT_EQ(sup.heal(tenantA), 6u);
+    EXPECT_TRUE(rig.allUp(tenantA));
+
+    // A's quarantine state was reset with its restarted services...
+    EXPECT_EQ(sup.breakerFor("kv", tenantA).state(now),
+              core::CircuitBreaker::State::Closed);
+    EXPECT_EQ(rig.stack(tenantA).admKv->backlogAt(now), 0u);
+    // ...while B's - whose services never died - was not touched.
+    EXPECT_EQ(sup.breakerFor("kv", tenantB).state(now),
+              core::CircuitBreaker::State::Open);
+    EXPECT_GT(rig.stack(tenantB).admKv->backlogAt(now), 0u);
+
+    // Satellite regression: the restart went through rebind(), so
+    // the fresh instance answers to the old name in A's namespace.
+    core::ServiceId newKvA = sup.currentId("kv", tenantA);
+    EXPECT_NE(newKvA, oldKvA);
+    EXPECT_EQ(NameServer::resolve(rig.transport(), core,
+                                  *rig.stack(tenantA).client,
+                                  rig.nameServer().id(), "kv"),
+              int64_t(newKvA));
+    // And B still resolves its own, untouched, kv.
+    EXPECT_EQ(NameServer::resolve(rig.transport(), core,
+                                  *rig.stack(tenantB).client,
+                                  rig.nameServer().id(), "kv"),
+              int64_t(sup.currentId("kv", tenantB)));
+}
+
+TEST(TenantSupervision, SharedAdmissionTenantShareCapsOneTenant)
+{
+    AdmissionOptions o;
+    o.highWatermark = 100;
+    o.clientShare = 0;
+    o.tenantShare = 4;
+    o.drainCycles = Cycles(1000000); // effectively no drain here
+    AdmissionController adm("shared-ns", o);
+    Cycles now(0);
+
+    // Tenant A floods: exactly tenantShare requests fit.
+    int admitted = 0;
+    for (int i = 0; i < 10; i++)
+        admitted += adm.admit(now, 0, tenantA) ? 1 : 0;
+    EXPECT_EQ(admitted, 4);
+    EXPECT_EQ(adm.shedTenantShare.value(), 6u);
+
+    // Tenant B is unaffected by A's full bucket.
+    EXPECT_TRUE(adm.admit(now, 0, tenantB));
+    EXPECT_EQ(adm.tenantBacklogAt(now, tenantB), 1u);
+
+    // Quarantine recovery drops only A's bucket.
+    adm.resetTenant(tenantA);
+    EXPECT_EQ(adm.tenantBacklogAt(now, tenantA), 0u);
+    EXPECT_EQ(adm.tenantBacklogAt(now, tenantB), 1u);
+    EXPECT_TRUE(adm.admit(now, 0, tenantA));
+}
+
+// --------------------------------------------------------------------
+// The containment chaos soak: tenant A burns, tenant B is fine.
+// --------------------------------------------------------------------
+
+struct ContainmentResult
+{
+    TenantRig::OpCounts a, b;
+    std::vector<FaultEvent> fired;
+    uint64_t restarts = 0;
+    uint64_t retries = 0;
+    uint64_t denied = 0;
+    uint64_t grants = 0;
+    uint64_t crossCalls = 0;
+    uint64_t crossResolves = 0;
+};
+
+/**
+ * Drive both tenants' mixed workloads for @p iters iterations. With
+ * @p storm, tenant A additionally suffers a seeded six-op fault
+ * plan *and* deterministic round-robin process kills across all six
+ * of its services (a full killAll every 24th iteration); injection
+ * is gated off around tenant B's operations, which is exactly the
+ * claim under test - the substrate does not couple them.
+ */
+ContainmentResult
+runContainment(uint64_t seed, int iters, bool storm)
+{
+    FaultInjector inj(
+        FaultPlan::generate(seed, 160, 4000, /*six classic ops*/ 0x3f));
+    TenantRig rig;
+    rig.system().machine().setFaultInjector(&inj);
+    ContainmentResult res;
+
+    for (int i = 0; i < iters; i++) {
+        if (storm) {
+            if (i % 24 == 1)
+                rig.killAll(tenantA);
+            else if (i % 2 == 0)
+                rig.killOne(tenantA, unsigned(i / 2));
+        }
+        inj.enabled = storm;
+        rig.runMix(tenantA, i, res.a);
+        inj.enabled = false;
+        rig.runMix(tenantB, i, res.b);
+    }
+
+    // The storm is over: one per-tenant heal must bring A all the
+    // way back, and both tenants must be fully functional.
+    rig.supervisor().heal(tenantA);
+    EXPECT_TRUE(rig.allUp(tenantA));
+    EXPECT_TRUE(rig.allUp(tenantB));
+    for (kernel::TenantId t : {tenantA, tenantB}) {
+        EXPECT_TRUE(rig.kvPut(t, 7));
+        EXPECT_EQ(rig.kvGet(t, 7), 1);
+        std::string resp;
+        uint64_t garbled = 0;
+        EXPECT_GT(rig.httpGet(t, "/index.html", &resp, &garbled), 0);
+        EXPECT_EQ(garbled, 0u);
+    }
+
+    res.fired = inj.fired();
+    res.restarts = rig.supervisor().restarts.value();
+    res.retries = rig.supervisor().retries.value();
+    res.denied = rig.transport().crossTenantDenied.value();
+    res.grants = rig.transport().crossTenantGrants.value();
+    res.crossCalls = rig.transport().crossTenantCalls.value();
+    res.crossResolves = rig.nameServer().crossTenantResolves.value();
+    return res;
+}
+
+TEST(TenantContainment, FaultStormInTenantALeavesTenantBsGoodput)
+{
+    constexpr uint64_t seed = 0x7E4A47;
+    constexpr int iters = 96;
+    ContainmentResult calm = runContainment(seed, iters, false);
+    ContainmentResult storm = runContainment(seed, iters, true);
+
+    // The storm was real: faults fired, services died and were
+    // resurrected, and tenant A visibly suffered - every one of its
+    // ops that came back did so through restarts and retries. (With
+    // an 8-attempt budget A's ops may all eventually succeed; the
+    // damage shows up as recovery work, not end failures.)
+    EXPECT_GT(storm.fired.size(), 20u);
+    EXPECT_GT(storm.restarts, 40u);
+    EXPECT_GT(storm.retries, calm.retries + 20);
+
+    // Containment: tenant B's goodput stays within 10% of its
+    // no-fault baseline (ISSUE acceptance).
+    ASSERT_GT(calm.b.ok, 0u);
+    EXPECT_GE(storm.b.ok * 10, calm.b.ok * 9)
+        << "storm B ok " << storm.b.ok << " vs calm " << calm.b.ok;
+
+    // Zero leakage across the boundary, in either run: no grant, no
+    // call, no resolution ever crossed tenants.
+    for (const ContainmentResult *r : {&calm, &storm}) {
+        EXPECT_EQ(r->grants, 0u);
+        EXPECT_EQ(r->crossCalls, 0u);
+        EXPECT_EQ(r->crossResolves, 0u);
+    }
+
+    // Every failure anywhere was clean and contained: no corrupt
+    // replies, no unexplained failures, no leaked linkage - for
+    // either tenant.
+    for (const TenantRig::OpCounts *c :
+         {&storm.a, &storm.b, &calm.a, &calm.b}) {
+        EXPECT_EQ(c->corrupt, 0u);
+        EXPECT_EQ(c->unexplained, 0u);
+        EXPECT_EQ(c->leakedLinkage, 0u);
+    }
+    // The calm baseline really was calm.
+    EXPECT_EQ(calm.a.failed + calm.b.failed, 0u);
+}
+
+TEST(TenantContainment, SameSeedReplaysIdentically)
+{
+    ContainmentResult x = runContainment(0xB1A57, 48, true);
+    ContainmentResult y = runContainment(0xB1A57, 48, true);
+
+    ASSERT_EQ(x.fired.size(), y.fired.size());
+    for (size_t i = 0; i < x.fired.size(); i++) {
+        EXPECT_EQ(x.fired[i].callSeq, y.fired[i].callSeq);
+        EXPECT_EQ(x.fired[i].op, y.fired[i].op);
+        EXPECT_EQ(x.fired[i].phase, y.fired[i].phase);
+    }
+    EXPECT_EQ(x.restarts, y.restarts);
+    EXPECT_EQ(x.a.ok, y.a.ok);
+    EXPECT_EQ(x.a.failed, y.a.failed);
+    EXPECT_EQ(x.b.ok, y.b.ok);
+    EXPECT_EQ(x.b.failed, y.b.failed);
+}
+
+} // namespace
+} // namespace xpc::services

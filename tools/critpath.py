@@ -60,6 +60,8 @@ class Request:
         self.clamped = False
         self.mem = defaultdict(int)
         self.outcome = None   # terminal status name, from "outcome"
+        self.tenant = None    # tenant id, from "tenant" instants
+                              # (only stamped in multi-tenant runs)
 
 
 def build(events):
@@ -113,6 +115,13 @@ def build(events):
             # Emitted once per top-level call with the terminal
             # CallStatus name as the text payload.
             r.outcome = ev.get("args", {}).get("msg", "")
+        elif ph == "i" and ev.get("name") == "tenant":
+            # Caller's tenant id (decimal text), stamped alongside the
+            # outcome for non-default tenants only.
+            try:
+                r.tenant = int(ev.get("args", {}).get("msg", ""))
+            except ValueError:
+                pass
         elif ph == "i" and ev.get("cat") == "mem":
             name = ev.get("name", "")
             if name in ("tlb_miss_fill", "l1_miss_fill"):
@@ -219,18 +228,30 @@ def report_request(r, names):
     return ok
 
 
+def tenant_label(tenant):
+    return "-" if tenant is None else f"t{tenant}"
+
+
 def report_top(reqs):
     """xpctop-style aggregate across every request."""
     span_totals = defaultdict(int)
     durations = []
     rows = []
     outcome_counts = defaultdict(int)
+    # Outcome counts split by tenant; only printed when some request
+    # carries a tenant stamp, so single-tenant output is unchanged.
+    tenant_counts = defaultdict(lambda: defaultdict(int))
+    tenanted = False
     for rid in sorted(reqs):
         r = reqs[rid]
         _, totals, start, end = sweep(r)
         durations.append(end - start)
-        rows.append((rid, end - start, outcome_class(r.outcome)))
+        rows.append((rid, end - start, outcome_class(r.outcome),
+                     r.tenant))
         outcome_counts[outcome_class(r.outcome)] += 1
+        tenant_counts[r.tenant][outcome_class(r.outcome)] += 1
+        if r.tenant is not None:
+            tenanted = True
         for name, cycles in totals.items():
             span_totals[name] += cycles
     durations.sort()
@@ -247,13 +268,26 @@ def report_top(reqs):
     print("  outcomes: " +
           ", ".join(f"{k} {v}" for k, v in
                     sorted(outcome_counts.items())))
+    if tenanted:
+        for tenant in sorted(tenant_counts,
+                             key=lambda t: (t is None, t)):
+            counts = tenant_counts[tenant]
+            print(f"  outcomes[{tenant_label(tenant)}]: " +
+                  ", ".join(f"{k} {v}" for k, v in
+                            sorted(counts.items())))
     for name, cycles in sorted(span_totals.items(),
                                key=lambda kv: -kv[1]):
         share = 100.0 * cycles / grand if grand else 0.0
         print(f"  {name:<16} {cycles:>12}  {share:5.1f}%")
-    print(f"  {'req':>8}  {'cycles':>10}  outcome")
-    for rid, cycles, outcome in rows:
-        print(f"  {'#' + str(rid):>8}  {cycles:>10}  {outcome}")
+    if tenanted:
+        print(f"  {'req':>8}  {'cycles':>10}  {'tenant':>6}  outcome")
+        for rid, cycles, outcome, tenant in rows:
+            print(f"  {'#' + str(rid):>8}  {cycles:>10}  "
+                  f"{tenant_label(tenant):>6}  {outcome}")
+    else:
+        print(f"  {'req':>8}  {'cycles':>10}  outcome")
+        for rid, cycles, outcome, _ in rows:
+            print(f"  {'#' + str(rid):>8}  {cycles:>10}  {outcome}")
 
 
 def main():
