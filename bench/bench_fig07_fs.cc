@@ -25,7 +25,8 @@ struct Throughputs
 };
 
 Throughputs
-measure(core::SystemFlavor flavor, uint64_t buf_bytes)
+measure(core::SystemFlavor flavor, uint64_t buf_bytes,
+        BenchReport *report = nullptr)
 {
     const hw::MachineConfig machine =
         (flavor == core::SystemFlavor::Zircon ||
@@ -65,6 +66,14 @@ measure(core::SystemFlavor flavor, uint64_t buf_bytes)
     }
     secs = machine.cyclesToSec(core.now() - t0);
     out.readMBps = double(totalBytes) / secs / 1e6;
+
+    // Fold this run's registry distributions (the kernel/runtime
+    // per-span "phases" stats) into the report before the rig dies,
+    // so "distributions" carries real percentiles per flavor.
+    if (report)
+        attachRegistryDistributions(
+            *report, rig.sys->stats(),
+            std::string(core::systemFlavorName(flavor)));
     return out;
 }
 
@@ -90,7 +99,9 @@ printTable()
         std::vector<std::string> cells = {fmtU(b)};
         std::vector<double> rrow, wrow;
         for (auto f : flavors) {
-            Throughputs t = measure(f, b);
+            // The 8 KiB column doubles as the representative config
+            // whose per-span distributions land in the report.
+            Throughputs t = measure(f, b, b == 8192 ? &report : nullptr);
             rrow.push_back(t.readMBps);
             wrow.push_back(t.writeMBps);
             cells.push_back(fmt("%.1f", t.readMBps));

@@ -18,7 +18,8 @@ using namespace xpc::bench;
 namespace {
 
 double
-measure(core::SystemFlavor flavor, uint64_t file_bytes, bool encrypt)
+measure(core::SystemFlavor flavor, uint64_t file_bytes, bool encrypt,
+        BenchReport *report = nullptr)
 {
     core::SystemOptions opts;
     opts.flavor = flavor;
@@ -95,6 +96,13 @@ measure(core::SystemFlavor flavor, uint64_t file_bytes, bool encrypt)
     for (int i = 0; i < requests; i++)
         one_request();
     double secs = sys.machine().config().cyclesToSec(core.now() - t0);
+    // Registry distributions (per-span "phases" stats) from this run
+    // populate the report's "distributions" section per flavor.
+    if (report)
+        attachRegistryDistributions(
+            *report, sys.stats(),
+            std::string(core::systemFlavorName(flavor)) +
+                (encrypt ? ".aes" : ".plain"));
     return double(requests) / secs;
 }
 
@@ -108,10 +116,15 @@ printTable()
          "encry-Zircon", "encry-XPC", "speedup"}, 13);
     const uint64_t sizes[] = {512, 1024, 2048, 3072, 4096};
     for (uint64_t s : sizes) {
-        double z = measure(core::SystemFlavor::Zircon, s, false);
-        double x = measure(core::SystemFlavor::ZirconXpc, s, false);
-        double ze = measure(core::SystemFlavor::Zircon, s, true);
-        double xe = measure(core::SystemFlavor::ZirconXpc, s, true);
+        // The 2 KiB row doubles as the representative config whose
+        // per-span distributions land in the report.
+        BenchReport *rep = s == 2048 ? &report : nullptr;
+        double z = measure(core::SystemFlavor::Zircon, s, false, rep);
+        double x =
+            measure(core::SystemFlavor::ZirconXpc, s, false, rep);
+        double ze = measure(core::SystemFlavor::Zircon, s, true, rep);
+        double xe =
+            measure(core::SystemFlavor::ZirconXpc, s, true, rep);
         row({fmtU(s), fmt("%.0f", z), fmt("%.0f", x),
              fmt("%.1fx", x / z), fmt("%.0f", ze), fmt("%.0f", xe),
              fmt("%.1fx", xe / ze)},

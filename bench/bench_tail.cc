@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Goodput-vs-offered-load sweep over the open-loop generator: the
+ * experiment that finally *measures* the overload machinery (PR 4's
+ * admission, deadlines, abandonment) doing its job.
+ *
+ * The bench first calibrates the mesh's capacity - the goodput of a
+ * deadline-free run offered far more load than it can serve - then
+ * sweeps offered load across multiples of that capacity and reports,
+ * per point, the goodput and the per-service latency histograms
+ * (p50/p99/p999). The table to look for: below the knee goodput
+ * tracks offered load and tails grow smoothly; past the knee goodput
+ * *saturates* near capacity while abandonment absorbs the excess -
+ * it must not collapse. A same-seed replay of the 1.0x point must be
+ * byte-identical; both claims are exported as metrics the analyzer
+ * (tools/latency.py --check) gates on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "apps/loadgen.hh"
+#include "bench_util.hh"
+#include "sim/logging.hh"
+
+using namespace xpc;
+using namespace xpc::bench;
+
+namespace {
+
+constexpr uint64_t sweepSeed = 42;
+constexpr uint64_t sweepRequests = 1500;
+
+apps::LoadGenOptions
+optionsFor(double rate)
+{
+    apps::LoadGenOptions o;
+    o.seed = sweepSeed;
+    o.offeredPerMcycle = rate;
+    o.requests = sweepRequests;
+    return o;
+}
+
+/** Deadline-free run at an absurd offered rate: every request is
+ *  eventually served, so goodput == the mesh's service capacity. */
+double
+calibrateCapacity()
+{
+    apps::LoadGenOptions o = optionsFor(5000);
+    o.requests = 600;
+    o.deadlineCycles = Cycles(0);
+    apps::LoadGen gen(o);
+    return gen.run().goodputPerMcycle();
+}
+
+std::string
+runPointJson(double rate)
+{
+    apps::LoadGen gen(optionsFor(rate));
+    std::ostringstream os;
+    gen.run().dumpJson(os);
+    return os.str();
+}
+
+void
+printTable()
+{
+    BenchReport report("tail");
+    banner("Goodput vs offered load (open-loop, 2 tenants, "
+           "kv/httpd/fs mix)");
+
+    double capacity = calibrateCapacity();
+    report.metric("capacity_per_mcycle", capacity);
+    report.config("seed", double(sweepSeed));
+    report.config("requests", double(sweepRequests));
+    std::printf("calibrated capacity: %.1f req/Mcycle\n\n", capacity);
+
+    row({"offered/cap", "offered", "goodput", "ok", "shed", "timeout",
+         "abandoned", "p99(kv)"},
+        12);
+
+    const double multipliers[] = {0.25, 0.5, 0.75, 1.0, 1.5, 2.0};
+    double goodput_at_1x = 0, goodput_at_2x = 0;
+    for (double m : multipliers) {
+        apps::LoadGen gen(optionsFor(m * capacity));
+        const apps::LoadGenResult &res = gen.run();
+
+        std::string tag = fmt("%g", m) + "x";
+        report.metric("offered_per_mcycle." + tag,
+                      res.offeredPerMcycleActual());
+        report.metric("goodput_per_mcycle." + tag,
+                      res.goodputPerMcycle());
+        for (size_t i = 0; i < apps::loadOutcomeCount; i++)
+            report.metric(
+                std::string(
+                    apps::loadOutcomeName(apps::LoadOutcome(i))) +
+                    "." + tag,
+                double(res.counts[i]));
+        report.distribution(tag + ".all", res.latencyAll);
+        for (size_t i = 0; i < 3; i++)
+            report.distribution(
+                tag + "." + apps::LoadGenResult::serviceNames[i],
+                res.latencyService[i]);
+
+        row({tag, fmt("%.1f", res.offeredPerMcycleActual()),
+             fmt("%.1f", res.goodputPerMcycle()),
+             fmtU(res.counts[size_t(apps::LoadOutcome::Ok)]),
+             fmtU(res.counts[size_t(apps::LoadOutcome::Shed)]),
+             fmtU(res.counts[size_t(apps::LoadOutcome::Timeout)]),
+             fmtU(res.counts[size_t(apps::LoadOutcome::Abandoned)]),
+             fmt("%.0f", res.latencyService[0].quantile(0.99))},
+            12);
+
+        if (m == 1.0)
+            goodput_at_1x = res.goodputPerMcycle();
+        if (m == 2.0)
+            goodput_at_2x = res.goodputPerMcycle();
+    }
+
+    // Saturation, not collapse: at 2x overload the mesh must still
+    // deliver most of what it delivered at the knee.
+    double retention =
+        goodput_at_1x > 0 ? goodput_at_2x / goodput_at_1x : 0;
+    report.metric("overload_goodput_retention", retention);
+    std::printf("\n2x-overload goodput retention: %.2f "
+                "(must stay >= 0.75: saturate, don't collapse)\n",
+                retention);
+
+    // Same-seed replay of the 1.0x point must be byte-identical.
+    std::string a = runPointJson(capacity);
+    std::string b = runPointJson(capacity);
+    bool identical = a == b;
+    report.metric("same_seed_identical", identical ? 1 : 0);
+    std::printf("same-seed replay byte-identical: %s\n",
+                identical ? "yes" : "NO");
+    panic_if(!identical, "same-seed loadgen replay diverged");
+}
+
+void
+BM_TailSweep(benchmark::State &state)
+{
+    double mult = double(state.range(0)) / 100.0;
+    static const double capacity = calibrateCapacity();
+    for (auto _ : state) {
+        apps::LoadGen gen(optionsFor(mult * capacity));
+        const apps::LoadGenResult &res = gen.run();
+        state.counters["goodput_per_mcycle"] = res.goodputPerMcycle();
+        state.counters["p99_all"] = res.latencyAll.quantile(0.99);
+        state.SetIterationTime(1e-3);
+    }
+    state.SetLabel(fmt("%g", mult) + "x");
+}
+BENCHMARK(BM_TailSweep)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->UseManualTime()
+    ->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

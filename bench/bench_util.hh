@@ -137,6 +137,17 @@ class BenchReport
                      ", \"p99\": " + num(d.quantile(0.99)) + "}";
     }
 
+    /** Histogram twin: count/mean/min/max/p50/p99/p999 summary. */
+    void
+    distribution(const std::string &key, const Histogram &h)
+    {
+        if (h.count() == 0)
+            return;
+        std::ostringstream os;
+        h.summaryJson(os);
+        dists[key] = os.str();
+    }
+
     /** Embed a full registry dump under "stats". */
     void
     attachStats(StatGroup &root)
@@ -233,6 +244,27 @@ attachCritPath(BenchReport &report,
     report.distribution(scope + ".total_cycles", agg.total());
     for (const auto &[span_name, d] : agg.spans())
         report.distribution(scope + "." + span_name, *d);
+}
+
+/**
+ * Walk @p group's subtree and attach every non-empty Distribution
+ * and Histogram to @p report as "<scope>.<path>.<stat>". This is how
+ * the per-span registry stats (the kernel/runtime "phases" groups)
+ * reach the BENCH json "distributions" section instead of leaving it
+ * `{}`; empty stats are skipped, so rigs that never fire a stat add
+ * no keys.
+ */
+inline void
+attachRegistryDistributions(BenchReport &report, const StatGroup &group,
+                            const std::string &scope)
+{
+    for (const auto &[stat_name, d] : group.distributionEntries())
+        report.distribution(scope + "." + stat_name, *d);
+    for (const auto &[stat_name, h] : group.histogramEntries())
+        report.distribution(scope + "." + stat_name, *h);
+    for (const StatGroup *kid : group.children())
+        attachRegistryDistributions(report, *kid,
+                                    scope + "." + kid->name());
 }
 
 /** An echo service wired on a fresh system of the given flavor. */

@@ -1,0 +1,351 @@
+#include "loadgen.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "core/breaker.hh"
+#include "sim/logging.hh"
+#include "sim/request.hh"
+
+namespace xpc::apps {
+
+using namespace xpc::services;
+
+const char *const LoadGenResult::serviceNames[3] = {"kv", "httpd",
+                                                    "fs"};
+
+const char *
+loadOutcomeName(LoadOutcome o)
+{
+    switch (o) {
+      case LoadOutcome::Ok: return "ok";
+      case LoadOutcome::Shed: return "shed";
+      case LoadOutcome::Timeout: return "timeout";
+      case LoadOutcome::Breaker: return "breaker";
+      case LoadOutcome::Abandoned: return "abandoned";
+      case LoadOutcome::Error: return "error";
+    }
+    return "?";
+}
+
+LoadGenResult::LoadGenResult(const LoadGenOptions &o)
+    : config(o), series(o.windowCycles)
+{}
+
+double
+LoadGenResult::goodputPerMcycle() const
+{
+    uint64_t e = elapsedCycles();
+    return e == 0 ? 0 : double(goodput()) * 1e6 / double(e);
+}
+
+double
+LoadGenResult::offeredPerMcycleActual() const
+{
+    uint64_t e = elapsedCycles();
+    return e == 0 ? 0 : double(offered) * 1e6 / double(e);
+}
+
+namespace {
+
+void
+emitNum(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[64];
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os << buf;
+}
+
+} // namespace
+
+void
+LoadGenResult::dumpJson(std::ostream &os) const
+{
+    os << "{\n \"config\":{\"seed\":" << config.seed
+       << ",\"offered_per_mcycle\":";
+    emitNum(os, config.offeredPerMcycle);
+    os << ",\"requests\":" << config.requests
+       << ",\"tenants\":" << config.tenants << ",\"mix\":{\"kv\":"
+       << config.kvWeight << ",\"httpd\":" << config.httpWeight
+       << ",\"fs\":" << config.fsWeight << "}"
+       << ",\"zipf_keys\":" << config.zipfKeys
+       << ",\"deadline_cycles\":" << config.deadlineCycles.value()
+       << ",\"window_cycles\":" << config.windowCycles.value()
+       << ",\"max_attempts\":" << config.maxAttempts
+       << ",\"breakers\":" << (config.breakers ? "true" : "false")
+       << "},\n";
+    os << " \"totals\":{\"offered\":" << offered;
+    for (size_t i = 0; i < loadOutcomeCount; i++)
+        os << ",\"" << loadOutcomeName(LoadOutcome(i))
+           << "\":" << counts[i];
+    os << "},\n";
+    os << " \"elapsed_cycles\":" << elapsedCycles()
+       << ",\n \"offered_per_mcycle\":";
+    emitNum(os, offeredPerMcycleActual());
+    os << ",\n \"goodput_per_mcycle\":";
+    emitNum(os, goodputPerMcycle());
+    os << ",\n \"latency\":{\n  \"all\":";
+    latencyAll.summaryJson(os);
+    os << ",\n  \"service\":{";
+    for (size_t i = 0; i < 3; i++) {
+        os << (i ? "," : "") << "\"" << serviceNames[i] << "\":";
+        latencyService[i].summaryJson(os);
+    }
+    os << "},\n  \"tenant\":{";
+    for (size_t i = 0; i < 2; i++) {
+        os << (i ? "," : "") << "\"t" << (i + 1) << "\":";
+        latencyTenant[i].summaryJson(os);
+    }
+    os << "},\n  \"outcome\":{";
+    for (size_t i = 0; i < loadOutcomeCount; i++) {
+        os << (i ? "," : "") << "\""
+           << loadOutcomeName(LoadOutcome(i)) << "\":";
+        latencyOutcome[i].summaryJson(os);
+    }
+    os << "}},\n \"timeseries\":\n";
+    series.dumpJson(os, 2);
+    os << "\n}\n";
+}
+
+LoadGen::LoadGen(const LoadGenOptions &options)
+    : opts(options), res(options), rng(options.seed),
+      zipf(options.zipfKeys == 0 ? 1 : options.zipfKeys, 0.99,
+           options.seed ^ 0x5a5a5a5aULL)
+{
+    panic_if(opts.tenants < 1 || opts.tenants > 2,
+             "tenants must be 1 or 2");
+    panic_if(opts.offeredPerMcycle <= 0, "offered rate must be > 0");
+    panic_if(opts.kvWeight + opts.httpWeight + opts.fsWeight == 0,
+             "service mix must have at least one non-zero weight");
+
+    TenantRigOptions ro;
+    ro.flavor = opts.flavor;
+    ro.breakers = opts.breakers;
+    ro.admitAll = true;
+    rig_ = std::make_unique<TenantRig>(ro);
+    rig_->policy.maxAttempts = opts.maxAttempts;
+
+    // The generator's own curves come first so the JSON channel
+    // order stays stable no matter how many tenants are active.
+    chOffered = res.series.counterChannel("offered");
+    chGoodput = res.series.counterChannel("goodput");
+    chShed = res.series.counterChannel("shed");
+    chTimeout = res.series.counterChannel("timeout");
+    chFailed = res.series.counterChannel("failed");
+    chAbandoned = res.series.counterChannel("abandoned");
+    chBacklog = res.series.gaugeChannel("admission_backlog");
+    chBreakers = res.series.gaugeChannel("breakers_open");
+
+    for (uint32_t t = 0; t < opts.tenants; t++) {
+        TenantRig::Stack &st = rig_->stack(
+            t == 0 ? TenantRig::tenantA : TenantRig::tenantB);
+        st.telKv->attachSeries(&res.series);
+        st.telHttp->attachSeries(&res.series);
+        st.telFs->attachSeries(&res.series);
+        // Make the per-service histograms visible in the system's
+        // stat registry dump, beside the kernel's Distributions.
+        st.telKv->stats.setParent(&rig_->system().stats());
+        st.telHttp->stats.setParent(&rig_->system().stats());
+        st.telFs->stats.setParent(&rig_->system().stats());
+    }
+}
+
+void
+LoadGen::warmup()
+{
+    hw::Core &core = rig_->system().core(0);
+    uint64_t keys = std::min<uint64_t>(opts.zipfKeys, 32);
+    for (uint32_t t = 0; t < opts.tenants; t++) {
+        kernel::TenantId tenant =
+            t == 0 ? TenantRig::tenantA : TenantRig::tenantB;
+        for (uint64_t k = 1; k <= keys; k++) {
+            rig_->kvPut(tenant, k);
+            // Pace the preload below the admission drain rate so it
+            // neither sheds nor leaves backlog behind.
+            core.spend(Cycles(4000));
+        }
+        rig_->httpGet(tenant, "/index.html", nullptr, nullptr);
+        core.spend(Cycles(4000));
+    }
+}
+
+uint32_t
+LoadGen::pickService()
+{
+    uint64_t total = opts.kvWeight + opts.httpWeight + opts.fsWeight;
+    uint64_t r = rng.nextBounded(total);
+    if (r < opts.kvWeight)
+        return 0;
+    if (r < opts.kvWeight + opts.httpWeight)
+        return 1;
+    return 2;
+}
+
+LoadOutcome
+LoadGen::issue(kernel::TenantId tenant, uint32_t svc, uint64_t key,
+               bool is_put)
+{
+    bool ok = false;
+    switch (svc) {
+      case 0:
+        ok = is_put ? rig_->kvPut(tenant, key)
+                    : rig_->kvGet(tenant, key) >= 0;
+        break;
+      case 1: {
+        int64_t n =
+            rig_->httpGet(tenant, "/index.html", nullptr, nullptr);
+        ok = n != TenantRig::callFailed;
+        break;
+      }
+      default: {
+        std::string path = "/l" + std::to_string(key % 8);
+        proto::FsMsg om;
+        om.a = int64_t(proto::fsOpenCreate);
+        om.c = int64_t(path.size());
+        int64_t fd = rig_->fsOp(tenant, proto::FsOp::Open, om,
+                                path.data(), path.size(), nullptr, 0);
+        if (fd == TenantRig::callFailed) {
+            ok = false;
+        } else if (fd >= 0) {
+            proto::FsMsg cm;
+            cm.a = fd;
+            int64_t c = rig_->fsOp(tenant, proto::FsOp::Close, cm,
+                                   nullptr, 0, nullptr, 0);
+            ok = c != TenantRig::callFailed;
+        } else {
+            ok = true; // an fs-level error is still a served reply
+        }
+        break;
+      }
+    }
+    if (ok)
+        return LoadOutcome::Ok;
+    switch (rig_->supervisor().lastStatus) {
+      case core::TransportStatus::Overloaded:
+        return LoadOutcome::Shed;
+      case core::TransportStatus::DeadlineExpired:
+      case core::TransportStatus::Timeout:
+        return LoadOutcome::Timeout;
+      case core::TransportStatus::BreakerOpen:
+        return LoadOutcome::Breaker;
+      default:
+        return LoadOutcome::Error;
+    }
+}
+
+void
+LoadGen::sampleGauges(uint64_t now)
+{
+    uint64_t backlog = 0;
+    for (uint32_t t = 0; t < opts.tenants; t++) {
+        TenantRig::Stack &st = rig_->stack(
+            t == 0 ? TenantRig::tenantA : TenantRig::tenantB);
+        backlog += st.admKv->backlogAt(Cycles(now));
+        if (st.admFs)
+            backlog += st.admFs->backlogAt(Cycles(now));
+        if (st.admHttp)
+            backlog += st.admHttp->backlogAt(Cycles(now));
+    }
+    res.series.sample(chBacklog, now, double(backlog));
+
+    uint32_t open = 0;
+    if (opts.breakers) {
+        static const char *const names[3] = {"kv", "httpd", "fs"};
+        for (uint32_t t = 0; t < opts.tenants; t++) {
+            kernel::TenantId tenant =
+                t == 0 ? TenantRig::tenantA : TenantRig::tenantB;
+            for (const char *name : names) {
+                auto &b = rig_->supervisor().breakerFor(name, tenant);
+                if (b.state(Cycles(now)) ==
+                    core::CircuitBreaker::State::Open)
+                    open++;
+            }
+        }
+    }
+    res.series.sample(chBreakers, now, double(open));
+}
+
+const LoadGenResult &
+LoadGen::run()
+{
+    hw::Core &core = rig_->system().core(0);
+    warmup();
+
+    uint64_t base = core.now().value();
+    res.startCycle = base;
+    double mean_ia = 1e6 / opts.offeredPerMcycle;
+    double cum = 0;
+
+    for (uint64_t i = 0; i < opts.requests; i++) {
+        // Every random draw happens here, unconditionally and in a
+        // fixed order: the schedule is a pure function of the seed
+        // and can never depend on how earlier requests fared.
+        cum += -std::log(1.0 - rng.nextDouble()) * mean_ia;
+        uint64_t arrival = base + uint64_t(cum);
+        uint32_t tix =
+            opts.tenants > 1 ? uint32_t(rng.nextBounded(2)) : 0;
+        uint32_t svc = pickService();
+        uint64_t key = 1 + zipf.next();
+        bool is_put = rng.nextDouble() < 0.5;
+
+        kernel::TenantId tenant =
+            tix == 0 ? TenantRig::tenantA : TenantRig::tenantB;
+
+        core.syncTo(Cycles(arrival));
+        res.offered++;
+        res.series.add(chOffered, arrival);
+
+        uint64_t dl = opts.deadlineCycles.value() == 0
+                          ? 0
+                          : arrival + opts.deadlineCycles.value();
+        LoadOutcome out;
+        if (dl != 0 && core.now().value() >= dl) {
+            // The mesh is so far behind that this request's deadline
+            // passed before it could even be issued: the caller
+            // hangs up. This is what keeps an open-loop generator
+            // from pushing work nobody is waiting for.
+            out = LoadOutcome::Abandoned;
+        } else {
+            req::DeadlineScope scope(dl);
+            out = issue(tenant, svc, key, is_put);
+        }
+
+        uint64_t end = core.now().value();
+        uint64_t lat = end - arrival;
+        res.counts[size_t(out)]++;
+        res.latencyAll.record(lat);
+        res.latencyService[svc].record(lat);
+        res.latencyTenant[tix].record(lat);
+        res.latencyOutcome[size_t(out)].record(lat);
+        switch (out) {
+          case LoadOutcome::Ok:
+            res.series.add(chGoodput, end);
+            break;
+          case LoadOutcome::Shed:
+            res.series.add(chShed, end);
+            break;
+          case LoadOutcome::Timeout:
+            res.series.add(chTimeout, end);
+            break;
+          case LoadOutcome::Abandoned:
+            res.series.add(chAbandoned, end);
+            break;
+          default:
+            res.series.add(chFailed, end);
+            break;
+        }
+        sampleGauges(end);
+    }
+    res.endCycle = core.now().value();
+    return res;
+}
+
+} // namespace xpc::apps

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Seeded open-loop load generator over the supervised tenant mesh.
+ *
+ * Closed-loop clients (everything in bench/ before this) wait for
+ * each reply before sending the next request, so they can never
+ * observe queueing collapse: the offered load falls with the service
+ * rate. LoadGen is open-loop: it pre-draws a Poisson arrival schedule
+ * at a configured offered rate and issues every request at its
+ * scheduled simulated-cycle arrival, advancing the core's clock with
+ * syncTo() when the generator is ahead of the mesh. Latency is
+ * measured from the *arrival*, not from the moment the call is
+ * issued, so the time a request spends waiting behind a saturated
+ * mesh is part of its tail - the methodology of open-loop tail
+ * studies (and the reason the goodput-vs-offered-load curve can
+ * actually show the admission knee).
+ *
+ * Each request draws tenant, service (kv / httpd / fs, weighted) and
+ * a Zipfian key from one seeded Rng in a fixed per-request order, so
+ * the schedule is a pure function of the seed and never depends on
+ * outcomes: two same-seed runs are byte-identical, shed or not.
+ * Requests whose arrival-anchored deadline has already passed before
+ * they are issued are abandoned client-side (the open-loop analogue
+ * of a caller hanging up), which is what lets goodput saturate
+ * instead of collapsing under 2x overload.
+ *
+ * Results land in per-service, per-tenant and per-outcome fixed-
+ * memory Histograms plus a windowed TimeSeries (offered, goodput,
+ * sheds, backlog, breaker state), all dumpable as one stable JSON
+ * document.
+ */
+
+#ifndef XPC_APPS_LOADGEN_HH
+#define XPC_APPS_LOADGEN_HH
+
+#include <memory>
+
+#include "apps/tenant_rig.hh"
+#include "sim/histogram.hh"
+#include "sim/random.hh"
+#include "sim/timeseries.hh"
+
+namespace xpc::apps {
+
+struct LoadGenOptions
+{
+    core::SystemFlavor flavor = core::SystemFlavor::Sel4Xpc;
+    uint64_t seed = 42;
+    /** Offered arrival rate, requests per million cycles. */
+    double offeredPerMcycle = 300;
+    /** Total requests in the schedule. */
+    uint64_t requests = 2000;
+    /** 1 or 2 tenants drawing from the same schedule. */
+    uint32_t tenants = 2;
+    /** Service mix weights (kv-heavy by default, like YCSB). */
+    uint32_t kvWeight = 6;
+    uint32_t httpWeight = 3;
+    uint32_t fsWeight = 1;
+    /** Zipfian key universe for the kv workload. */
+    uint64_t zipfKeys = 256;
+    /** Arrival-anchored deadline per request; 0 = none. */
+    Cycles deadlineCycles{400000};
+    /** TimeSeries window width. */
+    Cycles windowCycles{100000};
+    /**
+     * Retries amplify offered load under overload, so the open-loop
+     * default is a single attempt; the retry ladder is the closed-
+     * loop chaos suites' territory.
+     */
+    uint32_t maxAttempts = 1;
+    /**
+     * Breakers default off: with admission shedding feeding
+     * noteFailure(), a breaker would quarantine a merely-busy
+     * service and turn an overload plateau into a cliff. Turn on to
+     * measure exactly that cliff.
+     */
+    bool breakers = false;
+};
+
+/** Client-observed fate of one scheduled request. */
+enum class LoadOutcome
+{
+    Ok,        ///< served within its deadline
+    Shed,      ///< refused admission (CallStatus::Overloaded)
+    Timeout,   ///< deadline expired or watchdog fired mid-call
+    Breaker,   ///< short-circuited by an open breaker
+    Abandoned, ///< deadline already past at issue time; never sent
+    Error,     ///< any other failure
+};
+constexpr size_t loadOutcomeCount = 6;
+const char *loadOutcomeName(LoadOutcome o);
+
+struct LoadGenResult
+{
+    explicit LoadGenResult(const LoadGenOptions &o);
+
+    LoadGenOptions config;
+    uint64_t offered = 0;
+    uint64_t counts[loadOutcomeCount] = {};
+    uint64_t startCycle = 0;
+    uint64_t endCycle = 0;
+
+    /** Arrival-to-completion latency, cycles. */
+    Histogram latencyAll;
+    Histogram latencyService[3]; ///< kv, httpd, fs
+    Histogram latencyTenant[2];
+    Histogram latencyOutcome[loadOutcomeCount];
+    TimeSeries series;
+
+    static const char *const serviceNames[3];
+
+    uint64_t goodput() const { return counts[0]; }
+    uint64_t elapsedCycles() const { return endCycle - startCycle; }
+    double goodputPerMcycle() const;
+    double offeredPerMcycleActual() const;
+
+    /** One stable JSON document (same seed => same bytes). */
+    void dumpJson(std::ostream &os) const;
+};
+
+class LoadGen
+{
+  public:
+    explicit LoadGen(const LoadGenOptions &options = {});
+
+    /** Run the full schedule (call once). */
+    const LoadGenResult &run();
+
+    TenantRig &rig() { return *rig_; }
+    const LoadGenResult &result() const { return res; }
+
+  private:
+    void warmup();
+    uint32_t pickService();
+    LoadOutcome issue(kernel::TenantId tenant, uint32_t svc,
+                      uint64_t key, bool is_put);
+    void sampleGauges(uint64_t now);
+
+    LoadGenOptions opts;
+    std::unique_ptr<TenantRig> rig_;
+    LoadGenResult res;
+    Rng rng;
+    Zipfian zipf;
+
+    TimeSeries::ChannelId chOffered = 0;
+    TimeSeries::ChannelId chGoodput = 0;
+    TimeSeries::ChannelId chShed = 0;
+    TimeSeries::ChannelId chTimeout = 0;
+    TimeSeries::ChannelId chFailed = 0;
+    TimeSeries::ChannelId chAbandoned = 0;
+    TimeSeries::ChannelId chBacklog = 0;
+    TimeSeries::ChannelId chBreakers = 0;
+};
+
+} // namespace xpc::apps
+
+#endif // XPC_APPS_LOADGEN_HH

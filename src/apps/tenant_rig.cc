@@ -39,13 +39,13 @@ const char *const TenantRig::serviceNames[6] = {
     "blockdev", "cache", "crypto", "fs", "httpd", "kv",
 };
 
-TenantRig::TenantRig(const TenantRigOptions &options)
+TenantRig::TenantRig(const TenantRigOptions &options) : opts(options)
 {
-    core::SystemOptions opts;
-    opts.flavor = options.flavor;
-    opts.runtimeOpts.timeoutCycles = options.timeoutCycles;
-    opts.deadlineCycles = options.deadlineCycles;
-    sys = std::make_unique<core::System>(opts);
+    core::SystemOptions sys_opts;
+    sys_opts.flavor = options.flavor;
+    sys_opts.runtimeOpts.timeoutCycles = options.timeoutCycles;
+    sys_opts.deadlineCycles = options.deadlineCycles;
+    sys = std::make_unique<core::System>(sys_opts);
     tr = &sys->transport();
     tr->enforceTenancy = options.enforceTenancy;
 
@@ -83,8 +83,17 @@ TenantRig::buildStack(Stack &st)
     const kernel::TenantId tenant = st.tenant;
     st.client = &sys->spawn("client", 0, tenant);
     tr->connect(*st.client, ns->id()); // bootstrap cap: only the NS
-    st.admKv = std::make_unique<AdmissionController>(
-        "kv@t" + std::to_string(tenant));
+    const std::string suffix = "@t" + std::to_string(tenant);
+    st.admKv = std::make_unique<AdmissionController>("kv" + suffix);
+    if (opts.admitAll) {
+        st.admFs =
+            std::make_unique<AdmissionController>("fs" + suffix);
+        st.admHttp =
+            std::make_unique<AdmissionController>("httpd" + suffix);
+    }
+    st.telFs = std::make_unique<ServiceTelemetry>("fs" + suffix);
+    st.telHttp = std::make_unique<ServiceTelemetry>("httpd" + suffix);
+    st.telKv = std::make_unique<ServiceTelemetry>("kv" + suffix);
 
     // Supervision sweeps a tenant's entries by name; the dependency
     // killers rely on "blockdev" < "fs" and "cache"/"crypto" <
@@ -112,6 +121,8 @@ TenantRig::buildStack(Stack &st)
         srv = st.fsT;
         return fresh;
     });
+    if (st.admFs)
+        sup->setAdmission("fs", st.admFs.get(), tenant);
 
     id = makeCache(st);
     ns->bind("cache", id, tenant);
@@ -147,6 +158,8 @@ TenantRig::buildStack(Stack &st)
                        srv = st.httpT;
                        return fresh;
                    });
+    if (st.admHttp)
+        sup->setAdmission("httpd", st.admHttp.get(), tenant);
 
     id = makeKv(st);
     ns->bind("kv", id, tenant);
@@ -183,6 +196,8 @@ TenantRig::makeFs(Stack &st)
     tr->connect(*st.fsT, dev);
     fss.push_back(std::make_unique<FsServer>(*tr, *st.fsT, dev,
                                              diskBlocks));
+    fss.back()->setAdmission(st.admFs.get());
+    fss.back()->setTelemetry(st.telFs.get());
     return fss.back()->id();
 }
 
@@ -221,6 +236,8 @@ TenantRig::makeHttp(Stack &st)
     https.push_back(std::make_unique<HttpServer>(
         *tr, *st.httpT, cache_id, crypto_id, /*encrypt=*/true,
         httpMaxBody));
+    https.back()->setAdmission(st.admHttp.get());
+    https.back()->setTelemetry(st.telHttp.get());
     return https.back()->id();
 }
 
@@ -230,6 +247,7 @@ TenantRig::makeKv(Stack &st)
     st.kvT = &sys->spawn("kv", 0, st.tenant);
     kvs.push_back(std::make_unique<KvServer>(*tr, *st.kvT));
     kvs.back()->setAdmission(st.admKv.get());
+    kvs.back()->setTelemetry(st.telKv.get());
     return kvs.back()->id();
 }
 

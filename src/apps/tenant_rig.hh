@@ -30,6 +30,7 @@
 #include "services/name_server.hh"
 #include "services/proto.hh"
 #include "services/supervisor.hh"
+#include "services/telemetry.hh"
 #include "services/web.hh"
 
 namespace xpc::apps {
@@ -48,6 +49,13 @@ struct TenantRigOptions
     Cycles timeoutCycles{20000};
     /** Quarantine repeated failures per (tenant, service). */
     bool breakers = true;
+    /**
+     * Give fs and httpd their own admission controllers too (kv
+     * always has one). The load generator turns this on so every
+     * front-door service sheds under overload instead of queueing;
+     * the chaos suites keep the historical kv-only layout.
+     */
+    bool admitAll = false;
 };
 
 /** Two tenants x (fs, kv, web), supervised, under one transport. */
@@ -80,6 +88,15 @@ class TenantRig
         kernel::Thread *kvT = nullptr;
         kernel::Thread *client = nullptr;
         std::unique_ptr<services::AdmissionController> admKv;
+        /** Only with TenantRigOptions::admitAll. */
+        std::unique_ptr<services::AdmissionController> admFs;
+        std::unique_ptr<services::AdmissionController> admHttp;
+        /** Always-on front-door telemetry; instances re-attach to
+         *  these across crash restarts, so histograms span
+         *  incarnations. */
+        std::unique_ptr<services::ServiceTelemetry> telFs;
+        std::unique_ptr<services::ServiceTelemetry> telHttp;
+        std::unique_ptr<services::ServiceTelemetry> telKv;
     };
 
     Stack &stack(kernel::TenantId tenant);
@@ -136,6 +153,8 @@ class TenantRig
   private:
     void buildStack(Stack &st);
     void killProcessOf(kernel::Thread *t);
+
+    TenantRigOptions opts;
 
     core::ServiceId makeBlockdev(Stack &st);
     core::ServiceId makeFs(Stack &st);

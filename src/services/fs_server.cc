@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "services/admission.hh"
+#include "services/telemetry.hh"
 #include "services/proto.hh"
 #include "sim/logging.hh"
 
@@ -99,8 +100,11 @@ FsServer::FsServer(core::Transport &tr, kernel::Thread &fs_thread,
 void
 FsServer::handle(core::ServerApi &api)
 {
-    if (!admitOrShed(admission, api))
+    HandlerScope probe(telemetry, api);
+    if (!admitOrShed(admission, api)) {
+        probe.shed();
         return;
+    }
     blockIo.core = &api.core();
     blockIo.inHandler = true;
 

@@ -17,6 +17,7 @@
 namespace xpc::services {
 
 class AdmissionController;
+class ServiceTelemetry;
 
 /** xv6fs served over IPC. */
 class FsServer
@@ -40,6 +41,9 @@ class FsServer
 
     /** Attach admission control (null = off, the default). */
     void setAdmission(AdmissionController *adm) { admission = adm; }
+
+    /** Attach telemetry (null = off, the default). */
+    void setTelemetry(ServiceTelemetry *t) { telemetry = t; }
 
     /** Client-wrapper return value when the IPC itself failed (as
      *  opposed to an FS-level error like fsNoEnt). */
@@ -105,6 +109,7 @@ class FsServer
     IpcBlockIo blockIo;
     fs::Xv6Fs filesystem;
     AdmissionController *admission = nullptr;
+    ServiceTelemetry *telemetry = nullptr;
 
     void handle(core::ServerApi &api);
 };

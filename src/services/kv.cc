@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "services/admission.hh"
+#include "services/telemetry.hh"
 
 namespace xpc::services {
 
@@ -19,8 +20,11 @@ KvServer::KvServer(core::Transport &tr, kernel::Thread &t)
 void
 KvServer::handle(core::ServerApi &api)
 {
-    if (!admitOrShed(admission, api))
+    HandlerScope probe(telemetry, api);
+    if (!admitOrShed(admission, api)) {
+        probe.shed();
         return;
+    }
     uint8_t key_raw[8] = {};
     api.readRequest(0, key_raw, sizeof(key_raw));
     uint64_t key = 0;

@@ -19,6 +19,7 @@
 namespace xpc::services {
 
 class AdmissionController;
+class ServiceTelemetry;
 
 /** YCSB-flavored KV server: u64 keys, fixed 64-byte values. */
 class KvServer
@@ -32,6 +33,9 @@ class KvServer
     core::ServiceId id() const { return svcId; }
 
     void setAdmission(AdmissionController *adm) { admission = adm; }
+
+    /** Attach telemetry (null = off, the default). */
+    void setTelemetry(ServiceTelemetry *t) { telemetry = t; }
 
     /** The value every put stores for @p key. Deriving values from
      *  keys makes reads verifiable across server restarts. */
@@ -47,6 +51,7 @@ class KvServer
     core::ServiceId svcId = 0;
     std::map<uint64_t, std::array<uint8_t, valueBytes>> store;
     AdmissionController *admission = nullptr;
+    ServiceTelemetry *telemetry = nullptr;
 
     void handle(core::ServerApi &api);
 };

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Server-side tail-latency telemetry: the admit/complete recording
+ * hooks the observability layer hangs off every service handler.
+ *
+ * A ServiceTelemetry bundles what one service instance exports:
+ * a fixed-memory Histogram of handler service time (cycles between
+ * handler entry and reply), admit/shed counters, and - when a
+ * TimeSeries is attached - "done"/"shed" counter channels plus an
+ * in-flight gauge, all keyed by the simulated cycle clock. Recording
+ * costs no simulated cycles: telemetry observes the run, it never
+ * perturbs it, so fig05/fig06 cycle tables stay byte-identical with
+ * the layer compiled in.
+ *
+ * Servers opt in with setTelemetry() (null = off, the default - the
+ * same pattern as setAdmission) and wrap their handler body in a
+ * HandlerScope, which times the invocation and classifies it on
+ * destruction. Because TenantRig rebuilds service instances on crash
+ * restart, the ServiceTelemetry lives with the *stack*, not the
+ * instance: a restarted server re-attaches to the same telemetry and
+ * the histograms span incarnations.
+ */
+
+#ifndef XPC_SERVICES_TELEMETRY_HH
+#define XPC_SERVICES_TELEMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/histogram.hh"
+#include "sim/stats.hh"
+#include "sim/timeseries.hh"
+
+namespace xpc::core {
+class ServerApi;
+}
+namespace xpc::hw {
+class Core;
+}
+
+namespace xpc::services {
+
+class ServiceTelemetry
+{
+  public:
+    explicit ServiceTelemetry(std::string service_name);
+
+    const std::string &name() const { return serviceName; }
+
+    /**
+     * Route windowed per-window curves into @p ts: creates counter
+     * channels "<name>.done" / "<name>.shed" and gauge
+     * "<name>.inflight". Null detaches.
+     */
+    void attachSeries(TimeSeries *ts);
+
+    /** Handler service time in cycles, completed invocations only. */
+    Histogram serviceCycles;
+    /** Invocations that ran to completion. */
+    Counter handled;
+    /** Invocations refused admission (shed at the handler door). */
+    Counter shedCount;
+
+    /** Registry node "<service_name>" holding the stats above. */
+    StatGroup stats;
+
+  private:
+    friend class HandlerScope;
+
+    std::string serviceName;
+    TimeSeries *series = nullptr;
+    TimeSeries::ChannelId chDone = 0;
+    TimeSeries::ChannelId chShed = 0;
+    TimeSeries::ChannelId chInflight = 0;
+    uint32_t inflight = 0;
+};
+
+/**
+ * RAII handler probe: construct first thing in the handler, call
+ * shed() when admission refuses the request. The destructor records
+ * service time (or the shed) and updates the in-flight gauge. A null
+ * telemetry pointer makes every operation a no-op, so un-instrumented
+ * rigs pay nothing.
+ */
+class HandlerScope
+{
+  public:
+    HandlerScope(ServiceTelemetry *t, core::ServerApi &api);
+    ~HandlerScope();
+
+    HandlerScope(const HandlerScope &) = delete;
+    HandlerScope &operator=(const HandlerScope &) = delete;
+
+    /** Mark this invocation as refused admission. */
+    void shed() { wasShed = true; }
+
+  private:
+    ServiceTelemetry *tel;
+    hw::Core *core = nullptr;
+    uint64_t start = 0;
+    bool wasShed = false;
+};
+
+} // namespace xpc::services
+
+#endif // XPC_SERVICES_TELEMETRY_HH

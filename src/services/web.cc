@@ -5,6 +5,7 @@
 
 #include "services/admission.hh"
 #include "services/proto.hh"
+#include "services/telemetry.hh"
 #include "sim/logging.hh"
 
 namespace xpc::services {
@@ -140,8 +141,11 @@ HttpServer::HttpServer(core::Transport &tr,
 void
 HttpServer::handle(core::ServerApi &api)
 {
-    if (!admitOrShed(admission, api))
+    HandlerScope probe(telemetry, api);
+    if (!admitOrShed(admission, api)) {
+        probe.shed();
         return;
+    }
     requests.inc();
 
     // Parse "GET /path HTTP/1.1" from the request text after the

@@ -21,6 +21,7 @@
 namespace xpc::services {
 
 class AdmissionController;
+class ServiceTelemetry;
 
 /** In-memory file cache server. */
 class FileCacheServer
@@ -106,6 +107,9 @@ class HttpServer
     /** Attach admission control (null = off, the default). */
     void setAdmission(AdmissionController *adm) { admission = adm; }
 
+    /** Attach telemetry (null = off, the default). */
+    void setTelemetry(ServiceTelemetry *t) { telemetry = t; }
+
     Counter requests;
     Counter notFound;
 
@@ -117,6 +121,7 @@ class HttpServer
     bool encrypt;
     uint64_t maxBody;
     AdmissionController *admission = nullptr;
+    ServiceTelemetry *telemetry = nullptr;
 
     void handle(core::ServerApi &api);
 };

@@ -74,6 +74,11 @@ Distribution::quantile(double q) const
     double pos = q * double(samples.size() - 1);
     size_t lo = size_t(std::floor(pos));
     size_t hi = size_t(std::ceil(pos));
+    // q=1 can round pos up to exactly size-1 with ceil still landing
+    // there, but floating error (e.g. q=0.999.. * (n-1)) may push hi
+    // one past the last sample: clamp both indices into range.
+    lo = std::min(lo, samples.size() - 1);
+    hi = std::min(hi, samples.size() - 1);
     double frac = pos - double(lo);
     return samples[lo] * (1 - frac) + samples[hi] * frac;
 }
@@ -153,12 +158,20 @@ StatGroup::addDistribution(const std::string &name, Distribution *d)
 }
 
 void
+StatGroup::addHistogram(const std::string &name, Histogram *h)
+{
+    hists.emplace_back(name, h);
+}
+
+void
 StatGroup::resetAll()
 {
     for (auto &[name, c] : counters)
         c->reset();
     for (auto &[name, d] : dists)
         d->reset();
+    for (auto &[name, h] : hists)
+        h->reset();
     for (StatGroup *kid : kids)
         kid->resetAll();
 }
@@ -178,6 +191,15 @@ StatGroup::distribution(const std::string &name) const
     for (const auto &[n, d] : dists)
         if (n == name)
             return d;
+    return nullptr;
+}
+
+const Histogram *
+StatGroup::histogram(const std::string &name) const
+{
+    for (const auto &[n, h] : hists)
+        if (n == name)
+            return h;
     return nullptr;
 }
 
@@ -257,6 +279,18 @@ StatGroup::dumpJson(std::ostream &os, int indent) const
         }
         os << "}";
     }
+    if (!hists.empty()) {
+        os << ",\n";
+        pad(os, indent + 1);
+        os << "\"histograms\":{";
+        bool first = true;
+        for (const auto &[name, h] : hists) {
+            os << (first ? "" : ",") << jsonQuote(name) << ":";
+            h->summaryJson(os);
+            first = false;
+        }
+        os << "}";
+    }
     if (!kids.empty()) {
         os << ",\n";
         pad(os, indent + 1);
@@ -288,6 +322,20 @@ StatGroup::dumpCsv(std::ostream &os, const std::string &prefix) const
                << d->quantile(0.5) << "\n";
             os << path << ",dist_p99," << name << ","
                << d->quantile(0.99) << "\n";
+        }
+    }
+    for (const auto &[name, h] : hists) {
+        os << path << ",hist_count," << name << "," << h->count()
+           << "\n";
+        if (h->count() > 0) {
+            os << path << ",hist_mean," << name << "," << h->mean()
+               << "\n";
+            os << path << ",hist_p50," << name << ","
+               << h->quantile(0.5) << "\n";
+            os << path << ",hist_p99," << name << ","
+               << h->quantile(0.99) << "\n";
+            os << path << ",hist_p999," << name << ","
+               << h->quantile(0.999) << "\n";
         }
     }
     for (const StatGroup *kid : kids)

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/histogram.hh"
+
 namespace xpc {
 
 /** Monotonic scalar event counter. */
@@ -133,6 +135,7 @@ class StatGroup
     /** Register @p c under @p name (pointer must outlive the group). */
     void addCounter(const std::string &name, Counter *c);
     void addDistribution(const std::string &name, Distribution *d);
+    void addHistogram(const std::string &name, Histogram *h);
 
     /** Reset every registered stat in this subtree. */
     void resetAll();
@@ -140,14 +143,36 @@ class StatGroup
     /** Find a registered counter by name (this group only). */
     const Counter *counter(const std::string &name) const;
     const Distribution *distribution(const std::string &name) const;
+    const Histogram *histogram(const std::string &name) const;
     /** Find a direct child group by name. */
     const StatGroup *child(const std::string &name) const;
+
+    /** Registered stats in registration order (exporters walk these). */
+    const std::vector<std::pair<std::string, Counter *>> &
+    counterEntries() const
+    {
+        return counters;
+    }
+    const std::vector<std::pair<std::string, Distribution *>> &
+    distributionEntries() const
+    {
+        return dists;
+    }
+    const std::vector<std::pair<std::string, Histogram *>> &
+    histogramEntries() const
+    {
+        return hists;
+    }
 
     /**
      * Dump this subtree as one JSON object:
      * {"name": ..., "counters": {...}, "distributions": {...},
-     *  "children": [...]}. Distributions emit count, sum, mean,
-     *  min/max and p50/p95/p99 (moments omitted when empty).
+     *  "histograms": {...}, "children": [...]}. Distributions emit
+     *  count, sum, mean, min/max and p50/p95/p99 (moments omitted
+     *  when empty); histograms emit their one-line summary. The
+     *  histograms section appears only when at least one histogram
+     *  is registered, so groups that never use them dump exactly as
+     *  before.
      */
     void dumpJson(std::ostream &os, int indent = 0) const;
 
@@ -161,6 +186,7 @@ class StatGroup
     std::vector<StatGroup *> kids;
     std::vector<std::pair<std::string, Counter *>> counters;
     std::vector<std::pair<std::string, Distribution *>> dists;
+    std::vector<std::pair<std::string, Histogram *>> hists;
 };
 
 } // namespace xpc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Windowed time-series over the simulated cycle clock.
+ *
+ * A TimeSeries buckets events into fixed-width windows of simulated
+ * cycles and keeps one value per window per named channel. Counter
+ * channels accumulate (offered requests, goodput, sheds); gauge
+ * channels keep the last sample of the window and carry it forward
+ * across empty windows (in-flight depth, admission backlog, breaker
+ * state), so curves render as step functions. This is what makes
+ * overload dynamics *visible*: metastable-failure onset shows up as
+ * the goodput channel decaying while offered stays flat, and
+ * post-crash recovery time is the gap until goodput returns to its
+ * pre-kill level.
+ *
+ * Everything is keyed by caller-supplied simulated timestamps, so
+ * recording costs no simulated cycles and two same-seed runs produce
+ * byte-identical series. Export targets: a stable JSON document (one
+ * array per channel, window order) for the BENCH/loadgen reports,
+ * and Perfetto counter tracks (one "C" event per window) so the
+ * curves land beside the causal trace in the same UI.
+ */
+
+#ifndef XPC_SIM_TIMESERIES_HH
+#define XPC_SIM_TIMESERIES_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace xpc::trace {
+class Tracer;
+}
+
+namespace xpc {
+
+class TimeSeries
+{
+  public:
+    using ChannelId = size_t;
+
+    explicit TimeSeries(Cycles window_cycles);
+
+    uint64_t windowCycles() const { return window; }
+
+    /** Create (or find) an accumulating channel named @p name. */
+    ChannelId counterChannel(const std::string &name);
+    /** Create (or find) a last-sample-wins channel named @p name. */
+    ChannelId gaugeChannel(const std::string &name);
+
+    /** Accumulate @p n into @p ch's window containing cycle @p t. */
+    void add(ChannelId ch, uint64_t t, double n = 1);
+
+    /** Record gauge sample @p v at cycle @p t (last in window wins). */
+    void sample(ChannelId ch, uint64_t t, double v);
+
+    /** Windows materialized so far (max over channels). */
+    size_t windowCount() const;
+
+    /**
+     * Value of @p ch in window @p w: counters default to 0, gauges
+     * carry the last earlier sample forward (NaN before the first).
+     */
+    double at(ChannelId ch, size_t w) const;
+
+    /** Drop all recorded values; channels and window width stay. */
+    void reset();
+
+    /**
+     * Stable JSON: {"window_cycles":W,"windows":N,
+     * "channels":{"name":[...],...}} with channels in creation order
+     * and non-finite values as null.
+     */
+    void dumpJson(std::ostream &os, int indent = 0) const;
+
+    /**
+     * Emit one Perfetto counter sample per channel per window at the
+     * window-start timestamp onto lane @p tid. No-op while the
+     * tracer is disabled. The channel names are handed to the tracer
+     * by pointer, so this TimeSeries must outlive the trace export
+     * (the same static-lifetime rule every probe site follows).
+     */
+    void exportCounterTracks(trace::Tracer &tracer,
+                             uint32_t tid) const;
+
+  private:
+    struct Channel
+    {
+        std::string name;
+        bool isGauge = false;
+        std::vector<double> vals;
+        std::vector<uint8_t> seen; ///< gauge: window has a sample
+    };
+
+    ChannelId makeChannel(const std::string &name, bool gauge);
+    void ensureWindow(Channel &ch, size_t w);
+
+    uint64_t window;
+    /** deque: stable element addresses for the exported name ptrs. */
+    std::deque<Channel> channels;
+};
+
+} // namespace xpc
+
+#endif // XPC_SIM_TIMESERIES_HH

@@ -123,6 +123,23 @@ TEST(WeightedCdfTest, CumulativeFractionMonotone)
     EXPECT_DOUBLE_EQ(cdf.cumulativeAt(1 << 20), 1.0);
 }
 
+TEST(WeightedCdfTest, BelowFirstKeyAndEmptyAreZero)
+{
+    WeightedCdf empty;
+    EXPECT_DOUBLE_EQ(empty.totalWeight(), 0.0);
+    // Empty cdf: no mass anywhere, and no division by zero.
+    EXPECT_DOUBLE_EQ(empty.cumulativeAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.cumulativeAt(~uint64_t(0)), 0.0);
+
+    WeightedCdf cdf;
+    cdf.add(100, 1);
+    // Every key strictly below the first bucket carries zero mass,
+    // including key 0.
+    EXPECT_DOUBLE_EQ(cdf.cumulativeAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.cumulativeAt(99), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.cumulativeAt(100), 1.0);
+}
+
 TEST(CounterTest, IncrementAndReset)
 {
     Counter c;
@@ -153,6 +170,44 @@ TEST(DistributionTest, QuantileEndpointsAreMinAndMax)
     EXPECT_DOUBLE_EQ(d.quantile(1.0), 11.0);
     EXPECT_DOUBLE_EQ(d.quantile(0.0), d.min());
     EXPECT_DOUBLE_EQ(d.quantile(1.0), d.max());
+}
+
+TEST(DistributionTest, SingleSampleEveryQuantileIsTheSample)
+{
+    Distribution d;
+    d.add(42.0);
+    // pos = q * (n-1) = 0 for every q: lo == hi == 0, no
+    // interpolation partner to index past the end.
+    for (double q : {0.0, 0.25, 0.5, 0.99, 0.999, 1.0})
+        EXPECT_DOUBLE_EQ(d.quantile(q), 42.0) << "q=" << q;
+}
+
+TEST(DistributionTest, DuplicateHeavySamplesInterpolateExactly)
+{
+    // 99 copies of 5 and one 10: every quantile up to p98 sits inside
+    // the run of fives; only the very top interpolates toward 10.
+    Distribution d;
+    for (int i = 0; i < 99; i++)
+        d.add(5.0);
+    d.add(10.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.98), 5.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 10.0);
+    // pos = 0.999 * 99 = 98.901: between the last 5 and the 10.
+    EXPECT_NEAR(d.quantile(0.999), 5.0 + 0.901 * 5.0, 1e-9);
+}
+
+TEST(DistributionTest, QuantileNearOneDoesNotIndexPastEnd)
+{
+    // Regression: q just below 1 can make ceil(q * (n-1)) exceed
+    // n-1 through floating error; the indices must clamp.
+    Distribution d;
+    for (int i = 1; i <= 7; i++)
+        d.add(double(i));
+    double v = d.quantile(0.9999999999999999);
+    EXPECT_GE(v, d.min());
+    EXPECT_LE(v, d.max());
 }
 
 TEST(DistributionTest, QuantileOutOfRangePanics)

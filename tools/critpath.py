@@ -237,7 +237,10 @@ def report_top(reqs):
     span_totals = defaultdict(int)
     durations = []
     rows = []
-    outcome_counts = defaultdict(int)
+    # End-to-end durations bucketed by outcome class: shed requests
+    # are cheap and fast, timeouts pin the tail, so one blended
+    # percentile hides exactly the split that matters.
+    outcome_durations = defaultdict(list)
     # Outcome counts split by tenant; only printed when some request
     # carries a tenant stamp, so single-tenant output is unchanged.
     tenant_counts = defaultdict(lambda: defaultdict(int))
@@ -248,7 +251,7 @@ def report_top(reqs):
         durations.append(end - start)
         rows.append((rid, end - start, outcome_class(r.outcome),
                      r.tenant))
-        outcome_counts[outcome_class(r.outcome)] += 1
+        outcome_durations[outcome_class(r.outcome)].append(end - start)
         tenant_counts[r.tenant][outcome_class(r.outcome)] += 1
         if r.tenant is not None:
             tenanted = True
@@ -257,17 +260,23 @@ def report_top(reqs):
     durations.sort()
     grand = sum(span_totals.values())
 
-    def quantile(q):
-        if not durations:
+    def quantile_of(sorted_vals, q):
+        if not sorted_vals:
             return 0
-        return durations[min(len(durations) - 1,
-                             int(q * len(durations)))]
+        return sorted_vals[min(len(sorted_vals) - 1,
+                               int(q * len(sorted_vals)))]
+
+    def quantile(q):
+        return quantile_of(durations, q)
 
     print(f"critpath top: {len(reqs)} request(s), end-to-end "
           f"p50 {quantile(0.5)} / p99 {quantile(0.99)} cycles")
-    print("  outcomes: " +
-          ", ".join(f"{k} {v}" for k, v in
-                    sorted(outcome_counts.items())))
+    print("  outcomes:")
+    for outcome, durs in sorted(outcome_durations.items()):
+        durs = sorted(durs)
+        print(f"    {outcome:<14} {len(durs):>6}  "
+              f"p50 {quantile_of(durs, 0.5):>8}  "
+              f"p99 {quantile_of(durs, 0.99):>8} cyc")
     if tenanted:
         for tenant in sorted(tenant_counts,
                              key=lambda t: (t is None, t)):

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Render and gate the goodput-vs-offered-load sweep of bench_tail.
+
+Usage:
+    latency.py [--check] [--retention MIN] BENCH_tail.json
+
+Reads the report written by bench/bench_tail.cc and prints the
+goodput-vs-offered-load curve (an ASCII plot plus the per-point
+table) and the per-service latency percentiles at every sweep point.
+
+With --check the tool also gates the open-loop acceptance claims and
+exits non-zero when any fails:
+  * the same-seed replay was byte-identical (same_seed_identical == 1)
+  * goodput saturates instead of collapsing: goodput at the highest
+    overload point retains at least --retention (default 0.75) of the
+    goodput at the knee (1x)
+  * every sweep point carries non-empty per-service distributions
+    with finite p50/p99/p999
+
+Exit status: 0 = ok, 1 = a --check claim failed, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def sweep_points(metrics):
+    """[(multiplier, offered, goodput)] sorted by multiplier."""
+    points = []
+    for key, offered in metrics.items():
+        if not key.startswith("offered_per_mcycle."):
+            continue
+        tag = key.split(".", 1)[1]  # "0.25x"
+        mult = float(tag[:-1])
+        goodput = metrics.get("goodput_per_mcycle." + tag)
+        if goodput is None:
+            continue
+        points.append((mult, tag, offered, goodput))
+    return sorted(points)
+
+
+def ascii_curve(points, width=48):
+    top = max(max(o for _, _, o, _ in points),
+              max(g for _, _, _, g in points))
+    if top <= 0:
+        return
+    print("\n  goodput (#) vs offered (|) per Mcycle")
+    for _, tag, offered, goodput in points:
+        gbar = int(round(goodput / top * width))
+        obar = int(round(offered / top * width))
+        line = ["."] * (width + 1)
+        for i in range(min(gbar, width)):
+            line[i] = "#"
+        line[min(obar, width)] = "|"
+        print(f"  {tag:>6} {''.join(line)} {goodput:7.1f}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="render/gate the bench_tail sweep")
+    ap.add_argument("report", help="BENCH_tail.json")
+    ap.add_argument("--check", action="store_true",
+                    help="gate the acceptance claims")
+    ap.add_argument("--retention", type=float, default=0.75,
+                    help="min goodput retention at max overload")
+    args = ap.parse_args()
+
+    report = load(args.report)
+    metrics = report.get("metrics", {})
+    dists = report.get("distributions", {})
+    points = sweep_points(metrics)
+    if not points:
+        print("error: no sweep points in report", file=sys.stderr)
+        sys.exit(2)
+
+    cap = metrics.get("capacity_per_mcycle")
+    if cap is not None:
+        print(f"calibrated capacity: {cap:.1f} req/Mcycle")
+    ascii_curve(points)
+
+    services = ("kv", "httpd", "fs")
+    print(f"\n  {'point':>6} {'offered':>8} {'goodput':>8}  "
+          + "  ".join(f"{s + ' p50/p99/p999':>24}" for s in services))
+    for _, tag, offered, goodput in points:
+        cells = []
+        for svc in services:
+            d = dists.get(f"{tag}.{svc}")
+            if d:
+                cells.append(f"{d['p50']:.0f}/{d['p99']:.0f}/"
+                             f"{d['p999']:.0f}".rjust(24))
+            else:
+                cells.append("-".rjust(24))
+        print(f"  {tag:>6} {offered:8.1f} {goodput:8.1f}  "
+              + "  ".join(cells))
+
+    if not args.check:
+        return
+
+    failures = []
+    if metrics.get("same_seed_identical") != 1:
+        failures.append("same-seed replay was not byte-identical")
+
+    knee = next((g for m, _, _, g in points if m == 1.0), None)
+    peak_mult, _, _, peak_goodput = points[-1]
+    if knee is None or knee <= 0:
+        failures.append("no 1x knee point in the sweep")
+    elif peak_mult > 1.0 and peak_goodput < args.retention * knee:
+        failures.append(
+            f"goodput collapsed: {peak_goodput:.1f} at {peak_mult}x "
+            f"< {args.retention} * {knee:.1f} at 1x")
+
+    for _, tag, _, _ in points:
+        for svc in services:
+            d = dists.get(f"{tag}.{svc}")
+            if not d or d.get("count", 0) == 0:
+                failures.append(f"missing distribution {tag}.{svc}")
+                continue
+            for q in ("p50", "p99", "p999"):
+                v = d.get(q)
+                if v is None or not math.isfinite(v):
+                    failures.append(f"{tag}.{svc}.{q} not finite")
+
+    if failures:
+        print("\nCHECK FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print("\ncheck ok: deterministic, saturating, fully "
+          "distributed-percentiled")
+
+
+if __name__ == "__main__":
+    main()
