@@ -14,6 +14,17 @@
  * it must not collapse. A same-seed replay of the 1.0x point must be
  * byte-identical; both claims are exported as metrics the analyzer
  * (tools/latency.py --check) gates on.
+ *
+ * A second sweep runs the same points with circuit breakers armed
+ * (the rig's default 60 kcycle cooldown): admission sheds feed
+ * noteFailure(), so past the knee the breakers trip and requests
+ * short-circuit instead of queueing toward a deadline they would
+ * miss anyway. Below the knee the breakers never trip and both
+ * curves coincide; past it quarantine reshapes the curve - measured,
+ * per point, as goodput_per_mcycle.breakers.<tag>. The pathological
+ * flip side (a cooldown that never re-probes, turning the same
+ * breakers into a permanent metastable trap) is bench_metastable's
+ * experiment.
  */
 
 #include <benchmark/benchmark.h>
@@ -71,6 +82,7 @@ printTable()
            "kv/httpd/fs mix)");
 
     double capacity = calibrateCapacity();
+    report.hostMark("calibrate");
     report.metric("capacity_per_mcycle", capacity);
     report.config("seed", double(sweepSeed));
     report.config("requests", double(sweepRequests));
@@ -118,6 +130,8 @@ printTable()
             goodput_at_2x = res.goodputPerMcycle();
     }
 
+    report.hostMark("sweep");
+
     // Saturation, not collapse: at 2x overload the mesh must still
     // deliver most of what it delivered at the knee.
     double retention =
@@ -127,6 +141,40 @@ printTable()
                 "(must stay >= 0.75: saturate, don't collapse)\n",
                 retention);
 
+    // The same sweep with breakers armed: sheds feed noteFailure(),
+    // so overload trips the breakers and excess requests fail fast
+    // instead of queueing. Measured, not asserted - the analyzer
+    // renders both curves side by side.
+    banner("Same sweep, circuit breakers armed");
+    row({"offered/cap", "goodput", "breaker", "shed"}, 12);
+    double breakers_at_2x = 0;
+    for (double m : multipliers) {
+        apps::LoadGenOptions o = optionsFor(m * capacity);
+        o.breakers = true;
+        apps::LoadGen gen(o);
+        const apps::LoadGenResult &res = gen.run();
+        std::string tag = fmt("%g", m) + "x";
+        report.metric("goodput_per_mcycle.breakers." + tag,
+                      res.goodputPerMcycle());
+        report.metric(
+            "breaker.breakers." + tag,
+            double(res.counts[size_t(apps::LoadOutcome::Breaker)]));
+        row({tag, fmt("%.1f", res.goodputPerMcycle()),
+             fmtU(res.counts[size_t(apps::LoadOutcome::Breaker)]),
+             fmtU(res.counts[size_t(apps::LoadOutcome::Shed)])},
+            12);
+        if (m == 2.0)
+            breakers_at_2x = res.goodputPerMcycle();
+    }
+    double breaker_retention =
+        goodput_at_1x > 0 ? breakers_at_2x / goodput_at_1x : 0;
+    report.metric("overload_goodput_retention.breakers",
+                  breaker_retention);
+    std::printf("\n2x-overload retention with breakers: %.2f "
+                "(vs %.2f without)\n",
+                breaker_retention, retention);
+    report.hostMark("breakers_sweep");
+
     // Same-seed replay of the 1.0x point must be byte-identical.
     std::string a = runPointJson(capacity);
     std::string b = runPointJson(capacity);
@@ -135,6 +183,7 @@ printTable()
     std::printf("same-seed replay byte-identical: %s\n",
                 identical ? "yes" : "NO");
     panic_if(!identical, "same-seed loadgen replay diverged");
+    report.hostMark("replay_check");
 }
 
 void

@@ -8,6 +8,7 @@
 #ifndef XPC_BENCH_BENCH_UTIL_HH
 #define XPC_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +17,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/recording_transport.hh"
@@ -69,6 +71,14 @@ fmtU(uint64_t v)
  * working directory) when write() is called or the report is
  * destroyed. tools/stats_diff.py compares two such files and fails
  * on regressions.
+ *
+ * Host wall-clock goes to a *sidecar* file, `HOST_<name>.json`:
+ * hostMark() attributes the ms since the previous mark (or
+ * construction) to a named phase, and write() adds the run total.
+ * Wall time is inherently non-deterministic, so it must never touch
+ * BENCH_<name>.json - the determinism gates byte-compare those, and
+ * stats_diff.py's BENCH_*.json glob skips the sidecar by name
+ * (ROADMAP item 5: host-cost profiling).
  */
 class BenchReport
 {
@@ -148,6 +158,28 @@ class BenchReport
         dists[key] = os.str();
     }
 
+    /** Embed a pre-rendered JSON value as top-level key @p key
+     *  (regime timelines, recovery tables). The value must itself be
+     *  deterministic: it lands in the byte-compared file. */
+    void
+    section(const std::string &key, std::string json)
+    {
+        sections[key] = std::move(json);
+    }
+
+    /** Attribute host wall-clock since the last mark (or since
+     *  construction) to @p phase_name in the HOST_ sidecar. */
+    void
+    hostMark(const std::string &phase_name)
+    {
+        auto now = std::chrono::steady_clock::now();
+        hostPhases.emplace_back(
+            phase_name,
+            std::chrono::duration<double, std::milli>(now - hostLast)
+                .count());
+        hostLast = now;
+    }
+
     /** Embed a full registry dump under "stats". */
     void
     attachStats(StatGroup &root)
@@ -190,9 +222,12 @@ class BenchReport
             mm[k] = num(v);
         obj("phases", mm);
         obj("distributions", dists);
+        for (const auto &[k, v] : sections)
+            out << ",\n  \"" << k << "\": " << v;
         if (!statsJson.empty())
             out << ",\n  \"stats\": " << statsJson;
         out << "\n}\n";
+        writeHostSidecar(dir);
         return path;
     }
 
@@ -213,12 +248,35 @@ class BenchReport
         return buf;
     }
 
+    void
+    writeHostSidecar(const char *dir)
+    {
+        std::string path = (dir && *dir ? std::string(dir) + "/" : "");
+        path += "HOST_" + name + ".json";
+        std::ofstream out(path);
+        if (!out)
+            return;
+        double total = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - hostStart)
+                           .count();
+        out << "{\n  \"bench\": \"" << name
+            << "\",\n  \"host_ms\": {\n    \"total\": " << num(total);
+        for (const auto &[k, v] : hostPhases)
+            out << ",\n    \"" << k << "\": " << num(v);
+        out << "\n  }\n}\n";
+    }
+
     std::string name;
     std::map<std::string, std::string> configs;
     std::map<std::string, double> metrics;
     std::map<std::string, double> phases;
     std::map<std::string, std::string> dists;
+    std::map<std::string, std::string> sections;
     std::string statsJson;
+    std::vector<std::pair<std::string, double>> hostPhases;
+    std::chrono::steady_clock::time_point hostStart =
+        std::chrono::steady_clock::now();
+    std::chrono::steady_clock::time_point hostLast = hostStart;
     bool written = false;
 };
 

@@ -2,7 +2,7 @@
  * @file
  * Open-loop tail-latency quickstart (DESIGN.md §4h).
  *
- * Drives the two-tenant supervised mesh (fs, httpd, kv) with a
+ * Drives the N-tenant supervised mesh (fs, httpd, kv) with a
  * seeded Poisson arrival schedule at a configured offered rate and
  * prints the per-service / per-tenant / per-outcome latency
  * histograms plus the windowed goodput curves. Build & run:
@@ -39,11 +39,15 @@ usage()
         "  --rate R       offered requests per Mcycle (default 300)\n"
         "  --requests N   schedule length (default 2000)\n"
         "  --seed S       schedule seed (default 42)\n"
-        "  --tenants N    1 or 2 tenants (default 2)\n"
+        "  --tenants N    tenants, 1..8 (default 2)\n"
+        "  --theta T      Zipf skew for tenant 1 (default 0.99)\n"
+        "  --theta-step D tenant t draws keys at theta - (t-1)*D\n"
         "  --deadline D   per-request deadline cycles, 0 = none\n"
         "                 (default 400000)\n"
         "  --window W     time-series window cycles (default 100000)\n"
         "  --breakers     enable circuit breakers (default off)\n"
+        "  --knee K       capacity knee per Mcycle; enables the SLO\n"
+        "                 regime tracker (default off)\n"
         "  --json         full JSON document on stdout\n");
 }
 
@@ -72,6 +76,12 @@ main(int argc, char **argv)
             opts.seed = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--tenants") {
             opts.tenants = uint32_t(std::atoi(next()));
+        } else if (arg == "--theta") {
+            opts.zipfTheta = std::atof(next());
+        } else if (arg == "--theta-step") {
+            opts.zipfThetaStep = std::atof(next());
+        } else if (arg == "--knee") {
+            opts.slo.kneePerMcycle = std::atof(next());
         } else if (arg == "--deadline") {
             opts.deadlineCycles = Cycles(
                 std::strtoull(next(), nullptr, 0));
@@ -88,7 +98,8 @@ main(int argc, char **argv)
         }
     }
     if (opts.offeredPerMcycle <= 0 || opts.tenants < 1 ||
-        opts.tenants > 2 || opts.windowCycles.value() == 0) {
+        opts.tenants > apps::TenantRig::maxTenants ||
+        opts.windowCycles.value() == 0) {
         usage();
         return 2;
     }
@@ -102,6 +113,8 @@ main(int argc, char **argv)
     trace::Tracer &tracer = trace::Tracer::global();
     if (tracer.enabled()) {
         res.series.exportCounterTracks(tracer, 999);
+        for (const auto &t : res.sloTrackers)
+            t->exportTrace(tracer, 998);
         const char *path = "loadgen_trace.json";
         if (tracer.exportChromeJson(path))
             std::fprintf(stderr, "trace -> %s\n", path);
@@ -122,6 +135,14 @@ main(int argc, char **argv)
                     apps::loadOutcomeName(apps::LoadOutcome(i)),
                     (unsigned long long)res.counts[i]);
     std::printf("\n");
+    if (const slo::RegimeTracker *t = res.sloAll()) {
+        std::printf("slo[all]: healthy=%llu overloaded=%llu "
+                    "metastable=%llu transitions=%llu\n",
+                    (unsigned long long)t->windowsHealthy.value(),
+                    (unsigned long long)t->windowsOverloaded.value(),
+                    (unsigned long long)t->windowsMetastable.value(),
+                    (unsigned long long)t->transitionCount.value());
+    }
     for (size_t i = 0; i < 3; i++) {
         const Histogram &h = res.latencyService[i];
         if (h.count() == 0)

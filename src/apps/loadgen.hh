@@ -16,13 +16,23 @@
  * actually show the admission knee).
  *
  * Each request draws tenant, service (kv / httpd / fs, weighted) and
- * a Zipfian key from one seeded Rng in a fixed per-request order, so
- * the schedule is a pure function of the seed and never depends on
- * outcomes: two same-seed runs are byte-identical, shed or not.
- * Requests whose arrival-anchored deadline has already passed before
- * they are issued are abandoned client-side (the open-loop analogue
- * of a caller hanging up), which is what lets goodput saturate
- * instead of collapsing under 2x overload.
+ * a Zipfian key (from the drawn tenant's own generator, each with its
+ * own skew) in a fixed per-request order, so the schedule is a pure
+ * function of the seed and never depends on outcomes: two same-seed
+ * runs are byte-identical, shed or not. Requests whose arrival-
+ * anchored deadline has already passed before they are issued are
+ * abandoned client-side (the open-loop analogue of a caller hanging
+ * up), which is what lets goodput saturate instead of collapsing
+ * under 2x overload.
+ *
+ * The rate can be *phased* (ramp past the knee, ramp back down - the
+ * hysteresis experiment), a service kill can be scheduled mid-run
+ * (crash-mid-surge), and with an SloSpec attached the run classifies
+ * every time-series window into healthy / overloaded / metastable
+ * regimes and reports recovery times relative to the recorded marks
+ * (phase boundaries, the injected fault, supervisor restarts). All
+ * of that is default-off; the plain configuration behaves exactly
+ * like the PR-7 generator.
  *
  * Results land in per-service, per-tenant and per-outcome fixed-
  * memory Histograms plus a windowed TimeSeries (offered, goodput,
@@ -34,13 +44,27 @@
 #define XPC_APPS_LOADGEN_HH
 
 #include <memory>
+#include <vector>
 
 #include "apps/tenant_rig.hh"
 #include "sim/histogram.hh"
 #include "sim/random.hh"
+#include "sim/slo.hh"
 #include "sim/timeseries.hh"
 
 namespace xpc::apps {
+
+/** One segment of a phased offered-load schedule. */
+struct LoadPhase
+{
+    /** Offered arrival rate in this phase, requests per Mcycle. */
+    double offeredPerMcycle = 0;
+    /** Requests drawn in this phase. */
+    uint64_t requests = 0;
+    /** Non-empty: record a mark with this name at the phase's last
+     *  scheduled arrival ("surge_end", ...). */
+    std::string markName;
+};
 
 struct LoadGenOptions
 {
@@ -50,7 +74,13 @@ struct LoadGenOptions
     double offeredPerMcycle = 300;
     /** Total requests in the schedule. */
     uint64_t requests = 2000;
-    /** 1 or 2 tenants drawing from the same schedule. */
+    /**
+     * Phased schedule (hysteresis ramps); empty = a single phase of
+     * (offeredPerMcycle, requests). When set, it replaces both.
+     */
+    std::vector<LoadPhase> phases;
+    /** Tenants drawing from the same schedule,
+     *  1..TenantRig::maxTenants. */
     uint32_t tenants = 2;
     /** Service mix weights (kv-heavy by default, like YCSB). */
     uint32_t kvWeight = 6;
@@ -58,6 +88,11 @@ struct LoadGenOptions
     uint32_t fsWeight = 1;
     /** Zipfian key universe for the kv workload. */
     uint64_t zipfKeys = 256;
+    /** Tenant t (0-based) draws keys with skew
+     *  theta = zipfTheta - t * zipfThetaStep (clamped to [0, 0.999]):
+     *  per-tenant popularity profiles from one seed. */
+    double zipfTheta = 0.99;
+    double zipfThetaStep = 0.0;
     /** Arrival-anchored deadline per request; 0 = none. */
     Cycles deadlineCycles{400000};
     /** TimeSeries window width. */
@@ -75,6 +110,28 @@ struct LoadGenOptions
      * measure exactly that cliff.
      */
     bool breakers = false;
+    /** Override the rig's breaker cooldown (0 = rig default). The
+     *  metastable experiment sets this far past the run length so an
+     *  open breaker never probes its way closed. */
+    Cycles breakerCooldownCycles{0};
+    /**
+     * Crash injection: just before drawing request #killAtRequest
+     * (1-based; 0 = off), kill killTenant's service #killService
+     * (TenantRig victim index, 5 = kv) and record a "fault" mark.
+     */
+    uint64_t killAtRequest = 0;
+    kernel::TenantId killTenant = TenantRig::tenantA;
+    uint32_t killService = 5;
+    /** Supervisor::autoHeal: false leaves crashed services down. */
+    bool healing = true;
+    /**
+     * SLO health layer (DESIGN.md §4i). Default-off: a zero knee
+     * skips regime tracking entirely and the JSON document keeps its
+     * PR-7 shape. With a calibrated knee the run adds per-(tenant,
+     * service) offered/goodput channels, classifies every window,
+     * and emits the regime timeline + recovery table under "slo".
+     */
+    slo::SloSpec slo;
 };
 
 /** Client-observed fate of one scheduled request. */
@@ -103,9 +160,16 @@ struct LoadGenResult
     /** Arrival-to-completion latency, cycles. */
     Histogram latencyAll;
     Histogram latencyService[3]; ///< kv, httpd, fs
-    Histogram latencyTenant[2];
+    std::vector<Histogram> latencyTenant;
     Histogram latencyOutcome[loadOutcomeCount];
     TimeSeries series;
+
+    /** Timeline annotations (phase marks, fault, restarts). */
+    std::vector<slo::Mark> marks;
+
+    /** Regime trackers, populated after run() when slo.enabled():
+     *  [0] aggregate "all", then one per (tenant, service). */
+    std::vector<std::unique_ptr<slo::RegimeTracker>> sloTrackers;
 
     static const char *const serviceNames[3];
 
@@ -113,6 +177,23 @@ struct LoadGenResult
     uint64_t elapsedCycles() const { return endCycle - startCycle; }
     double goodputPerMcycle() const;
     double offeredPerMcycleActual() const;
+    /** Total requests across the effective phase list. */
+    uint64_t scheduledRequests() const;
+
+    /** The aggregate tracker (null unless slo.enabled()). */
+    const slo::RegimeTracker *sloAll() const
+    {
+        return sloTrackers.empty() ? nullptr : sloTrackers[0].get();
+    }
+
+    /** Tracker by label ("kv@t1", "all"); null when absent. */
+    const slo::RegimeTracker *sloFor(const std::string &label) const
+    {
+        for (const auto &t : sloTrackers)
+            if (t->label() == label)
+                return t.get();
+        return nullptr;
+    }
 
     /** One stable JSON document (same seed => same bytes). */
     void dumpJson(std::ostream &os) const;
@@ -135,12 +216,16 @@ class LoadGen
     LoadOutcome issue(kernel::TenantId tenant, uint32_t svc,
                       uint64_t key, bool is_put);
     void sampleGauges(uint64_t now);
+    void evaluateSlo();
 
     LoadGenOptions opts;
+    /** The effective schedule: opts.phases, or the one implicit
+     *  phase. */
+    std::vector<LoadPhase> schedule;
     std::unique_ptr<TenantRig> rig_;
     LoadGenResult res;
     Rng rng;
-    Zipfian zipf;
+    std::vector<Zipfian> zipfs; ///< one per tenant, per-tenant skew
 
     TimeSeries::ChannelId chOffered = 0;
     TimeSeries::ChannelId chGoodput = 0;
@@ -150,6 +235,10 @@ class LoadGen
     TimeSeries::ChannelId chAbandoned = 0;
     TimeSeries::ChannelId chBacklog = 0;
     TimeSeries::ChannelId chBreakers = 0;
+    /** Per (tenant, service) curves, slo.enabled() only:
+     *  [t * 3 + svc]. */
+    std::vector<TimeSeries::ChannelId> chSvcOffered;
+    std::vector<TimeSeries::ChannelId> chSvcGoodput;
 };
 
 } // namespace xpc::apps

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/fault_injector.hh"
+#include "sim/logging.hh"
 
 namespace xpc::apps {
 
@@ -64,16 +65,19 @@ TenantRig::TenantRig(const TenantRigOptions &options) : opts(options)
         sup->breakerOpts.cooldownCycles = Cycles(60000);
     }
 
-    stacks[0].tenant = tenantA;
-    stacks[1].tenant = tenantB;
-    buildStack(stacks[0]);
-    buildStack(stacks[1]);
+    panic_if(options.tenants < 1 || options.tenants > maxTenants,
+             "tenants must be in 1..%u", maxTenants);
+    for (uint32_t t = 0; t < options.tenants; t++) {
+        stacks.emplace_back();
+        stacks.back().tenant = tenantOf(t);
+        buildStack(stacks.back());
+    }
 }
 
 TenantRig::Stack &
 TenantRig::stack(kernel::TenantId tenant)
 {
-    assert(tenant == tenantA || tenant == tenantB);
+    assert(tenant >= tenantA && tenant <= stacks.size());
     return stacks[tenant - tenantA];
 }
 

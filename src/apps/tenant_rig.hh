@@ -1,8 +1,9 @@
 /**
  * @file
- * A two-tenant supervised service stack for the tenant-containment
- * suite and the examples/tenants demo (ROADMAP item 4, modeled on
- * xv6 mount-namespace/pouch-style container isolation).
+ * An N-tenant supervised service stack (two by default) for the
+ * tenant-containment suite, the examples/tenants demo and the
+ * open-loop load generator (ROADMAP item 4, modeled on xv6
+ * mount-namespace/pouch-style container isolation).
  *
  * Each tenant owns a full copy of the three chaos workloads - fs
  * (fs -> blockdev), web (http -> cache -> crypto) and kv - wired
@@ -18,6 +19,7 @@
 #ifndef XPC_APPS_TENANT_RIG_HH
 #define XPC_APPS_TENANT_RIG_HH
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,6 +45,9 @@ struct TenantRigOptions
     core::SystemFlavor flavor = core::SystemFlavor::Sel4Xpc;
     /** Refuse cross-tenant grants/calls at the transport. */
     bool enforceTenancy = true;
+    /** Tenants to build, 1..maxTenants; tenant ids are 1..N. The
+     *  historical two-tenant layout stays the default. */
+    uint32_t tenants = 2;
     /** Per-call budget, enforced on every hop (stalls unwind). */
     Cycles deadlineCycles{150000};
     /** XPC watchdog for hung servers. */
@@ -58,12 +63,18 @@ struct TenantRigOptions
     bool admitAll = false;
 };
 
-/** Two tenants x (fs, kv, web), supervised, under one transport. */
+/** N tenants x (fs, kv, web), supervised, under one transport. */
 class TenantRig
 {
   public:
     static constexpr kernel::TenantId tenantA = 1;
     static constexpr kernel::TenantId tenantB = 2;
+    static constexpr uint32_t maxTenants = 8;
+    /** Tenant id of stack index @p ix (ids are 1-based). */
+    static constexpr kernel::TenantId tenantOf(uint32_t ix)
+    {
+        return kernel::TenantId(ix + 1);
+    }
     static constexpr uint64_t diskBlocks = 2048;
     static constexpr uint64_t httpMaxBody = 4096;
     /** Sentinel for "the transport/retry layer gave up". */
@@ -100,6 +111,9 @@ class TenantRig
     };
 
     Stack &stack(kernel::TenantId tenant);
+
+    /** Stacks actually built (== options.tenants). */
+    uint32_t tenantCount() const { return uint32_t(stacks.size()); }
 
     /** Tallies of one tenant's client operations. */
     struct OpCounts
@@ -168,7 +182,9 @@ class TenantRig
     std::unique_ptr<services::NameServer> ns;
     std::unique_ptr<services::Supervisor> sup;
 
-    Stack stacks[2];
+    /** deque: supervise() restart lambdas capture Stack&, so element
+     *  addresses must survive growth. */
+    std::deque<Stack> stacks;
 
     // Every instance ever started is kept alive: transport-side
     // handler closures reference them by pointer.

@@ -85,6 +85,8 @@ Supervisor::healEntry(const Key &key, Entry &entry)
         recoveries.inc();
         trace::Tracer::global().instantNow("supervisor", "recover", 0,
                                            traceLabel(key));
+        if (onLifecycle)
+            onLifecycle("recover", key.second, key.first);
     }
     // rebind, not bind: the restarted instance deliberately takes
     // its old name over from the dead one.
@@ -101,6 +103,8 @@ Supervisor::healEntry(const Key &key, Entry &entry)
     restarts.inc();
     trace::Tracer::global().instantNow("supervisor", "restart", 0,
                                        traceLabel(key));
+    if (onLifecycle)
+        onLifecycle("restart", key.second, key.first);
     return true;
 }
 
@@ -221,7 +225,8 @@ Supervisor::callWithRetry(hw::Core &core, kernel::Thread &client,
             breakerRejected.inc();
             continue;
         }
-        heal(tenant);
+        if (autoHeal)
+            heal(tenant);
         core::ServiceId svc = currentId(name, tenant);
         // Re-authorize every attempt: a restarted service means the
         // old capability grant died with the old instance.

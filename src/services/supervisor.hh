@@ -144,6 +144,26 @@ class Supervisor
     core::TransportStatus lastStatus = core::TransportStatus::Ok;
 
     /**
+     * When false, callWithRetry stops healing dead services before
+     * each attempt: calls to a crashed service keep failing with
+     * ServiceDead until someone invokes heal() explicitly. The
+     * crash-mid-surge experiment flips this off to measure what
+     * recovery time looks like *without* supervision.
+     */
+    bool autoHeal = true;
+
+    /**
+     * Lifecycle observer for the SLO health layer: invoked once per
+     * healed service with event "recover" (stateful recovery hook
+     * ran) and then "restart" (fresh instance re-bound). Observers
+     * annotate regime timelines; they must not call back into the
+     * supervisor.
+     */
+    std::function<void(const char *event, const std::string &name,
+                       kernel::TenantId tenant)>
+        onLifecycle;
+
+    /**
      * Breaker tunables for every supervised service; set before the
      * first callWithRetry (breakers are created lazily per name).
      * Default-off: callWithRetry then never consults a breaker.

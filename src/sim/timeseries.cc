@@ -62,6 +62,18 @@ TimeSeries::makeChannel(const std::string &name, bool gauge)
     return channels.size() - 1;
 }
 
+bool
+TimeSeries::findChannel(const std::string &name, ChannelId &out) const
+{
+    for (size_t i = 0; i < channels.size(); i++) {
+        if (channels[i].name == name) {
+            out = i;
+            return true;
+        }
+    }
+    return false;
+}
+
 TimeSeries::ChannelId
 TimeSeries::counterChannel(const std::string &name)
 {

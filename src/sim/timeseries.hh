@@ -58,6 +58,10 @@ class TimeSeries
     /** Record gauge sample @p v at cycle @p t (last in window wins). */
     void sample(ChannelId ch, uint64_t t, double v);
 
+    /** Look up an existing channel by name without creating it.
+     *  @return true and set @p out when the channel exists. */
+    bool findChannel(const std::string &name, ChannelId &out) const;
+
     /** Windows materialized so far (max over channels). */
     size_t windowCount() const;
 

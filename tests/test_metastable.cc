@@ -1,0 +1,458 @@
+/**
+ * @file
+ * SLO health layer tests (DESIGN.md §4i): the regime classifier's
+ * K-window onset debounce, exit hysteresis and boundary no-flap
+ * behavior; recovery-time edges; time-series empty-window and
+ * carry-forward corners the classifier depends on; the N-tenant /
+ * per-tenant-skew loadgen generalization; and a seeded metastable
+ * soak (phased ramp + trapped breakers) whose whole JSON document
+ * must be byte-identical across same-seed runs. Labeled `metastable`
+ * (not tier1): the soaks drive thousands of requests through the
+ * full supervised mesh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "apps/loadgen.hh"
+#include "sim/slo.hh"
+#include "sim/timeseries.hh"
+
+namespace xpc {
+namespace {
+
+slo::SloSpec
+spec100(uint32_t k = 3, uint32_t m = 2)
+{
+    // knee 100/Mcycle on a 1 Mcycle window: offered/goodput counts
+    // are then directly comparable to the knee, so the tests read as
+    // raw numbers.
+    slo::SloSpec s;
+    s.kneePerMcycle = 100;
+    s.metastableWindows = k;
+    s.healthyWindows = m;
+    return s;
+}
+
+slo::RegimeTracker
+tracker(const slo::SloSpec &s, const char *label = "t")
+{
+    return slo::RegimeTracker(label, s, Cycles(1000000));
+}
+
+TEST(RegimeTest, HealthyWhileFloorHolds)
+{
+    auto t = tracker(spec100());
+    // Idle, under-knee meeting the floor, exactly at the knee.
+    EXPECT_EQ(t.observe(0, 0), slo::Regime::Healthy);
+    EXPECT_EQ(t.observe(50, 50), slo::Regime::Healthy);
+    EXPECT_EQ(t.observe(100, 100), slo::Regime::Healthy);
+    // Over the knee a healthy mesh saturates at the knee: serving
+    // knee * floor is still healthy however much was offered.
+    EXPECT_EQ(t.observe(400, 70), slo::Regime::Healthy);
+    EXPECT_TRUE(t.transitions().empty());
+    EXPECT_FALSE(t.sawMetastable());
+}
+
+TEST(RegimeTest, OverKneeDegradationIsOverloadedNotMetastable)
+{
+    auto t = tracker(spec100());
+    // Degraded while offered exceeds the knee: overloaded, and no
+    // number of consecutive such windows ever promotes to
+    // metastable - the definition requires load *below* capacity.
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(t.observe(400, 10), slo::Regime::Overloaded) << i;
+    EXPECT_FALSE(t.sawMetastable());
+    EXPECT_EQ(t.metastableOnsets.value(), 0u);
+}
+
+TEST(RegimeTest, KWindowDebounceBeforeMetastable)
+{
+    auto t = tracker(spec100(3));
+    // Degraded below the knee: the first K-1 windows stay
+    // overloaded, the Kth flips to metastable.
+    EXPECT_EQ(t.observe(50, 10), slo::Regime::Overloaded);
+    EXPECT_EQ(t.observe(50, 10), slo::Regime::Overloaded);
+    EXPECT_EQ(t.observe(50, 10), slo::Regime::Metastable);
+    EXPECT_EQ(t.metastableOnsets.value(), 1u);
+}
+
+TEST(RegimeTest, SingleBadWindowNeverPromotes)
+{
+    auto t = tracker(spec100(3));
+    // A lone degraded window between healthy ones resets the streak:
+    // noise is never promoted to a failure regime.
+    for (int i = 0; i < 5; i++) {
+        EXPECT_EQ(t.observe(50, 10), slo::Regime::Overloaded) << i;
+        EXPECT_EQ(t.observe(50, 50), slo::Regime::Healthy) << i;
+    }
+    EXPECT_FALSE(t.sawMetastable());
+}
+
+TEST(RegimeTest, OverKneeWindowsResetTheOnsetStreak)
+{
+    auto t = tracker(spec100(3));
+    // Two under-knee degraded windows, then an over-knee one: the
+    // over-knee window must reset the streak, so two more under-knee
+    // windows still do not reach K=3.
+    t.observe(50, 10);
+    t.observe(50, 10);
+    EXPECT_EQ(t.observe(400, 10), slo::Regime::Overloaded);
+    t.observe(50, 10);
+    EXPECT_EQ(t.observe(50, 10), slo::Regime::Overloaded);
+    EXPECT_FALSE(t.sawMetastable());
+}
+
+TEST(RegimeTest, ExitHysteresisHoldsUntilSustainedHealthy)
+{
+    auto t = tracker(spec100(3, 2));
+    for (int i = 0; i < 3; i++)
+        t.observe(50, 10);
+    ASSERT_TRUE(t.sawMetastable());
+    // One healthy window inside the storm: still metastable.
+    EXPECT_EQ(t.observe(50, 50), slo::Regime::Metastable);
+    // Relapse, then two consecutive healthy windows exit.
+    EXPECT_EQ(t.observe(50, 10), slo::Regime::Metastable);
+    EXPECT_EQ(t.observe(50, 50), slo::Regime::Metastable);
+    EXPECT_EQ(t.observe(50, 50), slo::Regime::Healthy);
+}
+
+TEST(RegimeTest, NoFlapOnBoundaryValues)
+{
+    auto t = tracker(spec100());
+    // goodput exactly at floor * expected is healthy (>=), however
+    // often it repeats: the boundary can never oscillate the regime.
+    for (int i = 0; i < 20; i++)
+        EXPECT_EQ(t.observe(50, 35), slo::Regime::Healthy) << i;
+    EXPECT_TRUE(t.transitions().empty());
+}
+
+TEST(RegimeTest, LatencyTargetFailsTheWindow)
+{
+    slo::SloSpec s = spec100();
+    s.p99TargetCycles = 1000;
+    auto t = tracker(s);
+    // Goodput fine but p99 over target: degraded. NaN p99 (no
+    // latency signal) never fails the clause.
+    EXPECT_EQ(t.observe(50, 50, 2000), slo::Regime::Overloaded);
+    EXPECT_EQ(t.observe(50, 50, std::nan("")), slo::Regime::Healthy);
+    EXPECT_EQ(t.observe(50, 50, 999), slo::Regime::Healthy);
+}
+
+TEST(RegimeTest, TransitionLogCarriesWindowAndCycle)
+{
+    auto t = tracker(spec100(2));
+    t.observe(50, 50);
+    t.observe(50, 10);
+    t.observe(50, 10);
+    ASSERT_EQ(t.transitions().size(), 2u);
+    EXPECT_EQ(t.transitions()[0].window, 1u);
+    EXPECT_EQ(t.transitions()[0].cycle, 1000000u);
+    EXPECT_EQ(t.transitions()[0].to, slo::Regime::Overloaded);
+    EXPECT_EQ(t.transitions()[1].window, 2u);
+    EXPECT_EQ(t.transitions()[1].to, slo::Regime::Metastable);
+    EXPECT_EQ(t.transitionCount.value(), 2u);
+}
+
+TEST(RegimeTest, RecoveryMeasuresToSustainedHealthyStart)
+{
+    auto t = tracker(spec100(3, 2));
+    // Windows: h d d d d h h h  (d = degraded under knee)
+    t.observe(50, 50);
+    for (int i = 0; i < 4; i++)
+        t.observe(50, 10);
+    for (int i = 0; i < 3; i++)
+        t.observe(50, 50);
+    // From the fault at cycle 1.5M (window 1): the first sustained
+    // healthy run starts at window 5 -> 5M - 1.5M cycles.
+    EXPECT_EQ(t.recoveryCyclesFrom(1500000), 3500000.0);
+    // A point already inside the healthy run recovers instantly.
+    EXPECT_EQ(t.recoveryCyclesFrom(6000000), 0.0);
+}
+
+TEST(RegimeTest, RecoveryNaNWhenNeverHealthyAgain)
+{
+    auto t = tracker(spec100(3, 2));
+    t.observe(50, 50);
+    for (int i = 0; i < 6; i++)
+        t.observe(50, 10);
+    EXPECT_TRUE(std::isnan(t.recoveryCyclesFrom(1000000)));
+    // A lone healthy window is not "sustained": still NaN.
+    t.observe(50, 50);
+    EXPECT_TRUE(std::isnan(t.recoveryCyclesFrom(1000000)));
+}
+
+TEST(RegimeTest, SmoothingAbsorbsCompletionLag)
+{
+    // Arrivals land at the start of each 3-window group; completions
+    // straggle across it. Window-by-window the group's first window
+    // looks badly degraded (10 offered, 3 served); smoothed by 3,
+    // each group serves everything it was offered.
+    TimeSeries ts(Cycles(100000));
+    auto off = ts.counterChannel("off");
+    auto good = ts.counterChannel("good");
+    for (int g = 0; g < 2; g++) {
+        uint64_t base = uint64_t(g) * 300000;
+        ts.add(off, base, 10);
+        ts.add(good, base, 3);
+        ts.add(good, base + 100000, 4);
+        ts.add(good, base + 200000, 3);
+    }
+
+    slo::SloSpec raw_spec;
+    raw_spec.kneePerMcycle = 100;
+    slo::RegimeTracker raw("raw", raw_spec, Cycles(100000));
+    raw.observeSeries(ts, off, good);
+    EXPECT_EQ(raw.windows()[0], slo::Regime::Overloaded);
+
+    slo::SloSpec s = raw_spec;
+    s.smoothWindows = 3;
+    slo::RegimeTracker t("sm", s, Cycles(100000));
+    EXPECT_EQ(t.windowCycles(), 300000u);
+    t.observeSeries(ts, off, good);
+    ASSERT_EQ(t.windows().size(), 2u);
+    EXPECT_EQ(t.windows()[0], slo::Regime::Healthy);
+    EXPECT_EQ(t.windows()[1], slo::Regime::Healthy);
+}
+
+TEST(RegimeTest, JsonDumpIsStableAndMarksCarryRecovery)
+{
+    auto t = tracker(spec100(2, 2));
+    t.observe(50, 50);
+    t.observe(50, 10);
+    t.observe(50, 10);
+    t.observe(50, 50);
+    t.observe(50, 50);
+    t.mark("fault", 1200000);
+    std::ostringstream a, b;
+    t.dumpJson(a);
+    t.dumpJson(b);
+    EXPECT_EQ(a.str(), b.str());
+    // K=2 onset after two degraded windows; the single healthy
+    // window at index 3 is held Metastable by the M=2 exit
+    // hysteresis.
+    EXPECT_NE(a.str().find("\"regimes\":\"hommh\""), std::string::npos)
+        << a.str();
+    // fault at 1.2M -> sustained healthy starts at window 3 (3M).
+    EXPECT_NE(a.str().find("\"recovery_cycles\":1800000"),
+              std::string::npos)
+        << a.str();
+}
+
+TEST(TimeSeriesEdgeTest, EmptyWindowsReadAsZeroCounters)
+{
+    // A counter channel with a gap: windows between samples
+    // materialize as 0, not NaN - exactly what the classifier's
+    // "offered <= 0 is idle-healthy" rule depends on.
+    TimeSeries ts(Cycles(1000));
+    auto c = ts.counterChannel("c");
+    ts.add(c, 500);
+    ts.add(c, 4500);
+    ASSERT_EQ(ts.windowCount(), 5u);
+    EXPECT_EQ(ts.at(c, 0), 1.0);
+    EXPECT_EQ(ts.at(c, 1), 0.0);
+    EXPECT_EQ(ts.at(c, 2), 0.0);
+    EXPECT_EQ(ts.at(c, 3), 0.0);
+    EXPECT_EQ(ts.at(c, 4), 1.0);
+}
+
+TEST(TimeSeriesEdgeTest, GaugeCarriesForwardAcrossEmptyWindows)
+{
+    TimeSeries ts(Cycles(1000));
+    auto c = ts.counterChannel("c");
+    auto g = ts.gaugeChannel("g");
+    ts.sample(g, 2500, 7); // window 2
+    ts.sample(g, 3500, 9); // window 3
+    ts.add(c, 5500);       // materialize windows through 5
+    ASSERT_EQ(ts.windowCount(), 6u);
+    // Before the first sample: NaN (null in JSON), never a phantom
+    // zero. After it: the last sample carries forward, including
+    // past the gauge's own last materialized window.
+    EXPECT_TRUE(std::isnan(ts.at(g, 0)));
+    EXPECT_TRUE(std::isnan(ts.at(g, 1)));
+    EXPECT_EQ(ts.at(g, 2), 7.0);
+    EXPECT_EQ(ts.at(g, 3), 9.0);
+    EXPECT_EQ(ts.at(g, 4), 9.0);
+    EXPECT_EQ(ts.at(g, 5), 9.0);
+}
+
+TEST(TimeSeriesEdgeTest, FindChannelLooksUpWithoutCreating)
+{
+    TimeSeries ts(Cycles(1000));
+    auto c = ts.counterChannel("offered");
+    TimeSeries::ChannelId out = 999;
+    EXPECT_TRUE(ts.findChannel("offered", out));
+    EXPECT_EQ(out, c);
+    EXPECT_FALSE(ts.findChannel("nonesuch", out));
+}
+
+// --- Loadgen generalization: N tenants, per-tenant skew ---------
+
+apps::LoadGenOptions
+soakOptions(uint32_t tenants)
+{
+    apps::LoadGenOptions o;
+    o.seed = 7;
+    o.offeredPerMcycle = 120;
+    o.requests = 600;
+    o.tenants = tenants;
+    return o;
+}
+
+std::string
+runJson(const apps::LoadGenOptions &o)
+{
+    apps::LoadGen gen(o);
+    std::ostringstream os;
+    gen.run().dumpJson(os);
+    return os.str();
+}
+
+TEST(LoadGenTenantsTest, FourTenantsAllServeTraffic)
+{
+    apps::LoadGenOptions o = soakOptions(4);
+    o.zipfThetaStep = 0.2;
+    apps::LoadGen gen(o);
+    const apps::LoadGenResult &res = gen.run();
+    ASSERT_EQ(res.latencyTenant.size(), 4u);
+    for (size_t t = 0; t < 4; t++)
+        EXPECT_GT(res.latencyTenant[t].count(), 0u) << "tenant " << t;
+    EXPECT_GT(res.goodput(), res.offered / 2);
+}
+
+TEST(LoadGenTenantsTest, SameSeedByteIdenticalAcrossTenantCounts)
+{
+    for (uint32_t tenants : {1u, 3u, 5u}) {
+        apps::LoadGenOptions o = soakOptions(tenants);
+        o.zipfThetaStep = 0.15;
+        EXPECT_EQ(runJson(o), runJson(o)) << tenants << " tenants";
+    }
+}
+
+TEST(LoadGenTenantsTest, ThetaStepChangesKeysNotSchedule)
+{
+    // Different per-tenant skew must change which keys are drawn but
+    // not the arrival schedule or tenant/service draws: offered
+    // totals and tenant counts stay identical.
+    apps::LoadGenOptions a = soakOptions(3);
+    apps::LoadGenOptions b = soakOptions(3);
+    b.zipfThetaStep = 0.3;
+    apps::LoadGen ga(a), gb(b);
+    const auto &ra = ga.run();
+    const auto &rb = gb.run();
+    EXPECT_EQ(ra.offered, rb.offered);
+    for (size_t t = 0; t < 3; t++)
+        EXPECT_EQ(ra.latencyTenant[t].count(),
+                  rb.latencyTenant[t].count())
+            << "tenant " << t;
+}
+
+// --- The seeded metastable soak ---------------------------------
+
+/** The bench's knee calibration: deadline-free goodput at an absurd
+ *  offered rate. The trap is sensitive to surge depth relative to
+ *  true capacity, so the soak calibrates instead of hardcoding. */
+double
+calibratedKnee()
+{
+    static const double knee = [] {
+        apps::LoadGenOptions o;
+        o.seed = 42;
+        o.offeredPerMcycle = 5000;
+        o.requests = 600;
+        o.deadlineCycles = Cycles(0);
+        apps::LoadGen gen(o);
+        return gen.run().goodputPerMcycle();
+    }();
+    return knee;
+}
+
+apps::LoadGenOptions
+trappedOptions()
+{
+    double knee = calibratedKnee();
+    apps::LoadGenOptions o;
+    o.seed = 42;
+    o.phases = {
+        {0.5 * knee, 500, "ramp_up"},
+        {2.0 * knee, 1000, "surge_end"},
+        {0.5 * knee, 1500, ""},
+    };
+    o.slo.kneePerMcycle = knee;
+    o.slo.smoothWindows = 10;
+    o.breakers = true;
+    o.breakerCooldownCycles = Cycles(1000000000);
+    return o;
+}
+
+TEST(MetastableSoakTest, SeededTrapIsDetectedAndDeterministic)
+{
+    std::string a = runJson(trappedOptions());
+    EXPECT_EQ(a, runJson(trappedOptions()));
+
+    apps::LoadGen gen(trappedOptions());
+    const apps::LoadGenResult &res = gen.run();
+    const slo::RegimeTracker *all = res.sloAll();
+    ASSERT_NE(all, nullptr);
+    // The surge trips the never-reclosing breakers; after offered
+    // drops back below the knee the detector must flag the trap.
+    EXPECT_TRUE(all->sawMetastable());
+    EXPECT_GE(all->metastableOnsets.value(), 1u);
+    // And it must still be trapped at the end of the timeline.
+    ASSERT_FALSE(all->windows().empty());
+    EXPECT_EQ(all->windows().back(), slo::Regime::Metastable);
+    // Recovery from surge end: never.
+    double rec = std::nan("");
+    for (const slo::Mark &m : all->marks())
+        if (m.name == "surge_end")
+            rec = all->recoveryCyclesFrom(m.cycle);
+    EXPECT_TRUE(std::isnan(rec));
+}
+
+TEST(MetastableSoakTest, HealthyBaselineIsNotFlagged)
+{
+    apps::LoadGenOptions o = trappedOptions();
+    o.breakers = false;
+    o.breakerCooldownCycles = Cycles(0);
+    apps::LoadGen gen(o);
+    const apps::LoadGenResult &res = gen.run();
+    const slo::RegimeTracker *all = res.sloAll();
+    ASSERT_NE(all, nullptr);
+    EXPECT_FALSE(all->sawMetastable());
+    EXPECT_FALSE(res.sloTrackers.empty());
+}
+
+TEST(MetastableSoakTest, CrashWithoutHealingNeverRecovers)
+{
+    apps::LoadGenOptions o;
+    o.seed = 42;
+    o.phases = {
+        {70, 300, ""},
+        {210, 500, "surge_end"},
+        {70, 700, ""},
+    };
+    o.slo.kneePerMcycle = 140;
+    o.slo.smoothWindows = 10;
+    o.killAtRequest = 550;
+    o.killService = 5; // kv
+    o.healing = false;
+    apps::LoadGen gen(o);
+    const apps::LoadGenResult &res = gen.run();
+    const slo::RegimeTracker *victim = res.sloFor("kv@t1");
+    ASSERT_NE(victim, nullptr);
+    double rec = 0;
+    for (const slo::Mark &m : victim->marks())
+        if (m.name == "fault")
+            rec = victim->recoveryCyclesFrom(m.cycle);
+    EXPECT_TRUE(std::isnan(rec));
+    EXPECT_TRUE(victim->sawMetastable());
+    // The untouched tenant keeps serving.
+    const slo::RegimeTracker *other = res.sloFor("kv@t2");
+    ASSERT_NE(other, nullptr);
+    EXPECT_FALSE(other->sawMetastable());
+}
+
+} // namespace
+} // namespace xpc

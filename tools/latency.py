@@ -8,6 +8,12 @@ Reads the report written by bench/bench_tail.cc and prints the
 goodput-vs-offered-load curve (an ASCII plot plus the per-point
 table) and the per-service latency percentiles at every sweep point.
 
+When the report carries the breakers-armed sweep
+(goodput_per_mcycle.breakers.*) the tool renders both curves side by
+side: below the knee they coincide (the breakers never trip), past it
+quarantine makes excess requests fail fast instead of queueing - the
+measured effect of arming breakers under overload.
+
 With --check the tool also gates the open-loop acceptance claims and
 exits non-zero when any fails:
   * the same-seed replay was byte-identical (same_seed_identical == 1)
@@ -16,6 +22,8 @@ exits non-zero when any fails:
     goodput at the knee (1x)
   * every sweep point carries non-empty per-service distributions
     with finite p50/p99/p999
+  * when the breakers sweep is present, its retention metric exists
+    (the cliff is measured, not asserted: no minimum is imposed)
 
 Exit status: 0 = ok, 1 = a --check claim failed, 2 = usage/IO error.
 """
@@ -89,6 +97,19 @@ def main():
         print(f"calibrated capacity: {cap:.1f} req/Mcycle")
     ascii_curve(points)
 
+    breaker_points = [
+        (m, tag, o, metrics[f"goodput_per_mcycle.breakers.{tag}"])
+        for m, tag, o, _ in points
+        if f"goodput_per_mcycle.breakers.{tag}" in metrics]
+    if breaker_points:
+        print("\n  same sweep, circuit breakers armed:")
+        ascii_curve(breaker_points)
+        ret = metrics.get("overload_goodput_retention")
+        bret = metrics.get("overload_goodput_retention.breakers")
+        if ret is not None and bret is not None:
+            print(f"\n  2x retention: {ret:.2f} breakers-off vs "
+                  f"{bret:.2f} breakers-on")
+
     services = ("kv", "httpd", "fs")
     print(f"\n  {'point':>6} {'offered':>8} {'goodput':>8}  "
           + "  ".join(f"{s + ' p50/p99/p999':>24}" for s in services))
@@ -119,6 +140,11 @@ def main():
         failures.append(
             f"goodput collapsed: {peak_goodput:.1f} at {peak_mult}x "
             f"< {args.retention} * {knee:.1f} at 1x")
+
+    if breaker_points and \
+            metrics.get("overload_goodput_retention.breakers") is None:
+        failures.append("breakers sweep present but its retention "
+                        "metric is missing")
 
     for _, tag, _, _ in points:
         for svc in services:

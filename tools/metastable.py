@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Render and gate the metastable-failure experiments (DESIGN.md §4i).
+
+Usage:
+    metastable.py [--check] BENCH_metastable.json
+
+Reads the report written by bench/bench_metastable.cc and renders:
+  * the regime timeline of every embedded tracker (h = healthy,
+    o = overloaded, m = metastable), with the recorded marks (fault
+    injected, surge over, supervisor restarts) placed on the timeline
+  * the hysteresis summary: post-surge goodput fraction and whether
+    the detector flagged each run
+  * the crash-mid-surge recovery table: restart latency and
+    SLO-window recovery time, supervision on vs off
+
+With --check the tool gates the acceptance claims and exits non-zero
+when any fails:
+  * the same-seed replay of the trapped run was byte-identical
+  * the seeded hysteresis run is genuinely trapped: post-surge
+    goodput stays at or below 0.7x of what the (half-knee) offered
+    load should get, and the detector flagged it metastable
+  * the healthy baseline run was NOT flagged
+  * crash-mid-surge recovery is reported for both supervision
+    settings: finite restart latency and recovery with healing on,
+    null (never) with healing off, where the victim's own timeline
+    must flag metastable
+
+Exit status: 0 = ok, 1 = a --check claim failed, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def fmt_cycles(v):
+    if v is None or (isinstance(v, float) and not math.isfinite(v)):
+        return "never"
+    return f"{v:.0f}"
+
+
+def render_tracker(name, t):
+    regimes = t.get("regimes", "")
+    window = t.get("window_cycles", 1)
+    print(f"  {name:<10} |{regimes}|")
+    marks = t.get("marks", [])
+    if marks:
+        # Place each mark's first letter under its window.
+        lane = [" "] * (len(regimes) + 1)
+        for m in marks:
+            w = min(m["cycle"] // window, len(regimes))
+            lane[w] = m["name"][0]
+        print(f"  {'':<10} |{''.join(lane)[:len(regimes)]}|  "
+              + ", ".join(f"{m['name']}@w{m['cycle'] // window}"
+                          for m in marks))
+
+
+def render_run(key, trackers):
+    print(f"\n{key}:")
+    if "all" in trackers:
+        render_tracker("all", trackers["all"])
+    for name in sorted(trackers):
+        if name == "all":
+            continue
+        t = trackers[name]
+        # Per-service lanes only earn a line when something happened.
+        if t.get("counts", {}).get("healthy") != len(
+                t.get("regimes", "")):
+            render_tracker(name, t)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="render/gate the metastable experiments")
+    ap.add_argument("report", help="BENCH_metastable.json")
+    ap.add_argument("--check", action="store_true",
+                    help="gate the acceptance claims")
+    ap.add_argument("--trap-frac", type=float, default=0.7,
+                    help="max post-surge goodput fraction for the "
+                         "trapped run (default 0.7)")
+    args = ap.parse_args()
+
+    report = load(args.report)
+    metrics = report.get("metrics", {})
+    runs = {k: v for k, v in report.items() if k.startswith("slo_")}
+    if not runs:
+        print("error: no slo_* sections in report", file=sys.stderr)
+        sys.exit(2)
+
+    cap = metrics.get("capacity_per_mcycle")
+    if cap is not None:
+        print(f"calibrated knee: {cap:.1f} req/Mcycle")
+    print("regime timelines (h healthy / o overloaded / "
+          "m metastable):")
+    for key in sorted(runs):
+        render_run(key, runs[key])
+
+    print("\nhysteresis (offered ramps past the knee and back):")
+    print(f"  {'run':<10} {'tail-goodput':>14} {'flagged':>9}")
+    for leg in ("baseline", "trapped"):
+        frac = metrics.get(f"hysteresis.{leg}.tail_goodput_frac")
+        flag = metrics.get(f"hysteresis.{leg}.metastable_flagged")
+        if frac is None:
+            continue
+        print(f"  {leg:<10} {frac:14.2f} "
+              f"{'YES' if flag == 1 else 'no':>9}")
+
+    print("\ncrash-mid-surge recovery (kv@t1 killed at peak load):")
+    print(f"  {'run':<10} {'restart-latency':>16} {'recovery':>12}")
+    for leg in ("heal_on", "heal_off"):
+        lat = metrics.get(f"crash.{leg}.restart_latency_cycles")
+        rec = metrics.get(f"crash.{leg}.recovery_cycles")
+        print(f"  {leg:<10} {fmt_cycles(lat):>16} "
+              f"{fmt_cycles(rec):>12}")
+
+    if not args.check:
+        return
+
+    failures = []
+
+    def metric(key):
+        return metrics.get(key)
+
+    if metric("same_seed_identical") != 1:
+        failures.append("same-seed trapped replay was not "
+                        "byte-identical")
+
+    frac = metric("hysteresis.trapped.tail_goodput_frac")
+    if frac is None or frac > args.trap_frac:
+        failures.append(
+            f"trapped run not trapped: post-surge goodput fraction "
+            f"{frac} > {args.trap_frac}")
+    if metric("hysteresis.trapped.metastable_flagged") != 1:
+        failures.append("detector did not flag the trapped run")
+    if metric("hysteresis.baseline.metastable_flagged") != 0:
+        failures.append("detector flagged the healthy baseline")
+
+    lat_on = metric("crash.heal_on.restart_latency_cycles")
+    if lat_on is None or not math.isfinite(lat_on) or lat_on <= 0:
+        failures.append("heal-on restart latency not finite")
+    if metric("crash.heal_on.recovery_cycles") is None:
+        failures.append("heal-on recovery missing or never")
+    if "crash.heal_off.recovery_cycles" not in metrics:
+        failures.append("heal-off recovery not reported")
+    elif metrics["crash.heal_off.recovery_cycles"] is not None:
+        failures.append("heal-off run recovered without supervision")
+    if metric("crash.heal_off.victim_metastable") != 1:
+        failures.append("dead victim's timeline not flagged "
+                        "metastable")
+
+    if failures:
+        print("\nCHECK FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print("\ncheck ok: deterministic, detector separates trapped "
+          "from baseline, recovery reported heal-on vs heal-off")
+
+
+if __name__ == "__main__":
+    main()
